@@ -1,0 +1,111 @@
+// Ensemble ablation — the design choices DESIGN.md calls out for Sec 3.6 /
+// Eq. 3:
+//   * weight mode: clamped similarities (default) vs raw Eq.-3 similarities
+//     vs softmax vs winner-take-all;
+//   * OOD gating: Algorithm 1's two-path logic vs always-all-domains vs
+//     always-gated;
+//   * reference points: pooled BaselineHD (no ensembling) and the uniform
+//     unweighted ensemble.
+// Metric: LODO accuracy on the USC-HAD-like dataset averaged over folds.
+// Results: results/ablation_ensemble.csv.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/smore.hpp"
+#include "data/dataset.hpp"
+#include "eval/reporting.hpp"
+#include "hdc/onlinehd.hpp"
+
+namespace {
+
+using namespace smore;
+using namespace smore::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Ensemble ablation: Eq.-3 weight modes, OOD gating variants, and "
+      "non-ensemble references (LODO accuracy on USC-HAD).");
+  cli.flag_double("scale", 0.05, "fraction of USC-HAD sample counts")
+      .flag_int("dim", 2048, "hyperdimension")
+      .flag_int("hd_epochs", 15, "OnlineHD refinement epochs")
+      .flag_double("delta_star", 0.65, "OOD threshold for gated variants")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+  const double scale = cli.get_double("scale");
+  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const double delta_star = cli.get_double("delta_star");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const EncodedBundle bundle = prepare(spec_by_name("USC-HAD", scale, seed), dim);
+  const int classes = bundle.raw.num_classes();
+  const int domains = bundle.raw.num_domains();
+
+  OnlineHDConfig hd;
+  hd.epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  hd.seed = seed;
+
+  struct Variant {
+    std::string name;
+    WeightMode mode;
+    double delta;  // δ* used (1.0 forces everything OOD -> all domains)
+  };
+  const std::vector<Variant> variants{
+      {"SMORE default (standardized softmax, Algorithm 1 gating)",
+       WeightMode::kStandardizedSoftmax, delta_star},
+      {"clamped similarities", WeightMode::kClampedSimilarity, delta_star},
+      {"raw Eq.-3 similarities", WeightMode::kRawSimilarity, delta_star},
+      {"fixed-temperature softmax", WeightMode::kSoftmax, delta_star},
+      {"winner-take-all (top-1 domain)", WeightMode::kTopOne, delta_star},
+      {"no gating: all domains always (delta*=1)",
+       WeightMode::kStandardizedSoftmax, 1.0},
+      {"hard gating: only domains above delta* (delta*=-1 disables OOD path)",
+       WeightMode::kStandardizedSoftmax, -1.0},
+  };
+
+  print_banner("Ensemble ablation (LODO accuracy, USC-HAD)");
+  CsvWriter csv(results_path("ablation_ensemble"),
+                {"variant", "lodo_accuracy", "ood_rate"});
+  TablePrinter table({"variant", "LODO acc (%)", "OOD rate (%)"});
+
+  // Reference: pooled BaselineHD.
+  {
+    double acc = 0.0;
+    for (int d = 0; d < domains; ++d) {
+      const Split fold = lodo_split(bundle.raw, d);
+      OnlineHDClassifier model(classes, dim);
+      model.fit(bundle.encoded.select(fold.train), hd);
+      acc += model.accuracy(bundle.encoded.select(fold.test));
+    }
+    acc /= domains;
+    table.row({"reference: pooled BaselineHD", fmt(100 * acc), "-"});
+    csv.row_values("pooled BaselineHD", acc, 0.0);
+  }
+
+  for (const Variant& v : variants) {
+    double acc = 0.0;
+    double ood = 0.0;
+    for (int d = 0; d < domains; ++d) {
+      const Split fold = lodo_split(bundle.raw, d);
+      SmoreConfig sc;
+      sc.weight_mode = v.mode;
+      sc.delta_star = v.delta;
+      sc.domain_model = hd;
+      SmoreModel model(classes, dim, sc);
+      model.fit(bundle.encoded.select(fold.train));
+      acc += model.accuracy(bundle.encoded.select(fold.test));
+      ood += model.ood_rate(bundle.encoded.select(fold.test));
+    }
+    acc /= domains;
+    ood /= domains;
+    table.row({v.name, fmt(100 * acc), fmt(100 * ood)});
+    csv.row_values(v.name, acc, ood);
+    std::printf("  %s done\n", v.name.c_str());
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("\n(csv: %s)\n", results_path("ablation_ensemble").c_str());
+  return 0;
+}

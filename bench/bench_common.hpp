@@ -1,0 +1,95 @@
+#pragma once
+// Shared plumbing for the figure/table benches: dataset construction from
+// flags, timed encoding, and CSV output locations.
+//
+// Scale note (DESIGN.md §7): the paper's server has 24 hardware threads;
+// this environment exposes one core, so every bench defaults to a reduced
+// sample scale and hyperdimension. All claims compared against the paper are
+// *shape* claims (ordering, ratios, crossovers); `--scale`, `--dim`, and
+// `--full` let a larger machine rerun at paper scale.
+
+#include <cstdio>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "eval/timer.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace smore::bench {
+
+/// Default per-dataset scale: the datasets differ 5× in total size and 1.6×
+/// in class count, so a single global fraction starves DSADS (19 classes,
+/// 9120 windows) long before USC-HAD (12 classes, 43374 windows). These
+/// defaults equalize the windows-per-(class, domain) budget at roughly 30,
+/// the smallest regime where all five algorithms are trainable.
+inline double default_scale(const std::string& name) {
+  if (name == "DSADS") return 0.25;
+  if (name == "USC-HAD") return 0.05;
+  if (name == "PAMAP2") return 0.10;
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+/// Resolve a dataset spec by paper name; scale <= 0 selects the per-dataset
+/// default above.
+inline SyntheticSpec spec_by_name(const std::string& name, double scale,
+                                  std::uint64_t seed) {
+  if (scale <= 0.0) scale = default_scale(name);
+  if (name == "DSADS") return dsads_spec(scale, seed);
+  if (name == "USC-HAD") return uschad_spec(scale, seed);
+  if (name == "PAMAP2") return pamap2_spec(scale, seed);
+  throw std::invalid_argument("unknown dataset: " + name +
+                              " (expected DSADS, USC-HAD, or PAMAP2)");
+}
+
+/// A generated dataset together with its encoding and encode-cost accounting.
+struct EncodedBundle {
+  WindowDataset raw;
+  HvDataset encoded;
+  double generate_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double encode_seconds_per_sample = 0.0;
+};
+
+/// Generate and encode one dataset, reporting progress to stdout.
+inline EncodedBundle prepare(const SyntheticSpec& spec, std::size_t dim,
+                             std::size_t ngram = 3,
+                             std::uint64_t encoder_seed = 0x5304e) {
+  EncodedBundle bundle;
+  {
+    WallTimer t;
+    bundle.raw = generate_dataset(spec);
+    bundle.generate_seconds = t.seconds();
+  }
+  EncoderConfig ec;
+  ec.dim = dim;
+  ec.ngram = ngram;
+  ec.seed = encoder_seed;
+  const MultiSensorEncoder encoder(ec);
+  {
+    WallTimer t;
+    bundle.encoded = encoder.encode_dataset(bundle.raw);
+    bundle.encode_seconds = t.seconds();
+  }
+  bundle.encode_seconds_per_sample =
+      bundle.raw.empty() ? 0.0
+                         : bundle.encode_seconds /
+                               static_cast<double>(bundle.raw.size());
+  std::printf("[prepare] %-8s N=%zu channels=%zu steps=%zu domains=%d "
+              "classes=%d | generate %.2fs encode %.2fs (d=%zu)\n",
+              spec.name.c_str(), bundle.raw.size(), bundle.raw.channels(),
+              bundle.raw.steps(), bundle.raw.num_domains(),
+              bundle.raw.num_classes(), bundle.generate_seconds,
+              bundle.encode_seconds, dim);
+  std::fflush(stdout);
+  return bundle;
+}
+
+/// results/<name>.csv next to the current working directory.
+inline std::string results_path(const std::string& name) {
+  return "results/" + name + ".csv";
+}
+
+}  // namespace smore::bench

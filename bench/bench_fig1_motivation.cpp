@@ -1,0 +1,142 @@
+// Figure 1(b) — motivation: SOTA HDC (BaselineHD = OnlineHD [22], nonlinear
+// random-projection encoding + single model) converges at a notably lower
+// accuracy under leave-one-domain-out CV than under standard k-fold CV,
+// regardless of (left panel) hyperdimension and (right panel) training
+// iterations. k-fold leaks every domain into training (random sampling),
+// which is precisely why it overstates robustness to shift.
+//
+// Output: two series pairs on the USC-HAD-like dataset —
+//   accuracy vs dimension {0.5k, 1k, 2k, 4k, 6k}  (LODO vs k-fold)
+//   accuracy vs iterations {10..50}                (LODO vs k-fold, d=2k)
+// written to results/fig1b_dims.csv and results/fig1b_iters.csv.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/dataset.hpp"
+#include "data/normalize.hpp"
+#include "eval/reporting.hpp"
+#include "hdc/onlinehd.hpp"
+#include "hdc/projection_encoder.hpp"
+
+namespace {
+
+using namespace smore;
+using namespace smore::bench;
+
+/// Mean BaselineHD test accuracy over folds, probed at the checkpoint epochs
+/// in `checkpoints` (ascending). One accuracy per checkpoint. Each fold uses
+/// the BaselineHD pipeline end-to-end: train-split normalization, projection
+/// encoding, OnlineHD training.
+std::vector<double> accuracy_at_checkpoints(const WindowDataset& raw,
+                                            std::size_t dim,
+                                            const std::vector<Split>& folds,
+                                            const std::vector<int>& checkpoints,
+                                            float lr, std::uint64_t seed) {
+  std::vector<double> acc(checkpoints.size(), 0.0);
+  for (const Split& fold : folds) {
+    ChannelNormalizer norm;
+    norm.fit(raw, fold.train);
+    const WindowDataset normalized = norm.transform(raw);
+    ProjectionEncoderConfig pc;
+    pc.dim = dim;
+    pc.seed = seed ^ 0x09e14d;
+    const ProjectionEncoder encoder(pc);
+    const HvDataset train = encoder.encode_dataset(take(normalized, fold.train));
+    const HvDataset test = encoder.encode_dataset(take(normalized, fold.test));
+
+    OnlineHDClassifier model(raw.num_classes(), dim);
+    Rng rng(seed);
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (const std::size_t i : order) {
+      model.bootstrap(train.row(i), train.label(i));
+    }
+    int epoch = 0;
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      for (; epoch < checkpoints[c]; ++epoch) {
+        rng.shuffle(order);
+        for (const std::size_t i : order) {
+          model.refine(train.row(i), train.label(i), lr);
+        }
+      }
+      acc[c] += model.accuracy(test);
+    }
+  }
+  for (auto& a : acc) a /= static_cast<double>(folds.size());
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Figure 1(b) reproduction: LODO vs standard k-fold CV of BaselineHD "
+      "(OnlineHD pipeline) on USC-HAD, across hyperdimensions and training "
+      "iterations.");
+  cli.flag_double("scale", 0.05, "fraction of USC-HAD sample counts")
+      .flag_bool("full", false, "paper scale (scale=1)")
+      .flag_int("kfold", 5, "k for the leaky random CV")
+      .flag_int("iters", 20, "training iterations for the dimension sweep")
+      .flag_double("lr", 0.035, "OnlineHD learning rate")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+  const double scale = cli.get_bool("full") ? 1.0 : cli.get_double("scale");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto lr = static_cast<float>(cli.get_double("lr"));
+  const int k = static_cast<int>(cli.get_int("kfold"));
+
+  const SyntheticSpec spec = spec_by_name("USC-HAD", scale, seed);
+  const WindowDataset raw = generate_dataset(spec);
+  std::printf("[prepare] USC-HAD N=%zu domains=%d classes=%d\n", raw.size(),
+              raw.num_domains(), raw.num_classes());
+
+  const std::vector<Split> lodo = lodo_folds(raw);
+  const std::vector<Split> kfold = kfold_splits(raw.size(), k, seed);
+
+  // ---- left panel: accuracy vs dimension ----
+  print_banner("Figure 1(b) left: accuracy vs hyperdimension");
+  const std::vector<std::size_t> dims{512, 1024, 2048, 4096, 6144};
+  const std::vector<int> iter_probe{static_cast<int>(cli.get_int("iters"))};
+  CsvWriter csv_dims(results_path("fig1b_dims"),
+                     {"dim", "lodo_accuracy", "kfold_accuracy"});
+  TablePrinter t_dims({"dim", "LODO acc (%)", "k-fold acc (%)", "gap (pp)"});
+  for (const std::size_t d : dims) {
+    const double a_lodo =
+        accuracy_at_checkpoints(raw, d, lodo, iter_probe, lr, seed)[0];
+    const double a_kfold =
+        accuracy_at_checkpoints(raw, d, kfold, iter_probe, lr, seed)[0];
+    t_dims.row({std::to_string(d), fmt(100 * a_lodo), fmt(100 * a_kfold),
+                fmt(100 * (a_kfold - a_lodo))});
+    csv_dims.row_values(d, a_lodo, a_kfold);
+    std::printf("  dim %zu done\n", d);
+    std::fflush(stdout);
+  }
+  t_dims.print();
+
+  // ---- right panel: accuracy vs iterations (d = 2k) ----
+  print_banner("Figure 1(b) right: accuracy vs training iterations (d=2048)");
+  const std::vector<int> checkpoints{10, 20, 30, 40, 50};
+  const std::vector<double> a_lodo =
+      accuracy_at_checkpoints(raw, 2048, lodo, checkpoints, lr, seed);
+  const std::vector<double> a_kfold =
+      accuracy_at_checkpoints(raw, 2048, kfold, checkpoints, lr, seed);
+  CsvWriter csv_iters(results_path("fig1b_iters"),
+                      {"iterations", "lodo_accuracy", "kfold_accuracy"});
+  TablePrinter t_iters(
+      {"iterations", "LODO acc (%)", "k-fold acc (%)", "gap (pp)"});
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    t_iters.row({std::to_string(checkpoints[c]), fmt(100 * a_lodo[c]),
+                 fmt(100 * a_kfold[c]), fmt(100 * (a_kfold[c] - a_lodo[c]))});
+    csv_iters.row_values(checkpoints[c], a_lodo[c], a_kfold[c]);
+  }
+  t_iters.print();
+
+  std::printf(
+      "\nPaper's point: k-fold CV inflates accuracy via domain leakage — the "
+      "LODO curve converges well below the k-fold curve at every dimension "
+      "and iteration count.\n(csv: %s, %s)\n",
+      results_path("fig1b_dims").c_str(), results_path("fig1b_iters").c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 5 — "Impact of δ* on Model Performance": SMORE's LODO accuracy on
+// USC-HAD as the OOD threshold δ* sweeps across its range. The paper reports
+// an interior optimum (≈0.65 on their similarity scale): too-small δ*
+// under-detects nothing and lets dissimilar domains pollute in-distribution
+// ensembles; too-large δ* treats everything as in-distribution-with-gating
+// and over-restricts the ensemble. The bench reports the measured optimum
+// and the accuracy drop at both extremes. Results: results/fig5_threshold.csv.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/smore.hpp"
+#include "data/dataset.hpp"
+#include "eval/reporting.hpp"
+
+namespace {
+using namespace smore;
+using namespace smore::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Figure 5 reproduction: SMORE LODO accuracy on USC-HAD vs the OOD "
+      "threshold delta*.");
+  cli.flag_double("scale", 0.05, "fraction of USC-HAD sample counts")
+      .flag_bool("full", false, "paper scale")
+      .flag_int("dim", 2048, "hyperdimension")
+      .flag_int("hd_epochs", 15, "OnlineHD refinement epochs")
+      .flag_string("sweep",
+                   "0.40,0.50,0.60,0.65,0.70,0.75,0.80,0.85,0.90,0.95",
+                   "comma-separated delta* values (paper sweeps 0.4-0.9)")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+  const bool full = cli.get_bool("full");
+  const double scale = full ? 1.0 : cli.get_double("scale");
+  const std::size_t dim =
+      full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<double> sweep;
+  {
+    const std::string list = cli.get_string("sweep");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      sweep.push_back(std::stod(list.substr(pos)));
+      const std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const EncodedBundle bundle = prepare(spec_by_name("USC-HAD", scale, seed), dim);
+  const int classes = bundle.raw.num_classes();
+  const int domains = bundle.raw.num_domains();
+
+  OnlineHDConfig hd;
+  hd.epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  hd.seed = seed;
+
+  // Train one SMORE per fold (training is δ*-independent), then sweep δ* on
+  // the trained models — exactly how the paper tunes the hyperparameter.
+  print_banner("Figure 5: SMORE accuracy vs delta* (USC-HAD)");
+  CsvWriter csv(results_path("fig5_threshold"),
+                {"delta_star", "accuracy", "ood_rate"});
+  std::vector<std::unique_ptr<SmoreModel>> models;
+  std::vector<HvDataset> tests;
+  for (int d = 0; d < domains; ++d) {
+    const Split fold = lodo_split(bundle.raw, d);
+    HvDataset train = bundle.encoded.select(fold.train);
+    HvDataset test = bundle.encoded.select(fold.test);
+    SmoreConfig sc;
+    sc.domain_model = hd;
+    auto model = std::make_unique<SmoreModel>(classes, dim, sc);
+    model->fit(train);
+    models.push_back(std::move(model));
+    tests.push_back(std::move(test));
+  }
+
+  TablePrinter table({"delta*", "LODO acc (%)", "OOD rate (%)"});
+  double best_acc = -1.0;
+  double best_delta = 0.0;
+  for (const double delta : sweep) {
+    double acc = 0.0;
+    double ood = 0.0;
+    for (int d = 0; d < domains; ++d) {
+      models[static_cast<std::size_t>(d)]->set_delta_star(delta);
+      acc += models[static_cast<std::size_t>(d)]->accuracy(
+          tests[static_cast<std::size_t>(d)]);
+      ood += models[static_cast<std::size_t>(d)]->ood_rate(
+          tests[static_cast<std::size_t>(d)]);
+    }
+    acc /= domains;
+    ood /= domains;
+    table.row({fmt(delta), fmt(100 * acc), fmt(100 * ood)});
+    csv.row_values(delta, acc, ood);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_delta = delta;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nBest delta* = %.2f (accuracy %.2f%%). Paper: interior optimum at "
+      "delta* ~ 0.65; the similarity scale depends on the encoder's common "
+      "component, so the optimum's location can shift while the shape — "
+      "plateau/peak then decay at large delta* — should match. (csv: %s)\n",
+      best_delta, 100 * best_acc, results_path("fig5_threshold").c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 7 — "Comparing Scalability Using Different Size of Data": training
+// time and inference time of TENT, MDANs and SMORE on PAMAP2 as the
+// training / inference data fraction sweeps {0.1 ... 0.9}. The paper's
+// points: SMORE grows sub-linearly and stays orders of magnitude below the
+// CNNs; CNN time grows considerably faster. Results:
+// results/fig7_scalability.csv.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "data/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/reporting.hpp"
+
+namespace {
+using namespace smore;
+using namespace smore::bench;
+
+constexpr std::array<Algo, 3> kAlgos{Algo::kTent, Algo::kMdans, Algo::kSmore};
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Figure 7 reproduction: train/inference time vs data fraction on "
+      "PAMAP2 for TENT, MDANs, SMORE.");
+  cli.flag_double("scale", 0.10, "base fraction of PAMAP2 sample counts")
+      .flag_bool("full", false, "paper scale")
+      .flag_int("dim", 2048, "hyperdimension")
+      .flag_int("hd_epochs", 15, "OnlineHD refinement epochs")
+      .flag_int("cnn_epochs", 5, "CNN training epochs")
+      .flag_string("fractions", "0.1,0.3,0.5,0.7,0.9", "data fractions")
+      .flag_int("held_out", 0, "LODO held-out domain for the sweep")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+  const bool full = cli.get_bool("full");
+  const double scale = full ? 1.0 : cli.get_double("scale");
+  const std::size_t dim =
+      full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int held = static_cast<int>(cli.get_int("held_out"));
+
+  std::vector<double> fractions;
+  {
+    const std::string list = cli.get_string("fractions");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      fractions.push_back(std::stod(list.substr(pos)));
+      const std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  SuiteConfig cfg;
+  cfg.dim = dim;
+  cfg.hd_epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  cfg.cnn_epochs = static_cast<int>(cli.get_int("cnn_epochs"));
+  cfg.seed = seed;
+
+  const EncodedBundle bundle = prepare(spec_by_name("PAMAP2", scale, seed), dim);
+  cfg.encode_seconds_per_sample = bundle.encode_seconds_per_sample;
+  const Split base_fold = lodo_split(bundle.raw, held);
+
+  CsvWriter csv(results_path("fig7_scalability"),
+                {"fraction", "algorithm", "train_seconds", "infer_seconds"});
+  print_banner("Figure 7: time vs data fraction (PAMAP2, domain " +
+               std::to_string(held + 1) + " held out)");
+  TablePrinter table({"fraction", "algorithm", "train (s)", "inference (s)"});
+
+  // Per-algorithm series for the growth-rate summary.
+  std::map<Algo, std::pair<double, double>> first_last_train;
+
+  for (const double frac : fractions) {
+    // Deterministic prefix subsets of the fold at this fraction.
+    Split fold;
+    Rng rng(seed ^ 0xf7ac);
+    std::vector<std::size_t> train_pool = base_fold.train;
+    std::vector<std::size_t> test_pool = base_fold.test;
+    rng.shuffle(train_pool);
+    rng.shuffle(test_pool);
+    const auto n_train = static_cast<std::size_t>(
+        frac * static_cast<double>(train_pool.size()));
+    const auto n_test = static_cast<std::size_t>(
+        frac * static_cast<double>(test_pool.size()));
+    fold.train.assign(train_pool.begin(),
+                      train_pool.begin() + static_cast<std::ptrdiff_t>(
+                                               std::max<std::size_t>(1, n_train)));
+    fold.test.assign(test_pool.begin(),
+                     test_pool.begin() + static_cast<std::ptrdiff_t>(
+                                             std::max<std::size_t>(1, n_test)));
+    std::sort(fold.train.begin(), fold.train.end());
+    std::sort(fold.test.begin(), fold.test.end());
+
+    for (const Algo algo : kAlgos) {
+      const AlgoRunResult r =
+          run_algorithm(algo, bundle.raw, bundle.encoded, fold, cfg);
+      table.row({fmt(frac, 1), algo_name(algo), fmt(r.train_seconds, 3),
+                 fmt(r.infer_seconds, 3)});
+      csv.row_values(frac, algo_name(algo), r.train_seconds, r.infer_seconds);
+      auto& fl = first_last_train[algo];
+      if (frac == fractions.front()) fl.first = r.train_seconds;
+      fl.second = r.train_seconds;
+    }
+    std::printf("  fraction %.1f done\n", frac);
+    std::fflush(stdout);
+  }
+  table.print();
+
+  print_banner("Growth from smallest to largest fraction (training time)");
+  TablePrinter growth({"algorithm", "growth factor", "note"});
+  for (const Algo algo : kAlgos) {
+    const auto& fl = first_last_train[algo];
+    growth.row({algo_name(algo), fmt_speedup(fl.second / std::max(fl.first, 1e-9)),
+                algo == Algo::kSmore ? "paper: sub-linear, smallest slope"
+                                     : "paper: grows considerably faster"});
+  }
+  growth.print();
+  std::printf("\n(csv: %s)\n", results_path("fig7_scalability").c_str());
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Microbenchmarks of the HDC primitives (google-benchmark): the operations
+// Sec 3.1 builds everything from — bundling, binding, permutation, cosine —
+// plus the full multi-sensor window encode and the three prediction paths
+// (OnlineHD argmax, SMORE Algorithm 1, materialized test-time model). These
+// quantify the "highly parallel and efficient operations" the paper credits
+// for its speedups, and the Gram-trick benefit documented in
+// core/test_time_model.hpp.
+
+#include <benchmark/benchmark.h>
+
+#include "core/smore.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/onlinehd.hpp"
+
+namespace {
+
+using namespace smore;
+
+Hypervector make_hv(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  return Hypervector::random_bipolar(dim, rng);
+}
+
+void BM_Bundle(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Hypervector acc(dim);
+  const Hypervector h = make_hv(dim, 1);
+  for (auto _ : state) {
+    acc += h;
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dim) * sizeof(float));
+}
+BENCHMARK(BM_Bundle)->Arg(2048)->Arg(8192);
+
+void BM_Bind(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Hypervector a = make_hv(dim, 1);
+  const Hypervector b = make_hv(dim, 2);
+  for (auto _ : state) {
+    a *= b;
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dim) * sizeof(float));
+}
+BENCHMARK(BM_Bind)->Arg(2048)->Arg(8192);
+
+void BM_Permute(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const Hypervector h = make_hv(dim, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(permute(h, 3));
+  }
+}
+BENCHMARK(BM_Permute)->Arg(2048)->Arg(8192);
+
+void BM_Cosine(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const Hypervector a = make_hv(dim, 1);
+  const Hypervector b = make_hv(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosine_similarity(a, b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dim) * 2 * sizeof(float));
+}
+BENCHMARK(BM_Cosine)->Arg(2048)->Arg(8192);
+
+void BM_EncodeWindow(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto channels = static_cast<std::size_t>(state.range(1));
+  SyntheticSpec spec = uschad_spec(0.001, 3);
+  spec.channels = channels;
+  const MultiChannelStream stream = generate_stream(spec, 0, 0, 126);
+  Window window(channels, 126);
+  for (std::size_t c = 0; c < channels; ++c) {
+    const auto src = stream.channel(c);
+    std::copy(src.begin(), src.end(), window.channel(c).begin());
+  }
+  EncoderConfig ec;
+  ec.dim = dim;
+  MultiSensorEncoder enc(ec);
+  enc.prepare(channels);
+  EncodeScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(window, scratch));
+  }
+}
+BENCHMARK(BM_EncodeWindow)
+    ->Args({2048, 6})
+    ->Args({8192, 6})
+    ->Args({2048, 45});
+
+struct PredictFixture {
+  HvDataset data{0};
+  std::unique_ptr<SmoreModel> smore;
+  std::unique_ptr<OnlineHDClassifier> pooled;
+
+  explicit PredictFixture(std::size_t dim) {
+    Rng rng(7);
+    const int classes = 12;
+    const int domains = 4;
+    data = HvDataset(dim);
+    std::vector<float> row(dim);
+    std::vector<Hypervector> protos;
+    for (int c = 0; c < classes; ++c) protos.push_back(make_hv(dim, 100 + c));
+    for (int d = 0; d < domains; ++d) {
+      for (int c = 0; c < classes; ++c) {
+        for (int i = 0; i < 12; ++i) {
+          for (std::size_t j = 0; j < dim; ++j) {
+            row[j] = protos[static_cast<std::size_t>(c)][j] +
+                     static_cast<float>(rng.normal(0.0, 0.5));
+          }
+          data.add(row, c, d);
+        }
+      }
+    }
+    OnlineHDConfig hd;
+    hd.epochs = 3;
+    smore = std::make_unique<SmoreModel>(classes, dim);
+    smore->fit(data);
+    pooled = std::make_unique<OnlineHDClassifier>(classes, dim);
+    pooled->fit(data, hd);
+  }
+};
+
+void BM_PredictOnlineHd(benchmark::State& state) {
+  static const PredictFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.pooled->predict(fx.data.row(i)));
+    i = (i + 1) % fx.data.size();
+  }
+}
+BENCHMARK(BM_PredictOnlineHd)->Arg(2048);
+
+void BM_PredictSmoreGramPath(benchmark::State& state) {
+  static const PredictFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.smore->predict(fx.data.row(i)));
+    i = (i + 1) % fx.data.size();
+  }
+}
+BENCHMARK(BM_PredictSmoreGramPath)->Arg(2048);
+
+void BM_PredictSmoreMaterialized(benchmark::State& state) {
+  static const PredictFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const TestTimeModel ttm =
+        fx.smore->materialize_test_time_model(fx.data.row(i));
+    benchmark::DoNotOptimize(ttm.predict(fx.data.row(i)));
+    i = (i + 1) % fx.data.size();
+  }
+}
+BENCHMARK(BM_PredictSmoreMaterialized)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

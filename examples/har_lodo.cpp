@@ -1,0 +1,103 @@
+// Human-activity-recognition LODO study: the paper's evaluation protocol on
+// one dataset, end to end, with per-domain detail — the workload its
+// introduction motivates (wearable HAR under subject shift).
+//
+// For the chosen dataset this example runs every leave-one-domain-out fold,
+// compares SMORE against the pooled BaselineHD-style model on the *same*
+// encoding, and prints per-class F1 for the hardest fold.
+//
+//   ./build/examples/har_lodo --dataset=USC-HAD --scale=0.03 --dim=2048
+
+#include <cstdio>
+
+#include "core/smore.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "eval/reporting.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/onlinehd.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smore;
+
+  CliParser cli("LODO human-activity-recognition study on one dataset.");
+  cli.flag_string("dataset", "USC-HAD", "DSADS | USC-HAD | PAMAP2")
+      .flag_double("scale", 0.05, "fraction of the paper's sample counts")
+      .flag_int("dim", 2048, "hyperdimension")
+      .flag_int("epochs", 15, "OnlineHD refinement epochs")
+      .flag_double("delta_star", 0.65, "SMORE OOD threshold")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string name = cli.get_string("dataset");
+  const double scale = cli.get_double("scale");
+  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  SyntheticSpec spec = name == "DSADS"    ? dsads_spec(scale, seed)
+                       : name == "PAMAP2" ? pamap2_spec(scale, seed)
+                                          : uschad_spec(scale, seed);
+  const WindowDataset raw = generate_dataset(spec);
+  std::printf("%s: %zu windows, %d activities, %d domains, %zu channels\n",
+              raw.name().c_str(), raw.size(), raw.num_classes(),
+              raw.num_domains(), raw.channels());
+
+  EncoderConfig ec;
+  ec.dim = dim;
+  ec.seed = seed;
+  const MultiSensorEncoder encoder(ec);
+  const HvDataset encoded = encoder.encode_dataset(raw);
+
+  OnlineHDConfig hd;
+  hd.epochs = static_cast<int>(cli.get_int("epochs"));
+  hd.seed = seed;
+
+  TablePrinter table({"held-out", "pooled acc (%)", "SMORE acc (%)",
+                      "SMORE OOD rate (%)", "macro-F1 (%)"});
+  double worst_acc = 2.0;
+  int worst_domain = 0;
+  ConfusionMatrix worst_cm(raw.num_classes());
+
+  for (int d = 0; d < raw.num_domains(); ++d) {
+    const Split fold = lodo_split(raw, d);
+    const HvDataset train = encoded.select(fold.train);
+    const HvDataset test = encoded.select(fold.test);
+
+    OnlineHDClassifier pooled(raw.num_classes(), dim);
+    pooled.fit(train, hd);
+
+    SmoreConfig sc;
+    sc.delta_star = cli.get_double("delta_star");
+    sc.domain_model = hd;
+    SmoreModel model(raw.num_classes(), dim, sc);
+    model.fit(train);
+
+    ConfusionMatrix cm(raw.num_classes());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      cm.record(test.label(i), model.predict(test.row(i)));
+    }
+    const double acc = cm.accuracy();
+    table.row({"Domain " + std::to_string(d + 1),
+               fmt(100 * pooled.accuracy(test)), fmt(100 * acc),
+               fmt(100 * model.ood_rate(test)), fmt(100 * cm.macro_f1())});
+    if (acc < worst_acc) {
+      worst_acc = acc;
+      worst_domain = d;
+      worst_cm = cm;
+    }
+  }
+  print_banner(name + " LODO results");
+  table.print();
+
+  print_banner("Per-class F1 on the hardest fold (domain " +
+               std::to_string(worst_domain + 1) + ")");
+  TablePrinter f1({"activity", "precision (%)", "recall (%)", "F1 (%)"});
+  for (int c = 0; c < raw.num_classes(); ++c) {
+    f1.row({"activity " + std::to_string(c), fmt(100 * worst_cm.precision(c)),
+            fmt(100 * worst_cm.recall(c)), fmt(100 * worst_cm.f1(c))});
+  }
+  f1.print();
+  return 0;
+}

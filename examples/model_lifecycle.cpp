@@ -1,0 +1,88 @@
+// Model lifecycle: train → save → reload → serve, plus binarized deployment.
+//
+// Walks the full production lifecycle of a SMORE model:
+//   1. train on source domains and persist the model to disk;
+//   2. reload it (as a gateway process would at boot) and verify the
+//      predictions are bit-identical;
+//   3. sign-quantize the per-domain models for MCU-class deployment and
+//      report the footprint/accuracy trade (extension beyond the paper,
+//      DESIGN.md §6).
+//
+//   ./build/examples/model_lifecycle --model=/tmp/smore.bin
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/smore.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/binary.hpp"
+#include "hdc/encoder.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smore;
+
+  CliParser cli("SMORE model lifecycle: train, save, reload, binarize.");
+  cli.flag_string("model", "/tmp/smore_model.bin", "model file path")
+      .flag_int("dim", 2048, "hyperdimension")
+      .flag_double("scale", 0.02, "dataset scale")
+      .flag_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const std::string path = cli.get_string("model");
+
+  // Train on a USC-HAD-like problem with one domain held out.
+  const SyntheticSpec spec =
+      uschad_spec(cli.get_double("scale"),
+                  static_cast<std::uint64_t>(cli.get_int("seed")));
+  const WindowDataset raw = generate_dataset(spec);
+  EncoderConfig ec;
+  ec.dim = dim;
+  const MultiSensorEncoder encoder(ec);
+  const HvDataset encoded = encoder.encode_dataset(raw);
+  const Split fold = lodo_split(raw, raw.num_domains() - 1);
+  const HvDataset train = encoded.select(fold.train);
+  const HvDataset test = encoded.select(fold.test);
+
+  SmoreModel model(raw.num_classes(), dim);
+  model.fit(train);
+  const double acc_before = model.accuracy(test);
+  std::printf("[train]  %zu domains, held-out accuracy %.2f%%\n",
+              model.num_domains(), 100 * acc_before);
+
+  // Save.
+  {
+    std::ofstream out(path, std::ios::binary);
+    model.save(out);
+  }
+  std::printf("[save]   %s\n", path.c_str());
+
+  // Reload and verify bit-identical behaviour.
+  std::ifstream in(path, std::ios::binary);
+  const SmoreModel reloaded = SmoreModel::load(in);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    mismatches +=
+        reloaded.predict(test.row(i)) != model.predict(test.row(i)) ? 1 : 0;
+  }
+  std::printf("[reload] accuracy %.2f%%, prediction mismatches vs original: "
+              "%zu (must be 0)\n",
+              100 * reloaded.accuracy(test), mismatches);
+
+  // Binarize each domain model for MCU-class deployment.
+  std::printf("[binarize] per-domain models, sign-quantized:\n");
+  for (std::size_t k = 0; k < model.num_domains(); ++k) {
+    const OnlineHDClassifier& domain_model = model.domain_model(k);
+    const BinaryModel binary(domain_model);
+    const double full = domain_model.accuracy(test);
+    const double quant = binary.accuracy(test);
+    const std::size_t full_bytes = static_cast<std::size_t>(
+        domain_model.num_classes()) * domain_model.dim() * sizeof(float);
+    std::printf("  domain %zu: %6.1f KiB -> %5.1f KiB (32x), held-out acc "
+                "%.1f%% -> %.1f%%\n",
+                k, full_bytes / 1024.0, binary.footprint_bytes() / 1024.0,
+                100 * full, 100 * quant);
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+#include "baselines/cnn_backbone.hpp"
+
+#include <stdexcept>
+
+namespace smore {
+
+std::vector<nn::BatchNorm*> build_feature_extractor(nn::Sequential& net,
+                                                    const BackboneConfig& cfg,
+                                                    Rng& rng) {
+  std::vector<nn::BatchNorm*> bns;
+  net.emplace<nn::Conv1D>(cfg.in_channels, cfg.conv1_filters, cfg.kernel,
+                          std::size_t{1}, rng);
+  bns.push_back(&net.emplace<nn::BatchNorm>(cfg.conv1_filters));
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Conv1D>(cfg.conv1_filters, cfg.conv2_filters, cfg.kernel,
+                          cfg.conv2_stride, rng);
+  bns.push_back(&net.emplace<nn::BatchNorm>(cfg.conv2_filters));
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::GlobalAvgPool1D>();
+  return bns;
+}
+
+nn::Tensor windows_to_tensor(const WindowDataset& data,
+                             const std::vector<std::size_t>& indices) {
+  if (indices.empty()) {
+    throw std::invalid_argument("windows_to_tensor: no windows selected");
+  }
+  nn::Tensor x =
+      nn::Tensor::cube(indices.size(), data.channels(), data.steps());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Window& w = data[indices[i]];
+    for (std::size_t c = 0; c < data.channels(); ++c) {
+      const auto src = w.channel(c);
+      float* dst = x.data() + (i * data.channels() + c) * data.steps();
+      std::copy(src.begin(), src.end(), dst);
+    }
+  }
+  return x;
+}
+
+nn::Tensor windows_to_tensor(const WindowDataset& data) {
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return windows_to_tensor(data, all);
+}
+
+std::vector<int> labels_of(const WindowDataset& data,
+                           const std::vector<std::size_t>& indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(data[i].label());
+  return out;
+}
+
+std::vector<int> domains_of(const WindowDataset& data,
+                            const std::vector<std::size_t>& indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(data[i].domain());
+  return out;
+}
+
+nn::Tensor gather_rows(const nn::Tensor& x,
+                       const std::vector<std::size_t>& rows) {
+  if (x.rank() != 2) {
+    throw std::invalid_argument("gather_rows: expected a matrix");
+  }
+  const std::size_t cols = x.dim(1);
+  nn::Tensor out = nn::Tensor::matrix(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* src = x.data() + rows[i] * cols;
+    std::copy(src, src + cols, out.data() + i * cols);
+  }
+  return out;
+}
+
+void scatter_add_rows(const nn::Tensor& grad_rows,
+                      const std::vector<std::size_t>& rows,
+                      nn::Tensor& grad_x) {
+  if (grad_rows.rank() != 2 || grad_x.rank() != 2 ||
+      grad_rows.dim(1) != grad_x.dim(1) || grad_rows.dim(0) != rows.size()) {
+    throw std::invalid_argument("scatter_add_rows: shape mismatch");
+  }
+  const std::size_t cols = grad_x.dim(1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* src = grad_rows.data() + i * cols;
+    float* dst = grad_x.data() + rows[i] * cols;
+    for (std::size_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+}
+
+}  // namespace smore

@@ -1,0 +1,55 @@
+#pragma once
+// Shared CNN backbone and data adapters for the DL-based DA baselines.
+//
+// Both TENT and MDANs run on the same small 1-D CNN feature extractor
+// (two Conv-BN-ReLU blocks + global average pooling), which mirrors the
+// compact CNNs used for wearable HAR and keeps the comparison about the
+// *adaptation algorithm*, not the backbone capacity.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/timeseries.hpp"
+#include "nn/network.hpp"
+
+namespace smore {
+
+/// Feature-extractor dimensions.
+struct BackboneConfig {
+  std::size_t in_channels = 6;   ///< sensor channel count of the dataset
+  std::size_t conv1_filters = 32;
+  std::size_t conv2_filters = 48;
+  std::size_t kernel = 5;
+  std::size_t conv2_stride = 2;  ///< temporal downsampling in block 2
+};
+
+/// Append Conv-BN-ReLU ×2 + GlobalAvgPool to `net`; output is
+/// [B, conv2_filters]. Returns the two BatchNorm layers (TENT's handles).
+std::vector<nn::BatchNorm*> build_feature_extractor(nn::Sequential& net,
+                                                    const BackboneConfig& cfg,
+                                                    Rng& rng);
+
+/// Pack the selected windows into a [B, channels, steps] tensor.
+[[nodiscard]] nn::Tensor windows_to_tensor(
+    const WindowDataset& data, const std::vector<std::size_t>& indices);
+
+/// Pack every window of `data`.
+[[nodiscard]] nn::Tensor windows_to_tensor(const WindowDataset& data);
+
+/// Labels of the selected windows.
+[[nodiscard]] std::vector<int> labels_of(const WindowDataset& data,
+                                         const std::vector<std::size_t>& indices);
+
+/// Domain ids of the selected windows.
+[[nodiscard]] std::vector<int> domains_of(
+    const WindowDataset& data, const std::vector<std::size_t>& indices);
+
+/// Gather rows of a [B, F] matrix into a new [|rows|, F] matrix.
+[[nodiscard]] nn::Tensor gather_rows(const nn::Tensor& x,
+                                     const std::vector<std::size_t>& rows);
+
+/// grad_x[rows[i], :] += grad_rows[i, :] — the inverse of gather_rows.
+void scatter_add_rows(const nn::Tensor& grad_rows,
+                      const std::vector<std::size_t>& rows, nn::Tensor& grad_x);
+
+}  // namespace smore

@@ -1,0 +1,255 @@
+#include "baselines/mdan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smore {
+
+namespace {
+
+nn::Tensor gather_batch_3d(const nn::Tensor& x,
+                           const std::vector<std::size_t>& rows) {
+  const std::size_t c = x.dim(1);
+  const std::size_t t = x.dim(2);
+  nn::Tensor out = nn::Tensor::cube(rows.size(), c, t);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(x.data() + rows[i] * c * t, x.data() + (rows[i] + 1) * c * t,
+              out.data() + i * c * t);
+  }
+  return out;
+}
+
+/// Stack two [B, C, T] tensors along the batch axis.
+nn::Tensor concat_batch(const nn::Tensor& a, const nn::Tensor& b) {
+  nn::Tensor out = nn::Tensor::cube(a.dim(0) + b.dim(0), a.dim(1), a.dim(2));
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+}  // namespace
+
+MdanClassifier::MdanClassifier(const MdanConfig& config) : config_(config) {
+  if (config.num_classes <= 0 || config.num_source_domains <= 0) {
+    throw std::invalid_argument("Mdan: class/domain counts must be positive");
+  }
+  Rng rng(config.seed);
+  build_feature_extractor(features_, config.backbone, rng);
+  label_head_.emplace<nn::Dense>(config.backbone.conv2_filters,
+                                 static_cast<std::size_t>(config.num_classes),
+                                 rng);
+  for (int k = 0; k < config.num_source_domains; ++k) {
+    auto disc = std::make_unique<nn::Sequential>();
+    disc->emplace<nn::GradReversal>(config.grl_lambda);
+    disc->emplace<nn::Dense>(config.backbone.conv2_filters, config.disc_hidden,
+                             rng);
+    disc->emplace<nn::ReLU>();
+    disc->emplace<nn::Dense>(config.disc_hidden, std::size_t{2}, rng);
+    discriminators_.push_back(std::move(disc));
+  }
+}
+
+nn::Tensor MdanClassifier::features(const nn::Tensor& x, bool training) {
+  return features_.forward(x, training);
+}
+
+std::vector<MdanEpochStats> MdanClassifier::fit(
+    const nn::Tensor& x_src, const std::vector<int>& y_src,
+    const std::vector<int>& src_domains, const nn::Tensor& x_target) {
+  if (x_src.rank() != 3 || x_src.dim(0) != y_src.size() ||
+      y_src.size() != src_domains.size()) {
+    throw std::invalid_argument("Mdan::fit: source shape mismatch");
+  }
+  if (x_target.rank() != 3 || x_target.dim(1) != x_src.dim(1) ||
+      x_target.dim(2) != x_src.dim(2)) {
+    throw std::invalid_argument("Mdan::fit: target shape mismatch");
+  }
+  const std::size_t n_src = x_src.dim(0);
+  const std::size_t n_tgt = x_target.dim(0);
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min<std::size_t>(config_.batch_size, n_src));
+
+  // One optimizer over every trainable parameter.
+  std::vector<nn::Param*> all_params = features_.params();
+  for (nn::Param* p : label_head_.params()) all_params.push_back(p);
+  for (auto& d : discriminators_) {
+    for (nn::Param* p : d->params()) all_params.push_back(p);
+  }
+  nn::Adam optimizer(all_params, config_.learning_rate);
+
+  Rng rng(config_.seed ^ 0xada);
+  std::vector<std::size_t> src_order(n_src);
+  for (std::size_t i = 0; i < n_src; ++i) src_order[i] = i;
+  std::vector<std::size_t> tgt_order(n_tgt);
+  for (std::size_t i = 0; i < n_tgt; ++i) tgt_order[i] = i;
+
+  std::vector<MdanEpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(src_order);
+    rng.shuffle(tgt_order);
+    MdanEpochStats stats;
+    std::size_t steps = 0;
+    std::size_t tgt_cursor = 0;
+
+    for (std::size_t lo = 0; lo < n_src; lo += batch) {
+      const std::size_t hi = std::min(n_src, lo + batch);
+      const std::size_t bs = hi - lo;
+
+      // Assemble the joint batch: bs source rows followed by bs target rows
+      // (cycled); a single forward pass through F keeps the caches coherent.
+      std::vector<std::size_t> src_rows(src_order.begin() +
+                                            static_cast<std::ptrdiff_t>(lo),
+                                        src_order.begin() +
+                                            static_cast<std::ptrdiff_t>(hi));
+      std::vector<std::size_t> tgt_rows(bs);
+      for (std::size_t i = 0; i < bs; ++i) {
+        tgt_rows[i] = tgt_order[tgt_cursor];
+        tgt_cursor = (tgt_cursor + 1) % n_tgt;
+      }
+      const nn::Tensor xb = concat_batch(gather_batch_3d(x_src, src_rows),
+                                         gather_batch_3d(x_target, tgt_rows));
+
+      const nn::Tensor f = features_.forward(xb, /*training=*/true);
+      nn::Tensor grad_f(f.shape());
+
+      // Label loss on the source half.
+      std::vector<std::size_t> src_half(bs);
+      for (std::size_t i = 0; i < bs; ++i) src_half[i] = i;
+      const nn::Tensor f_src = gather_rows(f, src_half);
+      std::vector<int> yb(bs);
+      for (std::size_t i = 0; i < bs; ++i) yb[i] = y_src[src_rows[i]];
+      const nn::Tensor logits = label_head_.forward(f_src, /*training=*/true);
+      const nn::LossResult label_loss = nn::cross_entropy(logits, yb);
+      stats.label_loss += label_loss.value;
+      stats.train_accuracy += nn::logits_accuracy(logits, yb);
+      scatter_add_rows(label_head_.backward(label_loss.grad), src_half, grad_f);
+
+      // Adversarial loss per discriminator: rows of source domain k vs the
+      // target half. The GradReversal inside each head flips the feature
+      // gradient, so a plain scatter-add implements the minimax update.
+      for (int k = 0; k < config_.num_source_domains; ++k) {
+        std::vector<std::size_t> rows;
+        std::vector<int> dom_labels;
+        for (std::size_t i = 0; i < bs; ++i) {
+          if (src_domains[src_rows[i]] == k) {
+            rows.push_back(i);
+            dom_labels.push_back(1);
+          }
+        }
+        if (rows.empty()) continue;  // no domain-k rows in this batch
+        for (std::size_t i = 0; i < bs; ++i) {
+          rows.push_back(bs + i);  // target half
+          dom_labels.push_back(0);
+        }
+        const nn::Tensor f_k = gather_rows(f, rows);
+        const nn::Tensor d_logits =
+            discriminators_[static_cast<std::size_t>(k)]->forward(
+                f_k, /*training=*/true);
+        nn::LossResult d_loss = nn::cross_entropy(d_logits, dom_labels);
+        stats.domain_loss += d_loss.value;
+        for (std::size_t i = 0; i < d_loss.grad.size(); ++i) {
+          d_loss.grad[i] *= config_.mu;
+        }
+        scatter_add_rows(
+            discriminators_[static_cast<std::size_t>(k)]->backward(d_loss.grad),
+            rows, grad_f);
+      }
+
+      features_.backward(grad_f);
+      optimizer.step();
+      ++steps;
+    }
+
+    if (steps > 0) {
+      stats.label_loss /= static_cast<double>(steps);
+      stats.domain_loss /= static_cast<double>(steps);
+      stats.train_accuracy /= static_cast<double>(steps);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+std::vector<int> MdanClassifier::predict(const nn::Tensor& x) {
+  const std::size_t n = x.dim(0);
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min<std::size_t>(config_.batch_size * 2, n));
+  std::vector<int> out;
+  out.reserve(n);
+  std::vector<std::size_t> rows;
+  for (std::size_t lo = 0; lo < n; lo += batch) {
+    const std::size_t hi = std::min(n, lo + batch);
+    rows.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) rows[i - lo] = i;
+    const nn::Tensor f =
+        features_.forward(gather_batch_3d(x, rows), /*training=*/false);
+    const nn::Tensor logits = label_head_.forward(f, /*training=*/false);
+    for (std::size_t b = 0; b < hi - lo; ++b) {
+      const float* row = logits.data() + b * logits.dim(1);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.dim(1); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      out.push_back(static_cast<int>(best));
+    }
+  }
+  return out;
+}
+
+double MdanClassifier::evaluate(const nn::Tensor& x, const std::vector<int>& y) {
+  const std::vector<int> pred = predict(x);
+  if (pred.size() != y.size()) {
+    throw std::invalid_argument("Mdan::evaluate: label arity mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == y[i] ? 1 : 0;
+  }
+  return y.empty() ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+double MdanClassifier::discriminator_accuracy(
+    int k, const nn::Tensor& x_src, const std::vector<int>& src_domains,
+    const nn::Tensor& x_target) {
+  if (k < 0 || k >= config_.num_source_domains) {
+    throw std::invalid_argument("Mdan: discriminator index out of range");
+  }
+  std::vector<std::size_t> src_rows;
+  for (std::size_t i = 0; i < src_domains.size(); ++i) {
+    if (src_domains[i] == k) src_rows.push_back(i);
+  }
+  if (src_rows.empty() || x_target.dim(0) == 0) return 0.0;
+
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  auto score = [&](const nn::Tensor& x, const std::vector<std::size_t>& rows,
+                   int domain_label) {
+    const nn::Tensor f =
+        features_.forward(gather_batch_3d(x, rows), /*training=*/false);
+    const nn::Tensor logits =
+        discriminators_[static_cast<std::size_t>(k)]->forward(
+            f, /*training=*/false);
+    for (std::size_t b = 0; b < rows.size(); ++b) {
+      const float* row = logits.data() + b * 2;
+      const int pred = row[1] > row[0] ? 1 : 0;
+      correct += pred == domain_label ? 1 : 0;
+      ++total;
+    }
+  };
+  score(x_src, src_rows, 1);
+  std::vector<std::size_t> tgt_rows(x_target.dim(0));
+  for (std::size_t i = 0; i < tgt_rows.size(); ++i) tgt_rows[i] = i;
+  score(x_target, tgt_rows, 0);
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::size_t MdanClassifier::param_count() {
+  std::size_t n = features_.param_count() + label_head_.param_count();
+  for (auto& d : discriminators_) n += d->param_count();
+  return n;
+}
+
+}  // namespace smore

@@ -1,0 +1,183 @@
+#include "baselines/tent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smore {
+
+namespace {
+
+/// Slice rows [lo, hi) of a [B, C, T] tensor.
+nn::Tensor slice_batch(const nn::Tensor& x, std::size_t lo, std::size_t hi) {
+  const std::size_t c = x.dim(1);
+  const std::size_t t = x.dim(2);
+  nn::Tensor out = nn::Tensor::cube(hi - lo, c, t);
+  std::copy(x.data() + lo * c * t, x.data() + hi * c * t, out.data());
+  return out;
+}
+
+/// Gather rows by index of a [B, C, T] tensor.
+nn::Tensor gather_batch(const nn::Tensor& x,
+                        const std::vector<std::size_t>& rows, std::size_t lo,
+                        std::size_t hi) {
+  const std::size_t c = x.dim(1);
+  const std::size_t t = x.dim(2);
+  nn::Tensor out = nn::Tensor::cube(hi - lo, c, t);
+  for (std::size_t i = lo; i < hi; ++i) {
+    std::copy(x.data() + rows[i] * c * t, x.data() + (rows[i] + 1) * c * t,
+              out.data() + (i - lo) * c * t);
+  }
+  return out;
+}
+
+}  // namespace
+
+TentClassifier::TentClassifier(const TentConfig& config) : config_(config) {
+  if (config.num_classes <= 0) {
+    throw std::invalid_argument("Tent: num_classes must be positive");
+  }
+  Rng rng(config.seed);
+  bn_layers_ = build_feature_extractor(net_, config.backbone, rng);
+  net_.emplace<nn::Dense>(config.backbone.conv2_filters,
+                          static_cast<std::size_t>(config.num_classes), rng);
+}
+
+nn::Tensor TentClassifier::forward_logits(const nn::Tensor& x, bool training) {
+  return net_.forward(x, training);
+}
+
+std::vector<double> TentClassifier::fit(const nn::Tensor& x,
+                                        const std::vector<int>& y) {
+  if (x.rank() != 3 || x.dim(0) != y.size()) {
+    throw std::invalid_argument("Tent::fit: shape/label mismatch");
+  }
+  const std::size_t n = x.dim(0);
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min<std::size_t>(config_.batch_size, n));
+
+  nn::Adam optimizer(net_.params(), config_.learning_rate);
+  Rng rng(config_.seed ^ 0xf17);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::vector<double> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double correct = 0.0;
+    for (std::size_t lo = 0; lo < n; lo += batch) {
+      const std::size_t hi = std::min(n, lo + batch);
+      const nn::Tensor xb = gather_batch(x, order, lo, hi);
+      std::vector<int> yb;
+      yb.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) yb.push_back(y[order[i]]);
+
+      const nn::Tensor logits = forward_logits(xb, /*training=*/true);
+      const nn::LossResult loss = nn::cross_entropy(logits, yb);
+      correct += nn::logits_accuracy(logits, yb) * static_cast<double>(hi - lo);
+      net_.backward(loss.grad);
+      optimizer.step();
+    }
+    history.push_back(correct / static_cast<double>(n));
+  }
+  return history;
+}
+
+std::vector<int> TentClassifier::predict(const nn::Tensor& x) {
+  const std::size_t n = x.dim(0);
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min<std::size_t>(config_.adapt_batch_size, n));
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t lo = 0; lo < n; lo += batch) {
+    const std::size_t hi = std::min(n, lo + batch);
+    const nn::Tensor logits =
+        forward_logits(slice_batch(x, lo, hi), /*training=*/false);
+    for (std::size_t b = 0; b < hi - lo; ++b) {
+      const float* row = logits.data() + b * logits.dim(1);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.dim(1); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      out.push_back(static_cast<int>(best));
+    }
+  }
+  return out;
+}
+
+double TentClassifier::evaluate(const nn::Tensor& x, const std::vector<int>& y) {
+  const std::vector<int> pred = predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == y[i] ? 1 : 0;
+  }
+  return y.empty() ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+TentEvalStats TentClassifier::evaluate_adaptive(const nn::Tensor& x,
+                                                const std::vector<int>& y) {
+  if (x.rank() != 3 || x.dim(0) != y.size()) {
+    throw std::invalid_argument("Tent::evaluate_adaptive: shape mismatch");
+  }
+  const std::size_t n = x.dim(0);
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min<std::size_t>(config_.adapt_batch_size, n));
+
+  // TENT normalizes with test-batch statistics...
+  for (nn::BatchNorm* bn : bn_layers_) bn->set_use_batch_stats_in_eval(true);
+  // ...and optimizes only the BN affine parameters.
+  std::vector<nn::Param*> affine;
+  for (nn::BatchNorm* bn : bn_layers_) {
+    affine.push_back(&bn->gamma());
+    affine.push_back(&bn->beta());
+  }
+  nn::Adam optimizer(affine, config_.adapt_learning_rate);
+
+  TentEvalStats stats;
+  std::size_t correct = 0;
+  double entropy_before = 0.0;
+  double entropy_after = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t lo = 0; lo < n; lo += batch) {
+    const std::size_t hi = std::min(n, lo + batch);
+    const nn::Tensor xb = slice_batch(x, lo, hi);
+
+    // Adaptation: entropy descent on this batch (unlabeled).
+    for (int step = 0; step < config_.adapt_steps; ++step) {
+      const nn::Tensor logits = forward_logits(xb, /*training=*/false);
+      const nn::LossResult ent = nn::entropy_loss(logits);
+      if (step == 0) entropy_before += ent.value;
+      // Zero every parameter gradient: backward fills conv/dense grads too,
+      // but only the BN affine params are stepped.
+      for (nn::Param* p : net_.params()) p->zero_grad();
+      net_.backward(ent.grad);
+      optimizer.step();
+    }
+
+    // Prediction with the adapted parameters.
+    const nn::Tensor logits = forward_logits(xb, /*training=*/false);
+    entropy_after += nn::entropy_loss(logits).value;
+    ++batches;
+    for (std::size_t b = 0; b < hi - lo; ++b) {
+      const float* row = logits.data() + b * logits.dim(1);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.dim(1); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      correct += static_cast<int>(best) == y[lo + b] ? 1 : 0;
+    }
+  }
+
+  for (nn::BatchNorm* bn : bn_layers_) bn->set_use_batch_stats_in_eval(false);
+
+  stats.accuracy = n == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(n);
+  stats.mean_entropy_before = batches == 0 ? 0.0 : entropy_before / batches;
+  stats.mean_entropy_after = batches == 0 ? 0.0 : entropy_after / batches;
+  return stats;
+}
+
+}  // namespace smore

@@ -1,0 +1,77 @@
+#pragma once
+// TENT: fully test-time adaptation by entropy minimization
+// (Wang et al., ICLR 2021) — CNN-based DA baseline of the paper.
+//
+// Source phase: train the CNN backbone + linear head with cross-entropy on
+// the pooled source domains. Test phase (the TENT part):
+//   * normalization statistics come from the *test batch* (not the running
+//     estimates);
+//   * for each test batch, take gradient steps on the prediction-entropy
+//     loss, updating ONLY the BatchNorm affine parameters (γ, β);
+//   * adaptation is online: the model keeps its adapted state across batches.
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/cnn_backbone.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace smore {
+
+/// TENT hyperparameters.
+struct TentConfig {
+  BackboneConfig backbone;
+  int num_classes = 2;
+  // source training
+  int epochs = 12;
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3f;  ///< Adam, source phase
+  // test-time adaptation
+  float adapt_learning_rate = 1e-3f;  ///< Adam on BN affine params
+  int adapt_steps = 1;                ///< entropy steps per test batch
+  std::size_t adapt_batch_size = 64;
+  std::uint64_t seed = 0x7e47;
+};
+
+/// The TENT classifier: a CNN that re-tunes its BatchNorm layers on
+/// unlabeled test batches by minimizing prediction entropy.
+struct TentEvalStats {
+  double accuracy = 0.0;
+  double mean_entropy_before = 0.0;  ///< entropy of unadapted predictions
+  double mean_entropy_after = 0.0;   ///< entropy after adaptation steps
+};
+
+class TentClassifier {
+ public:
+  explicit TentClassifier(const TentConfig& config);
+
+  /// Source training on pooled source-domain windows ([B, C, T] tensor +
+  /// integer labels). Returns per-epoch training accuracy.
+  std::vector<double> fit(const nn::Tensor& x, const std::vector<int>& y);
+
+  /// Plain (no-adaptation) prediction with running BN statistics.
+  [[nodiscard]] std::vector<int> predict(const nn::Tensor& x);
+
+  /// TENT inference over the test set: batch-wise entropy minimization on BN
+  /// affine parameters, online across batches. Labels are used only to score
+  /// accuracy, never for adaptation.
+  TentEvalStats evaluate_adaptive(const nn::Tensor& x,
+                                  const std::vector<int>& y);
+
+  /// Plain accuracy without adaptation (ablation reference).
+  [[nodiscard]] double evaluate(const nn::Tensor& x, const std::vector<int>& y);
+
+  /// Learnable scalar count (model-size reporting in the efficiency bench).
+  [[nodiscard]] std::size_t param_count() { return net_.param_count(); }
+
+ private:
+  nn::Tensor forward_logits(const nn::Tensor& x, bool training);
+
+  TentConfig config_;
+  nn::Sequential net_;
+  std::vector<nn::BatchNorm*> bn_layers_;
+};
+
+}  // namespace smore

@@ -1,0 +1,98 @@
+#include "core/domain_descriptor.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace smore {
+
+DomainDescriptorBank::DomainDescriptorBank(const HvDataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("DomainDescriptorBank: empty training set");
+  }
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    absorb(train.row(i), train.domain(i));
+  }
+}
+
+std::vector<double> DomainDescriptorBank::similarities(
+    std::span<const float> query) const {
+  std::vector<double> sims(descriptors_.size());
+  for (std::size_t k = 0; k < descriptors_.size(); ++k) {
+    const auto& u = descriptors_[k];
+    if (query.size() != u.dim()) {
+      throw std::invalid_argument(
+          "DomainDescriptorBank::similarities: dimension mismatch");
+    }
+    sims[k] = ops::cosine(query.data(), u.data(), u.dim());
+  }
+  return sims;
+}
+
+void DomainDescriptorBank::absorb(std::span<const float> hv, int domain_id) {
+  const auto it = std::find(ids_.begin(), ids_.end(), domain_id);
+  std::size_t k;
+  if (it == ids_.end()) {
+    // New domain: keep positions sorted by id so construction order does not
+    // matter (bit-for-bit reproducibility).
+    const auto pos = std::upper_bound(ids_.begin(), ids_.end(), domain_id);
+    k = static_cast<std::size_t>(pos - ids_.begin());
+    ids_.insert(pos, domain_id);
+    descriptors_.insert(descriptors_.begin() + static_cast<std::ptrdiff_t>(k),
+                        Hypervector(hv.size()));
+    counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(k), 0);
+  } else {
+    k = static_cast<std::size_t>(it - ids_.begin());
+  }
+  Hypervector& u = descriptors_[k];
+  if (u.dim() != hv.size()) {
+    throw std::invalid_argument("DomainDescriptorBank::absorb: dim mismatch");
+  }
+  ops::axpy(1.0f, hv.data(), u.data(), u.dim());
+  ++counts_[k];
+}
+
+void DomainDescriptorBank::save(std::ostream& out) const {
+  const std::uint64_t k = descriptors_.size();
+  const std::uint64_t d = dim();
+  out.write(reinterpret_cast<const char*>(&k), sizeof(k));
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  for (std::size_t i = 0; i < descriptors_.size(); ++i) {
+    const std::int32_t id = ids_[i];
+    const std::uint64_t count = counts_[i];
+    out.write(reinterpret_cast<const char*>(&id), sizeof(id));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(descriptors_[i].data()),
+              static_cast<std::streamsize>(sizeof(float) * d));
+  }
+}
+
+DomainDescriptorBank DomainDescriptorBank::load(std::istream& in) {
+  std::uint64_t k = 0;
+  std::uint64_t d = 0;
+  in.read(reinterpret_cast<char*>(&k), sizeof(k));
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  if (!in || (k > 0 && d == 0)) {
+    throw std::runtime_error("DomainDescriptorBank::load: corrupt header");
+  }
+  DomainDescriptorBank bank;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    std::int32_t id = 0;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&id), sizeof(id));
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    Hypervector hv(static_cast<std::size_t>(d));
+    in.read(reinterpret_cast<char*>(hv.data()),
+            static_cast<std::streamsize>(sizeof(float) * d));
+    if (!in) {
+      throw std::runtime_error("DomainDescriptorBank::load: truncated payload");
+    }
+    bank.ids_.push_back(id);
+    bank.counts_.push_back(static_cast<std::size_t>(count));
+    bank.descriptors_.push_back(std::move(hv));
+  }
+  return bank;
+}
+
+}  // namespace smore

@@ -1,0 +1,73 @@
+#pragma once
+// Domain descriptors (paper Sec 3.5.1).
+//
+// For each source domain k, the descriptor U_k = Σ_i H_i^k bundles every
+// encoded training sample of the domain. By the bundling property (Sec 3.1),
+// U_k stays cosine-similar to the samples that contributed to it and nearly
+// orthogonal to samples that did not — which is exactly what the OOD detector
+// and the test-time ensembling weights need.
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// The bank of K domain descriptors, built once during training.
+class DomainDescriptorBank {
+ public:
+  DomainDescriptorBank() = default;
+
+  /// Bundle the rows of `train` into one descriptor per distinct domain id
+  /// (ascending id order). Throws std::invalid_argument when `train` is empty.
+  explicit DomainDescriptorBank(const HvDataset& train);
+
+  /// Number of domains K.
+  [[nodiscard]] std::size_t size() const noexcept { return descriptors_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return descriptors_.empty(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return descriptors_.empty() ? 0 : descriptors_.front().dim();
+  }
+
+  /// Descriptor U_k by position (not domain id).
+  [[nodiscard]] const Hypervector& descriptor(std::size_t k) const {
+    return descriptors_.at(k);
+  }
+
+  /// Original domain id of position k (LODO training sets have a hole in the
+  /// id range, so positions and ids can differ).
+  [[nodiscard]] int domain_id(std::size_t k) const { return ids_.at(k); }
+  [[nodiscard]] const std::vector<int>& domain_ids() const noexcept {
+    return ids_;
+  }
+
+  /// Number of samples bundled into descriptor k.
+  [[nodiscard]] std::size_t sample_count(std::size_t k) const {
+    return counts_.at(k);
+  }
+
+  /// δ(query, U_k) for every k.
+  [[nodiscard]] std::vector<double> similarities(
+      std::span<const float> query) const;
+
+  /// Incremental construction (streaming/adaptation use cases): bundle one
+  /// more sample into the descriptor of `domain_id`, creating the descriptor
+  /// when the id is new. `dim` fixes the dimension on first use.
+  void absorb(std::span<const float> hv, int domain_id);
+
+  /// Binary serialization (descriptor count, ids, sample counts, raw
+  /// vectors). Format is stable within a library version.
+  void save(std::ostream& out) const;
+  static DomainDescriptorBank load(std::istream& in);
+
+ private:
+  std::vector<Hypervector> descriptors_;
+  std::vector<int> ids_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace smore

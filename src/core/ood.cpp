@@ -1,0 +1,40 @@
+#include "core/ood.hpp"
+
+namespace smore {
+
+namespace {
+void check_threshold(double delta_star) {
+  if (delta_star < -1.0 || delta_star > 1.0) {
+    throw std::invalid_argument(
+        "OodDetector: delta_star must lie in [-1, 1] (cosine range)");
+  }
+}
+}  // namespace
+
+OodDetector::OodDetector(double delta_star) : delta_star_(delta_star) {
+  check_threshold(delta_star);
+}
+
+void OodDetector::set_delta_star(double delta_star) {
+  check_threshold(delta_star);
+  delta_star_ = delta_star;
+}
+
+OodVerdict OodDetector::evaluate(std::span<const double> similarities) const {
+  if (similarities.empty()) {
+    throw std::invalid_argument("OodDetector::evaluate: no similarities");
+  }
+  OodVerdict v;
+  v.max_similarity = similarities[0];
+  v.best_domain = 0;
+  for (std::size_t k = 1; k < similarities.size(); ++k) {
+    if (similarities[k] > v.max_similarity) {
+      v.max_similarity = similarities[k];
+      v.best_domain = k;
+    }
+  }
+  v.is_ood = v.max_similarity < delta_star_;
+  return v;
+}
+
+}  // namespace smore

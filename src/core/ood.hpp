@@ -1,0 +1,39 @@
+#pragma once
+// Out-of-distribution detection (paper Sec 3.5.2, Algorithm 1 lines 1-2).
+//
+// A query is OOD when even its most similar source domain is below the
+// threshold δ*: max_k δ(Q, U_k) < δ*. δ* is the paper's single tunable
+// hyperparameter (Figure 5 sweeps it; the best value reported is ≈ 0.65).
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace smore {
+
+/// Verdict of the OOD detector for one query.
+struct OodVerdict {
+  bool is_ood = false;
+  double max_similarity = 0.0;  ///< δ_max over all domain descriptors
+  std::size_t best_domain = 0;  ///< argmax position
+};
+
+/// Thresholding detector over domain-descriptor similarities.
+class OodDetector {
+ public:
+  /// Throws std::invalid_argument when `delta_star` is outside [-1, 1].
+  explicit OodDetector(double delta_star = 0.65);
+
+  [[nodiscard]] double delta_star() const noexcept { return delta_star_; }
+  void set_delta_star(double delta_star);
+
+  /// Classify from precomputed descriptor similarities.
+  /// Throws std::invalid_argument when `similarities` is empty.
+  [[nodiscard]] OodVerdict evaluate(
+      std::span<const double> similarities) const;
+
+ private:
+  double delta_star_;
+};
+
+}  // namespace smore

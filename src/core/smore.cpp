@@ -1,0 +1,255 @@
+#include "core/smore.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace smore {
+
+SmoreModel::SmoreModel(int num_classes, std::size_t dim, SmoreConfig config)
+    : num_classes_(num_classes),
+      dim_(dim),
+      config_(config),
+      detector_(config.delta_star) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("SmoreModel: num_classes must be positive");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("SmoreModel: dim must be positive");
+  }
+}
+
+std::vector<double> SmoreModel::fit(const HvDataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("SmoreModel::fit: empty training set");
+  }
+  if (train.dim() != dim_) {
+    throw std::invalid_argument("SmoreModel::fit: dataset dimension mismatch");
+  }
+
+  // D: domain descriptors (bundles every sample per domain, sorted by id).
+  descriptors_ = DomainDescriptorBank(train);
+
+  // B + C: split by domain and train one model per domain.
+  models_.clear();
+  std::vector<double> final_accuracy;
+  for (std::size_t k = 0; k < descriptors_.size(); ++k) {
+    const int domain_id = descriptors_.domain_id(k);
+    const auto idx = train.indices_of_domain(domain_id);
+    const HvDataset domain_data = train.select(idx);
+
+    auto model = std::make_unique<OnlineHDClassifier>(num_classes_, dim_);
+    const auto history = model->fit(domain_data, config_.domain_model);
+    final_accuracy.push_back(history.empty() ? 0.0 : history.back());
+    models_.push_back(std::move(model));
+  }
+
+  // Precompute the Gram matrices for materialization-free ensembling.
+  rebuild_evaluator();
+
+  return final_accuracy;
+}
+
+void SmoreModel::rebuild_evaluator() const {
+  std::vector<const OnlineHDClassifier*> ptrs;
+  ptrs.reserve(models_.size());
+  for (const auto& m : models_) ptrs.push_back(m.get());
+  evaluator_ = std::make_unique<EnsembleEvaluator>(std::move(ptrs));
+  evaluator_stale_ = false;
+}
+
+void SmoreModel::absorb_labeled(std::span<const float> hv, int label,
+                                int domain_id) {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::absorb_labeled before fit");
+  }
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("absorb_labeled: dimension mismatch");
+  }
+  if (label < 0 || label >= num_classes_) {
+    throw std::invalid_argument("absorb_labeled: label out of range");
+  }
+  // Locate (or create) the domain model at the position matching the
+  // descriptor bank's sorted-id order.
+  const auto& ids = descriptors_.domain_ids();
+  const auto it = std::lower_bound(ids.begin(), ids.end(), domain_id);
+  std::size_t pos = static_cast<std::size_t>(it - ids.begin());
+  if (it == ids.end() || *it != domain_id) {
+    models_.insert(models_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::make_unique<OnlineHDClassifier>(num_classes_, dim_));
+  }
+  descriptors_.absorb(hv, domain_id);  // keeps its own sorted order
+  models_[pos]->bootstrap(hv, label);
+  models_[pos]->refine(hv, label, config_.domain_model.learning_rate);
+  evaluator_stale_ = true;
+}
+
+std::vector<double> SmoreModel::weights_for(std::span<const float> /*hv*/,
+                                            const OodVerdict& verdict,
+                                            std::span<const double> sims) const {
+  return ensemble_weights(sims, detector_.delta_star(), verdict.is_ood,
+                          config_.weight_mode);
+}
+
+SmorePrediction SmoreModel::predict_detail(std::span<const float> hv) const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::predict before fit");
+  }
+  SmorePrediction out;
+  // E: OOD detection from descriptor similarities (Algorithm 1 lines 1-2).
+  out.domain_similarity = descriptors_.similarities(hv);
+  const OodVerdict verdict = detector_.evaluate(out.domain_similarity);
+  out.is_ood = verdict.is_ood;
+  out.max_similarity = verdict.max_similarity;
+
+  // F: ensemble weights (lines 3-6).
+  out.weights = weights_for(hv, verdict, out.domain_similarity);
+
+  // G: argmax over ensembled class hypervectors (line 7).
+  if (evaluator_stale_) rebuild_evaluator();
+  out.label = evaluator_->predict(hv, out.weights);
+  return out;
+}
+
+int SmoreModel::predict(std::span<const float> hv) const {
+  return predict_detail(hv).label;
+}
+
+double SmoreModel::accuracy(const HvDataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double SmoreModel::ood_rate(const HvDataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto sims = descriptors_.similarities(data.row(i));
+    flagged += detector_.evaluate(sims).is_ood ? 1 : 0;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(data.size());
+}
+
+void SmoreModel::set_delta_star(double delta_star) {
+  detector_.set_delta_star(delta_star);
+  config_.delta_star = delta_star;
+}
+
+double SmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
+                                        double target_ood_rate) {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::calibrate_delta_star before fit");
+  }
+  if (in_distribution.empty()) {
+    throw std::invalid_argument("calibrate_delta_star: empty calibration set");
+  }
+  if (target_ood_rate < 0.0 || target_ood_rate > 1.0) {
+    throw std::invalid_argument("calibrate_delta_star: rate outside [0, 1]");
+  }
+  std::vector<double> max_sims;
+  max_sims.reserve(in_distribution.size());
+  for (std::size_t i = 0; i < in_distribution.size(); ++i) {
+    const auto sims = descriptors_.similarities(in_distribution.row(i));
+    max_sims.push_back(detector_.evaluate(sims).max_similarity);
+  }
+  std::sort(max_sims.begin(), max_sims.end());
+  // δ* at the target quantile: samples strictly below it are flagged OOD.
+  const auto idx = static_cast<std::size_t>(
+      target_ood_rate * static_cast<double>(max_sims.size()));
+  const double delta =
+      max_sims[std::min(idx, max_sims.size() - 1)];
+  set_delta_star(std::clamp(delta, -1.0, 1.0));
+  return config_.delta_star;
+}
+
+namespace {
+constexpr std::uint32_t kSmoreMagic = 0x534d4f52;  // "SMOR"
+constexpr std::uint32_t kSmoreVersion = 1;
+}  // namespace
+
+void SmoreModel::save(std::ostream& out) const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::save before fit");
+  }
+  out.write(reinterpret_cast<const char*>(&kSmoreMagic), sizeof(kSmoreMagic));
+  out.write(reinterpret_cast<const char*>(&kSmoreVersion),
+            sizeof(kSmoreVersion));
+  const std::int32_t classes = num_classes_;
+  const std::uint64_t dim = dim_;
+  const double delta = config_.delta_star;
+  const std::int32_t mode = static_cast<std::int32_t>(config_.weight_mode);
+  const std::uint64_t domains = models_.size();
+  out.write(reinterpret_cast<const char*>(&classes), sizeof(classes));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&delta), sizeof(delta));
+  out.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
+  out.write(reinterpret_cast<const char*>(&domains), sizeof(domains));
+  for (const auto& model : models_) model->save(out);
+  descriptors_.save(out);
+}
+
+SmoreModel SmoreModel::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != kSmoreMagic || version != kSmoreVersion) {
+    throw std::runtime_error("SmoreModel::load: bad magic/version");
+  }
+  std::int32_t classes = 0;
+  std::uint64_t dim = 0;
+  double delta = 0.0;
+  std::int32_t mode = 0;
+  std::uint64_t domains = 0;
+  in.read(reinterpret_cast<char*>(&classes), sizeof(classes));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&delta), sizeof(delta));
+  in.read(reinterpret_cast<char*>(&mode), sizeof(mode));
+  in.read(reinterpret_cast<char*>(&domains), sizeof(domains));
+  if (!in || classes <= 0 || dim == 0) {
+    throw std::runtime_error("SmoreModel::load: corrupt header");
+  }
+  SmoreConfig config;
+  config.delta_star = delta;
+  config.weight_mode = static_cast<WeightMode>(mode);
+  SmoreModel model(classes, static_cast<std::size_t>(dim), config);
+  for (std::uint64_t k = 0; k < domains; ++k) {
+    auto m = std::make_unique<OnlineHDClassifier>(OnlineHDClassifier::load(in));
+    if (m->num_classes() != classes || m->dim() != dim) {
+      throw std::runtime_error("SmoreModel::load: inconsistent domain model");
+    }
+    model.models_.push_back(std::move(m));
+  }
+  model.descriptors_ = DomainDescriptorBank::load(in);
+  if (model.descriptors_.size() != model.models_.size()) {
+    throw std::runtime_error("SmoreModel::load: descriptor/model mismatch");
+  }
+  if (!model.models_.empty()) {
+    std::vector<const OnlineHDClassifier*> ptrs;
+    ptrs.reserve(model.models_.size());
+    for (const auto& m : model.models_) ptrs.push_back(m.get());
+    model.evaluator_ = std::make_unique<EnsembleEvaluator>(std::move(ptrs));
+  }
+  return model;
+}
+
+TestTimeModel SmoreModel::materialize_test_time_model(
+    std::span<const float> hv) const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::materialize before fit");
+  }
+  const auto sims = descriptors_.similarities(hv);
+  const OodVerdict verdict = detector_.evaluate(sims);
+  const auto weights = weights_for(hv, verdict, sims);
+  std::vector<const OnlineHDClassifier*> ptrs;
+  ptrs.reserve(models_.size());
+  for (const auto& m : models_) ptrs.push_back(m.get());
+  return TestTimeModel(ptrs, weights);
+}
+
+}  // namespace smore

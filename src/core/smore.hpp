@@ -1,0 +1,149 @@
+#pragma once
+// SMORE: similarity-based hyperdimensional domain adaptation — the paper's
+// primary contribution (Sec 3.2-3.6, Figure 2, Algorithm 1).
+//
+// Training (fit):
+//   B  split encoded samples by domain;
+//   C  train one OnlineHD domain-specific model M_k per source domain;
+//   D  bundle per-domain descriptors U_k = Σ_i H_i^k.
+// Inference (predict):
+//   E  OOD detection: δ_max = max_k δ(Q, U_k); OOD iff δ_max < δ*;
+//   F  test-time model M_T = Σ_k w_k M_k with w from the similarities
+//      (all domains when OOD, only domains with δ_k ≥ δ* otherwise);
+//   G  label = argmax_c δ(Q, C_c^T).
+//
+// The encoder is deliberately *outside* this class: SMORE consumes encoded
+// HvDatasets, so a dataset is encoded once and shared across folds,
+// algorithms, and ablations.
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/domain_descriptor.hpp"
+#include "core/ood.hpp"
+#include "core/test_time_model.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "hdc/onlinehd.hpp"
+
+namespace smore {
+
+/// SMORE hyperparameters.
+struct SmoreConfig {
+  double delta_star = 0.65;  ///< OOD threshold δ* (paper Fig. 5 optimum)
+  OnlineHDConfig domain_model;  ///< per-domain OnlineHD training parameters
+  WeightMode weight_mode = WeightMode::kStandardizedSoftmax;  ///< Eq. 3 variant
+};
+
+/// Per-query prediction detail (Algorithm 1 intermediate state), exposed for
+/// analysis benches and the streaming example.
+struct SmorePrediction {
+  int label = -1;
+  bool is_ood = false;
+  double max_similarity = 0.0;            ///< δ_max
+  std::vector<double> domain_similarity;  ///< δ(Q, U_k) for every k
+  std::vector<double> weights;            ///< ensemble weights used
+};
+
+/// The SMORE classifier.
+class SmoreModel {
+ public:
+  /// Throws std::invalid_argument when num_classes <= 0 or dim == 0.
+  SmoreModel(int num_classes, std::size_t dim, SmoreConfig config = {});
+
+  [[nodiscard]] const SmoreConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Train domain-specific models and descriptors on the encoded training
+  /// set. Requires at least one sample and at least one domain; the paper
+  /// assumes K > 1 source domains but K = 1 degrades gracefully to plain
+  /// OnlineHD. Returns per-domain final training accuracy.
+  std::vector<double> fit(const HvDataset& train);
+
+  /// Has fit() completed?
+  [[nodiscard]] bool trained() const noexcept { return !models_.empty(); }
+
+  /// Algorithm 1 for one encoded query.
+  [[nodiscard]] SmorePrediction predict_detail(std::span<const float> hv) const;
+
+  /// Predicted label only.
+  [[nodiscard]] int predict(std::span<const float> hv) const;
+
+  /// Fraction of `data` classified correctly.
+  [[nodiscard]] double accuracy(const HvDataset& data) const;
+
+  /// Fraction of `data` flagged OOD (paper's detector diagnostics).
+  [[nodiscard]] double ood_rate(const HvDataset& data) const;
+
+  /// Number of source domains K seen at fit time.
+  [[nodiscard]] std::size_t num_domains() const noexcept {
+    return models_.size();
+  }
+
+  /// Domain-specific model M_k by position (ascending domain id).
+  [[nodiscard]] const OnlineHDClassifier& domain_model(std::size_t k) const {
+    return *models_.at(k);
+  }
+
+  /// The descriptor bank U.
+  [[nodiscard]] const DomainDescriptorBank& descriptors() const noexcept {
+    return descriptors_;
+  }
+
+  /// Adjust δ* after training (Fig. 5 sweeps this without refitting).
+  void set_delta_star(double delta_star);
+
+  /// Calibrate δ* from in-distribution data: sets the threshold at the
+  /// `target_ood_rate` quantile of max-descriptor-similarity over
+  /// `in_distribution` (e.g. 0.05 = flag the 5% least typical training
+  /// samples), so the detector has a known false-positive budget — the
+  /// standard way to pick an OOD threshold in deployment. Returns the chosen
+  /// δ*. Throws std::logic_error before fit, std::invalid_argument for an
+  /// empty set or a rate outside [0, 1].
+  double calibrate_delta_star(const HvDataset& in_distribution,
+                              double target_ood_rate = 0.05);
+
+  /// Materialize the paper-literal test-time model for a query (used by
+  /// equivalence tests and for inspection; predict() itself uses the
+  /// Gram-accelerated path).
+  [[nodiscard]] TestTimeModel materialize_test_time_model(
+      std::span<const float> hv) const;
+
+  /// Continual learning (the "Model Update" box of the paper's Fig. 2):
+  /// absorb one labeled sample into the domain-specific model and descriptor
+  /// of `domain_id` after fit(), creating both when the domain is new — the
+  /// streaming complement to batch fit(). Uses the adaptive bootstrap rule
+  /// (C += (1-δ)·H) plus one Eq.-2 refinement step. The Gram acceleration
+  /// structures are refreshed lazily on the next prediction, so bursts of
+  /// updates cost one rebuild. Throws std::logic_error before fit(),
+  /// std::invalid_argument on bad label/dimension.
+  void absorb_labeled(std::span<const float> hv, int label, int domain_id);
+
+  /// Serialize the trained model (config, per-domain models, descriptors);
+  /// load() reconstructs a ready-to-predict model including the Gram
+  /// acceleration structures. Throws std::logic_error when untrained,
+  /// std::runtime_error on corrupt input.
+  void save(std::ostream& out) const;
+  static SmoreModel load(std::istream& in);
+
+ private:
+  [[nodiscard]] std::vector<double> weights_for(
+      std::span<const float> hv, const OodVerdict& verdict,
+      std::span<const double> sims) const;
+  void rebuild_evaluator() const;
+
+  int num_classes_;
+  std::size_t dim_;
+  SmoreConfig config_;
+  OodDetector detector_;
+  // unique_ptr keeps OnlineHDClassifier addresses stable for the evaluator.
+  std::vector<std::unique_ptr<OnlineHDClassifier>> models_;
+  DomainDescriptorBank descriptors_;
+  // Lazily rebuilt after continual updates (absorb_labeled marks it stale).
+  mutable std::unique_ptr<EnsembleEvaluator> evaluator_;
+  mutable bool evaluator_stale_ = false;
+};
+
+}  // namespace smore

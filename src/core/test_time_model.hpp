@@ -1,0 +1,113 @@
+#pragma once
+// Adaptive test-time modeling (paper Sec 3.6, Eq. 3).
+//
+// For a query Q the test-time model is a weighted ensemble of the K
+// domain-specific models:  M_T = Σ_k w_k · M_k, where w_k derives from the
+// descriptor similarities δ(Q, U_k) and the OOD verdict:
+//   * OOD query:            every domain participates, w_k = δ(Q, U_k);
+//   * in-distribution query: only domains with δ(Q, U_k) ≥ δ* participate
+//     (adding dissimilar domains would inject noise — Sec 3.6.2).
+//
+// Two implementations are provided:
+//   * TestTimeModel materializes the ensembled class hypervectors (the
+//     paper-literal formulation) — simple, used for verification;
+//   * EnsembleEvaluator computes the same argmax without materializing M_T:
+//     dot(Q, C_c^T) = Σ_k w_k dot(Q, C_c^k) and ‖C_c^T‖² = w^T G_c w with the
+//     per-class Gram matrices G_c[i][j] = <C_c^i, C_c^j> precomputed at fit
+//     time. Per query this trades the O(n·d) ensemble materialization (plus
+//     its allocation) for O(n·K²) Gram sums; the O(K·n·d) similarity dots
+//     dominate both paths, so wall-clock is comparable while the evaluator
+//     is allocation-free and skips zero-weight domains entirely. A property
+//     test pins both paths to identical argmax.
+
+#include <span>
+#include <vector>
+
+#include "hdc/onlinehd.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// How descriptor similarities become ensemble weights (ablation knob;
+/// the paper's Eq. 3 uses the raw similarities).
+///
+/// Eq. 3's raw weights are only as sharp as the similarity spread, and that
+/// spread depends on how much common component the encoder leaves in the
+/// encodings: bundled n-gram codes compress all cosines into a narrow band
+/// (e.g. 0.80-0.82), turning Eq. 3 into a near-uniform ensemble that lets
+/// dissimilar domains poison the prediction. kStandardizedSoftmax is the
+/// scale-free reading of the same idea: per query, similarities are
+/// z-scored across the K domains and exponentiated, so the *ranking and
+/// relative spread* decide the weights regardless of the encoder's
+/// similarity scale. It reduces toward uniform when all domains are equally
+/// similar and toward top-1 when one domain stands out — exactly Eq. 3's
+/// intent. Raw mode stays available and is ablated.
+enum class WeightMode {
+  kStandardizedSoftmax,  ///< w_k = exp(zscore_k(δ)) (default, scale-free)
+  kClampedSimilarity,    ///< w_k = max(δ_k, 0)
+  kRawSimilarity,        ///< w_k = δ_k  (paper-literal Eq. 3)
+  kSoftmax,              ///< w_k = exp(δ_k/τ) / Σ exp(δ_j/τ), τ = 0.1
+  kTopOne,               ///< winner-take-all: only the most similar domain
+};
+
+/// Compute ensemble weights from descriptor similarities per Algorithm 1.
+/// In the in-distribution case only domains with δ_k ≥ δ* keep weight; if the
+/// weight vector degenerates to all-zero, it falls back to uniform weights so
+/// the ensemble stays well-defined.
+[[nodiscard]] std::vector<double> ensemble_weights(
+    std::span<const double> similarities, double delta_star, bool is_ood,
+    WeightMode mode = WeightMode::kStandardizedSoftmax);
+
+/// Paper-literal materialized test-time model: n ensembled class hypervectors.
+class TestTimeModel {
+ public:
+  /// `models[k]` must all share class count and dimension; `weights` must
+  /// have the same arity. Throws std::invalid_argument otherwise.
+  TestTimeModel(std::span<const OnlineHDClassifier* const> models,
+                std::span<const double> weights);
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+
+  /// Ensembled class hypervector C_c^T.
+  [[nodiscard]] const Hypervector& class_vector(int c) const {
+    return classes_.at(static_cast<std::size_t>(c));
+  }
+
+  /// argmax_c δ(hv, C_c^T)  (Algorithm 1 line 7).
+  [[nodiscard]] int predict(std::span<const float> hv) const;
+
+ private:
+  std::vector<Hypervector> classes_;
+};
+
+/// Materialization-free evaluator over a fixed set of domain models.
+class EnsembleEvaluator {
+ public:
+  /// Precomputes the per-class Gram matrices. The pointed-to models must
+  /// outlive the evaluator and must not be mutated afterwards.
+  explicit EnsembleEvaluator(std::vector<const OnlineHDClassifier*> models);
+
+  [[nodiscard]] std::size_t num_models() const noexcept {
+    return models_.size();
+  }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+  /// argmax_c δ(hv, Σ_k w_k C_c^k) without building the ensemble.
+  [[nodiscard]] int predict(std::span<const float> hv,
+                            std::span<const double> weights) const;
+
+  /// Cosine similarity of `hv` to every ensembled class hypervector.
+  [[nodiscard]] std::vector<double> class_similarities(
+      std::span<const float> hv, std::span<const double> weights) const;
+
+ private:
+  std::vector<const OnlineHDClassifier*> models_;
+  int num_classes_ = 0;
+  std::size_t dim_ = 0;
+  // gram_[c] is a K×K matrix, row-major: <C_c^i, C_c^j>.
+  std::vector<std::vector<double>> gram_;
+};
+
+}  // namespace smore

@@ -1,0 +1,106 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace smore {
+
+Split lodo_split(const WindowDataset& data, int held_out_domain) {
+  Split split;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i].domain() == held_out_domain) {
+      split.test.push_back(i);
+    } else {
+      split.train.push_back(i);
+    }
+  }
+  if (split.test.empty()) {
+    throw std::invalid_argument("lodo_split: domain " +
+                                std::to_string(held_out_domain) +
+                                " has no windows");
+  }
+  return split;
+}
+
+std::vector<Split> lodo_folds(const WindowDataset& data) {
+  const int domains = data.num_domains();
+  std::vector<Split> folds;
+  folds.reserve(static_cast<std::size_t>(domains));
+  for (int d = 0; d < domains; ++d) folds.push_back(lodo_split(data, d));
+  return folds;
+}
+
+std::vector<Split> kfold_splits(std::size_t n, int k, std::uint64_t seed) {
+  if (k < 2) {
+    throw std::invalid_argument("kfold_splits: k must be >= 2");
+  }
+  if (static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("kfold_splits: k exceeds dataset size");
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> order = rng.permutation(n);
+
+  std::vector<Split> folds(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t fold = i % static_cast<std::size_t>(k);
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      if (f == fold) {
+        folds[f].test.push_back(order[i]);
+      } else {
+        folds[f].train.push_back(order[i]);
+      }
+    }
+  }
+  for (auto& f : folds) {
+    std::sort(f.train.begin(), f.train.end());
+    std::sort(f.test.begin(), f.test.end());
+  }
+  return folds;
+}
+
+std::vector<std::size_t> stratified_subsample(const WindowDataset& data,
+                                              double fraction,
+                                              std::uint64_t seed) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("stratified_subsample: fraction not in (0,1]");
+  }
+  if (fraction == 1.0) {
+    std::vector<std::size_t> all(data.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  // Group indices by (domain, label) cell, then keep a rounded share of each.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> cells;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cells[{data[i].domain(), data[i].label()}].push_back(i);
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> keep;
+  for (auto& [cell, indices] : cells) {
+    rng.shuffle(indices);
+    const auto quota = static_cast<std::size_t>(std::max(
+        1.0, std::floor(fraction * static_cast<double>(indices.size()) + 0.5)));
+    for (std::size_t i = 0; i < std::min(quota, indices.size()); ++i) {
+      keep.push_back(indices[i]);
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+WindowDataset take(const WindowDataset& data,
+                   const std::vector<std::size_t>& indices) {
+  WindowDataset out(data.name(), data.channels(), data.steps());
+  for (const std::size_t i : indices) {
+    if (i >= data.size()) {
+      throw std::out_of_range("take: index out of range");
+    }
+    out.add(data[i]);
+  }
+  return out;
+}
+
+}  // namespace smore

@@ -1,0 +1,48 @@
+#pragma once
+// Cross-validation splits over windowed datasets (paper Sec 1 & 4.1).
+//
+// Two protocols matter for the paper:
+//   * LODO (leave-one-domain-out): train on all domains except one, test on
+//     the held-out domain — the realistic distribution-shift protocol.
+//   * standard k-fold: random partition regardless of domain — inflates
+//     accuracy through domain leakage (paper Figure 1b's point).
+// Splits are index-based so they apply equally to raw WindowDatasets and
+// encoded HvDatasets of the same ordering.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace smore {
+
+/// Index-based train/test partition of a dataset.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// LODO split: test = windows of `held_out_domain`, train = the rest.
+/// Throws std::invalid_argument when the domain does not exist in `data`.
+[[nodiscard]] Split lodo_split(const WindowDataset& data, int held_out_domain);
+
+/// All LODO folds, one per domain id in [0, num_domains).
+[[nodiscard]] std::vector<Split> lodo_folds(const WindowDataset& data);
+
+/// Random k-fold partition (shuffled with `seed`); fold f's test set is the
+/// f-th shard. Throws std::invalid_argument when k < 2 or k > data.size().
+[[nodiscard]] std::vector<Split> kfold_splits(std::size_t n, int k,
+                                              std::uint64_t seed);
+
+/// Deterministic stratified subsample: keeps ~`fraction` of the windows of
+/// every (domain, label) cell so the class/domain balance of Table 1 is
+/// preserved at reduced scale. fraction outside (0,1] throws.
+[[nodiscard]] std::vector<std::size_t> stratified_subsample(
+    const WindowDataset& data, double fraction, std::uint64_t seed);
+
+/// Materialize the selected windows into a new dataset.
+[[nodiscard]] WindowDataset take(const WindowDataset& data,
+                                 const std::vector<std::size_t>& indices);
+
+}  // namespace smore

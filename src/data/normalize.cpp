@@ -1,0 +1,69 @@
+#include "data/normalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smore {
+
+void ChannelNormalizer::fit(const WindowDataset& data,
+                            const std::vector<std::size_t>& indices) {
+  if (indices.empty()) {
+    throw std::invalid_argument("ChannelNormalizer::fit: no training windows");
+  }
+  const std::size_t channels = data.channels();
+  const std::size_t steps = data.steps();
+  std::vector<double> sum(channels, 0.0);
+  std::vector<double> sum_sq(channels, 0.0);
+  for (const std::size_t i : indices) {
+    const Window& w = data[i];
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (const float v : w.channel(c)) {
+        sum[c] += v;
+        sum_sq[c] += static_cast<double>(v) * v;
+      }
+    }
+  }
+  const double n =
+      static_cast<double>(indices.size()) * static_cast<double>(steps);
+  mean_.resize(channels);
+  std_.resize(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double mean = sum[c] / n;
+    const double var = std::max(0.0, sum_sq[c] / n - mean * mean);
+    mean_[c] = static_cast<float>(mean);
+    const double sd = std::sqrt(var);
+    std_[c] = sd > 1e-12 ? static_cast<float>(sd) : 1.0f;
+  }
+}
+
+void ChannelNormalizer::fit(const WindowDataset& data) {
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  fit(data, all);
+}
+
+void ChannelNormalizer::apply(Window& window) const {
+  if (!fitted()) {
+    throw std::logic_error("ChannelNormalizer::apply before fit");
+  }
+  if (window.channels() != mean_.size()) {
+    throw std::invalid_argument("ChannelNormalizer::apply: channel mismatch");
+  }
+  for (std::size_t c = 0; c < window.channels(); ++c) {
+    const float m = mean_[c];
+    const float inv = 1.0f / std_[c];
+    for (float& v : window.channel(c)) v = (v - m) * inv;
+  }
+}
+
+WindowDataset ChannelNormalizer::transform(const WindowDataset& data) const {
+  WindowDataset out(data.name(), data.channels(), data.steps());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Window w = data[i];
+    apply(w);
+    out.add(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace smore

@@ -1,0 +1,46 @@
+#pragma once
+// Per-channel normalization fit on training windows and applied to test
+// windows. The CNN baselines need standardized inputs; statistics are always
+// computed on the training split only so no test information leaks (the very
+// leakage Figure 1(b) of the paper warns about for k-fold CV).
+
+#include <cstddef>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace smore {
+
+/// Z-score normalizer: x -> (x - mean_c) / std_c per channel c.
+class ChannelNormalizer {
+ public:
+  ChannelNormalizer() = default;
+
+  /// Estimate per-channel mean and standard deviation over the windows at
+  /// `indices` of `data`. Channels with zero variance get std = 1 so the
+  /// transform stays finite. Throws std::invalid_argument when indices is
+  /// empty.
+  void fit(const WindowDataset& data, const std::vector<std::size_t>& indices);
+
+  /// Fit over every window.
+  void fit(const WindowDataset& data);
+
+  /// Normalize one window in place. Throws std::logic_error when called
+  /// before fit(), std::invalid_argument on channel-count mismatch.
+  void apply(Window& window) const;
+
+  /// Normalize a copy of every window in `data`.
+  [[nodiscard]] WindowDataset transform(const WindowDataset& data) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<float>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<float>& stddev() const noexcept {
+    return std_;
+  }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace smore

@@ -1,0 +1,136 @@
+#pragma once
+// Raw multi-sensor time-series containers.
+//
+// A Window is one segmented sample: `channels` sensor streams of `steps`
+// synchronized readings (Sec 4.1.2 of the paper describes the segmentation
+// for each dataset: e.g., USC-HAD uses 1.26 s windows at 100 Hz with 50%
+// overlap). A WindowDataset is the full segmented dataset, with per-window
+// class label, subject id, and domain id (subject group).
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smore {
+
+/// One multi-sensor window: row-major [channel][timestep] matrix of signal
+/// values plus its classification label and provenance (subject, domain).
+class Window {
+ public:
+  Window() = default;
+
+  /// Zero-filled window. Throws std::invalid_argument when either extent is 0.
+  Window(std::size_t channels, std::size_t steps)
+      : channels_(channels), steps_(steps), values_(channels * steps, 0.0f) {
+    if (channels == 0 || steps == 0) {
+      throw std::invalid_argument("Window: extents must be positive");
+    }
+  }
+
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+  /// Signal stream of one sensor channel.
+  [[nodiscard]] std::span<const float> channel(std::size_t c) const noexcept {
+    return {values_.data() + c * steps_, steps_};
+  }
+  [[nodiscard]] std::span<float> channel(std::size_t c) noexcept {
+    return {values_.data() + c * steps_, steps_};
+  }
+
+  [[nodiscard]] float at(std::size_t c, std::size_t t) const noexcept {
+    return values_[c * steps_ + t];
+  }
+  void set(std::size_t c, std::size_t t, float v) noexcept {
+    values_[c * steps_ + t] = v;
+  }
+
+  [[nodiscard]] int label() const noexcept { return label_; }
+  [[nodiscard]] int subject() const noexcept { return subject_; }
+  [[nodiscard]] int domain() const noexcept { return domain_; }
+
+  void set_label(int label) noexcept { label_ = label; }
+  void set_subject(int subject) noexcept { subject_ = subject; }
+  void set_domain(int domain) noexcept { domain_ = domain; }
+
+  [[nodiscard]] const std::vector<float>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::vector<float>& values() noexcept { return values_; }
+
+ private:
+  std::size_t channels_ = 0;
+  std::size_t steps_ = 0;
+  std::vector<float> values_;
+  int label_ = -1;
+  int subject_ = -1;
+  int domain_ = -1;
+};
+
+/// A segmented multi-sensor dataset: homogeneous windows plus naming metadata.
+/// Invariant: every window has the same channel count and step count.
+class WindowDataset {
+ public:
+  WindowDataset() = default;
+
+  /// `name` is a display string (e.g. "USC-HAD (synthetic)").
+  WindowDataset(std::string name, std::size_t channels, std::size_t steps)
+      : name_(std::move(name)), channels_(channels), steps_(steps) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t size() const noexcept { return windows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
+
+  /// Append a window. Throws std::invalid_argument when its shape differs
+  /// from the dataset shape.
+  void add(Window w) {
+    if (w.channels() != channels_ || w.steps() != steps_) {
+      throw std::invalid_argument("WindowDataset::add: shape mismatch");
+    }
+    windows_.push_back(std::move(w));
+  }
+
+  [[nodiscard]] const Window& operator[](std::size_t i) const noexcept {
+    return windows_[i];
+  }
+  [[nodiscard]] Window& operator[](std::size_t i) noexcept {
+    return windows_[i];
+  }
+
+  [[nodiscard]] const std::vector<Window>& windows() const noexcept {
+    return windows_;
+  }
+
+  /// Dense 0-based class count: max(label)+1.
+  [[nodiscard]] int num_classes() const noexcept {
+    int m = -1;
+    for (const auto& w : windows_) m = w.label() > m ? w.label() : m;
+    return m + 1;
+  }
+
+  /// Dense 0-based domain count: max(domain)+1.
+  [[nodiscard]] int num_domains() const noexcept {
+    int m = -1;
+    for (const auto& w : windows_) m = w.domain() > m ? w.domain() : m;
+    return m + 1;
+  }
+
+  /// Count of windows whose domain id equals `domain`.
+  [[nodiscard]] std::size_t domain_size(int domain) const noexcept {
+    std::size_t n = 0;
+    for (const auto& w : windows_) n += (w.domain() == domain) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::size_t channels_ = 0;
+  std::size_t steps_ = 0;
+  std::vector<Window> windows_;
+};
+
+}  // namespace smore

@@ -1,0 +1,62 @@
+#include "data/windowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smore {
+
+namespace {
+void validate(const SegmentationConfig& config) {
+  if (config.window_steps == 0) {
+    throw std::invalid_argument("segmentation: window_steps must be positive");
+  }
+  if (config.overlap < 0.0 || config.overlap >= 1.0) {
+    throw std::invalid_argument("segmentation: overlap must be in [0, 1)");
+  }
+}
+}  // namespace
+
+std::size_t hop_of(const SegmentationConfig& config) {
+  validate(config);
+  const auto hop = static_cast<std::size_t>(std::llround(
+      static_cast<double>(config.window_steps) * (1.0 - config.overlap)));
+  return std::max<std::size_t>(1, hop);
+}
+
+std::size_t window_count(std::size_t stream_steps,
+                         const SegmentationConfig& config) {
+  validate(config);
+  if (stream_steps < config.window_steps) return 0;
+  return (stream_steps - config.window_steps) / hop_of(config) + 1;
+}
+
+std::size_t steps_for_windows(std::size_t n, const SegmentationConfig& config) {
+  validate(config);
+  if (n == 0) return 0;
+  return config.window_steps + (n - 1) * hop_of(config);
+}
+
+std::vector<Window> segment(const MultiChannelStream& stream,
+                            const SegmentationConfig& config) {
+  validate(config);
+  const std::size_t count = window_count(stream.steps(), config);
+  const std::size_t hop = hop_of(config);
+  std::vector<Window> out;
+  out.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    const std::size_t start = w * hop;
+    Window win(stream.channels(), config.window_steps);
+    for (std::size_t c = 0; c < stream.channels(); ++c) {
+      const auto src = stream.channel(c);
+      std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(start),
+                  config.window_steps, win.channel(c).begin());
+    }
+    win.set_label(stream.label());
+    win.set_subject(stream.subject());
+    win.set_domain(stream.domain());
+    out.push_back(std::move(win));
+  }
+  return out;
+}
+
+}  // namespace smore

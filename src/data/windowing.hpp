@@ -1,0 +1,80 @@
+#pragma once
+// Continuous-recording segmentation (paper Sec 4.1.2).
+//
+// Wearable-sensor datasets ship as long continuous recordings per
+// (subject, activity); learning operates on fixed-length windows cut from
+// them, possibly overlapping (USC-HAD and PAMAP2 use 50% overlap, DSADS
+// non-overlapping five-second segments). MultiChannelStream models the
+// recording; segment() cuts it into Windows.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace smore {
+
+/// A continuous multi-channel recording with provenance metadata.
+class MultiChannelStream {
+ public:
+  /// Zero-filled recording. Throws std::invalid_argument on zero extents.
+  MultiChannelStream(std::size_t channels, std::size_t steps)
+      : channels_(channels), steps_(steps), values_(channels * steps, 0.0f) {
+    if (channels == 0 || steps == 0) {
+      throw std::invalid_argument("MultiChannelStream: extents must be positive");
+    }
+  }
+
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+  [[nodiscard]] std::span<const float> channel(std::size_t c) const noexcept {
+    return {values_.data() + c * steps_, steps_};
+  }
+  [[nodiscard]] std::span<float> channel(std::size_t c) noexcept {
+    return {values_.data() + c * steps_, steps_};
+  }
+
+  [[nodiscard]] int label() const noexcept { return label_; }
+  [[nodiscard]] int subject() const noexcept { return subject_; }
+  [[nodiscard]] int domain() const noexcept { return domain_; }
+  void set_label(int v) noexcept { label_ = v; }
+  void set_subject(int v) noexcept { subject_ = v; }
+  void set_domain(int v) noexcept { domain_ = v; }
+
+ private:
+  std::size_t channels_;
+  std::size_t steps_;
+  std::vector<float> values_;
+  int label_ = -1;
+  int subject_ = -1;
+  int domain_ = -1;
+};
+
+/// Windowing parameters. `overlap` is the fraction of a window shared with
+/// its successor: 0.0 = non-overlapping, 0.5 = half-overlapping windows.
+struct SegmentationConfig {
+  std::size_t window_steps = 128;
+  double overlap = 0.0;
+};
+
+/// Hop (stride) in steps implied by a segmentation config; always >= 1.
+[[nodiscard]] std::size_t hop_of(const SegmentationConfig& config);
+
+/// Number of windows segment() will cut from a recording of `stream_steps`.
+[[nodiscard]] std::size_t window_count(std::size_t stream_steps,
+                                       const SegmentationConfig& config);
+
+/// Minimum recording length that yields exactly `n` windows.
+[[nodiscard]] std::size_t steps_for_windows(std::size_t n,
+                                            const SegmentationConfig& config);
+
+/// Cut a recording into fixed-length windows, copying provenance metadata
+/// (label/subject/domain) into each. Throws std::invalid_argument when
+/// window_steps == 0 or overlap outside [0, 1).
+[[nodiscard]] std::vector<Window> segment(const MultiChannelStream& stream,
+                                          const SegmentationConfig& config);
+
+}  // namespace smore

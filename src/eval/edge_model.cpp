@@ -1,0 +1,24 @@
+#include "eval/edge_model.hpp"
+
+namespace smore {
+
+EdgePlatform raspberry_pi3() {
+  // Xeon Silver 4310 single-thread vs Cortex-A53: ~4× IPC×clock gap widened
+  // by NEON's narrow SIMD for convolutions. HDC streaming ops are
+  // memory-bound and suffer less.
+  return EdgePlatform{"Raspberry Pi 3B+", /*power_watts=*/5.0,
+                      /*hdc_slowdown=*/18.0, /*cnn_slowdown=*/65.0};
+}
+
+EdgePlatform jetson_nano() {
+  // A57 cores are slightly faster than the Pi's A53; the Maxwell GPU
+  // accelerates convolutions, narrowing but not closing the CNN gap.
+  return EdgePlatform{"Jetson Nano", /*power_watts=*/10.0,
+                      /*hdc_slowdown=*/14.0, /*cnn_slowdown=*/45.0};
+}
+
+std::vector<EdgePlatform> paper_edge_platforms() {
+  return {raspberry_pi3(), jetson_nano()};
+}
+
+}  // namespace smore

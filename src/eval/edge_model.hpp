@@ -1,0 +1,65 @@
+#pragma once
+// Edge-platform latency/energy model (substitution for paper Fig. 6b).
+//
+// The paper measures inference latency and energy on a Raspberry Pi 3B+ and
+// an NVIDIA Jetson Nano. Neither device exists in this environment, so we
+// project *measured server latency* through a per-platform device model:
+//
+//     latency_edge  = latency_server × slowdown(platform, workload class)
+//     energy_edge   = latency_edge × average power draw
+//
+// Slowdown factors derive from public spec ratios (core count × clock ×
+// SIMD width vs. the evaluation host) and reproduce the paper's observed
+// trend that HDC workloads suffer a smaller edge penalty than CNN inference
+// (memory-bound streaming vs. compute-bound convolutions; the Jetson's GPU
+// partially offsets the CNN penalty). Figures produced from this model are
+// labeled "simulated" in every bench output. See DESIGN.md §3.
+
+#include <string>
+#include <vector>
+
+namespace smore {
+
+/// Workload class for the slowdown lookup.
+enum class WorkloadKind {
+  kHdcInference,  ///< hypervector similarity search (SMORE, BaselineHD, ...)
+  kCnnInference,  ///< convolutional forward passes (TENT, MDANs)
+};
+
+/// One edge platform's model parameters.
+struct EdgePlatform {
+  std::string name;
+  double power_watts;     ///< average active power draw
+  double hdc_slowdown;    ///< latency multiplier for HDC workloads
+  double cnn_slowdown;    ///< latency multiplier for CNN workloads
+
+  [[nodiscard]] double slowdown(WorkloadKind kind) const noexcept {
+    return kind == WorkloadKind::kHdcInference ? hdc_slowdown : cnn_slowdown;
+  }
+
+  /// Projected latency (seconds) from a measured server latency.
+  [[nodiscard]] double project_latency(double server_seconds,
+                                       WorkloadKind kind) const noexcept {
+    return server_seconds * slowdown(kind);
+  }
+
+  /// Projected energy (joules) for that latency.
+  [[nodiscard]] double project_energy(double server_seconds,
+                                      WorkloadKind kind) const noexcept {
+    return project_latency(server_seconds, kind) * power_watts;
+  }
+};
+
+/// Raspberry Pi 3 Model B+ (quad A53 @ 1.4 GHz, 5 W TDP): scalar-narrow
+/// cores hit CNN inference ~3.6× harder than streaming HDC ops.
+[[nodiscard]] EdgePlatform raspberry_pi3();
+
+/// NVIDIA Jetson Nano (quad A57 @ 1.43 GHz + 128-core Maxwell, 10 W TDP):
+/// the GPU absorbs part of the CNN penalty, but CNNs still degrade ~3.2×
+/// more than HDC.
+[[nodiscard]] EdgePlatform jetson_nano();
+
+/// Both platforms of the paper's Fig. 6b, in paper order.
+[[nodiscard]] std::vector<EdgePlatform> paper_edge_platforms();
+
+}  // namespace smore

@@ -1,0 +1,82 @@
+#pragma once
+// The shared experiment engine behind the figure/table benches.
+//
+// Runs one algorithm on one cross-validation fold of one dataset and reports
+// accuracy plus wall-clock training and inference time. All five algorithms
+// of the paper's evaluation (Sec 4.1) are covered:
+//   TENT, MDANs            — CNN-based DA (raw windows, normalized)
+//   BaselineHD, DOMINO, SMORE — HDC (pre-encoded hypervectors)
+//
+// HDC timing: the encoder runs once per dataset and is shared by the three
+// HDC algorithms and all folds (an engineering choice, see DESIGN.md §6);
+// `encode_seconds_per_sample` re-attributes that cost so reported train /
+// inference times include each split's fair share of encoding.
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/timeseries.hpp"
+#include "eval/edge_model.hpp"
+#include "hdc/hv_dataset.hpp"
+
+namespace smore {
+
+/// The five evaluated algorithms, in the paper's legend order.
+enum class Algo { kTent, kMdans, kBaselineHd, kDomino, kSmore };
+
+/// Display name matching the paper's legends.
+[[nodiscard]] const char* algo_name(Algo algo);
+
+/// Workload class for edge projection (Fig. 6b).
+[[nodiscard]] WorkloadKind algo_workload(Algo algo);
+
+/// All five algorithms in legend order.
+[[nodiscard]] inline constexpr std::array<Algo, 5> all_algos() {
+  return {Algo::kTent, Algo::kMdans, Algo::kBaselineHd, Algo::kDomino,
+          Algo::kSmore};
+}
+
+/// Shared hyperparameters for a full experiment suite.
+struct SuiteConfig {
+  std::size_t dim = 2048;  ///< hyperdimension (paper: 8k; see DESIGN.md §7)
+  double delta_star = 0.65;
+  // HDC training
+  int hd_epochs = 20;
+  float hd_learning_rate = 0.035f;
+  // DOMINO (active = dim / domino_active_divisor, total = dim: the paper's
+  // d* = 1k vs 8k fairness ratio)
+  std::size_t domino_active_divisor = 8;
+  double domino_regen_fraction = 0.10;
+  int domino_inner_epochs = 4;
+  // CNN training
+  int cnn_epochs = 10;
+  std::size_t cnn_batch = 32;
+  float cnn_learning_rate = 1e-3f;
+  float mdan_mu = 0.1f;
+  // TENT adaptation
+  int tent_adapt_steps = 1;
+  std::size_t tent_adapt_batch = 64;
+  // encoding amortization (seconds per sample measured by the caller)
+  double encode_seconds_per_sample = 0.0;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Outcome of one (algorithm, fold) run.
+struct AlgoRunResult {
+  Algo algo = Algo::kSmore;
+  double accuracy = 0.0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double ood_rate = 0.0;  ///< SMORE only; 0 elsewhere
+};
+
+/// Execute `algo` on the given fold. `raw` and `encoded` must be aligned
+/// (row i of `encoded` is the encoding of window i of `raw`); CNN algorithms
+/// ignore `encoded`, HDC algorithms ignore the raw signals.
+[[nodiscard]] AlgoRunResult run_algorithm(Algo algo, const WindowDataset& raw,
+                                          const HvDataset& encoded,
+                                          const Split& fold,
+                                          const SuiteConfig& config);
+
+}  // namespace smore

@@ -1,0 +1,108 @@
+#include "eval/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace smore {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : classes_(num_classes) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+  }
+  counts_.assign(static_cast<std::size_t>(num_classes) *
+                     static_cast<std::size_t>(num_classes),
+                 0);
+}
+
+void ConfusionMatrix::record(int truth, int predicted) {
+  if (truth < 0 || truth >= classes_ || predicted < 0 ||
+      predicted >= classes_) {
+    throw std::invalid_argument("ConfusionMatrix::record: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(truth) * classes_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(int truth, int predicted) const {
+  if (truth < 0 || truth >= classes_ || predicted < 0 ||
+      predicted >= classes_) {
+    throw std::invalid_argument("ConfusionMatrix::at: label out of range");
+  }
+  return counts_[static_cast<std::size_t>(truth) * classes_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t hit = 0;
+  for (int c = 0; c < classes_; ++c) {
+    hit += counts_[static_cast<std::size_t>(c) * classes_ +
+                   static_cast<std::size_t>(c)];
+  }
+  return static_cast<double>(hit) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  std::size_t tp = at(c, c);
+  std::size_t predicted = 0;
+  for (int t = 0; t < classes_; ++t) predicted += at(t, c);
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int c) const {
+  std::size_t tp = at(c, c);
+  std::size_t occurred = 0;
+  for (int p = 0; p < classes_; ++p) occurred += at(c, p);
+  return occurred == 0 ? 0.0
+                       : static_cast<double>(tp) /
+                             static_cast<double>(occurred);
+}
+
+double ConfusionMatrix::f1(int c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < classes_; ++c) {
+    std::size_t occurred = 0;
+    for (int p = 0; p < classes_; ++p) occurred += at(c, p);
+    if (occurred == 0) continue;
+    sum += f1(c);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "confusion matrix (" << classes_ << " classes, " << total_
+     << " samples)\n";
+  for (int t = 0; t < classes_; ++t) {
+    for (int p = 0; p < classes_; ++p) {
+      os << at(t, p) << (p + 1 == classes_ ? '\n' : '\t');
+    }
+  }
+  return os.str();
+}
+
+double accuracy_score(const std::vector<int>& truth,
+                      const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("accuracy_score: size mismatch");
+  }
+  if (truth.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    hit += truth[i] == predicted[i] ? 1 : 0;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+}  // namespace smore

@@ -1,0 +1,55 @@
+#pragma once
+// Classification metrics: confusion matrix, accuracy, per-class
+// precision/recall/F1, macro aggregates. Used by tests and every accuracy
+// bench.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smore {
+
+/// Dense confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  /// Throws std::invalid_argument when num_classes <= 0.
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Record one (truth, prediction) pair; out-of-range labels throw.
+  void record(int truth, int predicted);
+
+  [[nodiscard]] int num_classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Count at (truth, predicted).
+  [[nodiscard]] std::size_t at(int truth, int predicted) const;
+
+  [[nodiscard]] double accuracy() const noexcept;
+
+  /// Per-class precision: TP / (TP + FP); 0 when the class was never
+  /// predicted.
+  [[nodiscard]] double precision(int c) const;
+
+  /// Per-class recall: TP / (TP + FN); 0 when the class never occurred.
+  [[nodiscard]] double recall(int c) const;
+
+  /// Per-class F1 (harmonic mean of precision and recall).
+  [[nodiscard]] double f1(int c) const;
+
+  /// Unweighted mean F1 over classes that occur in the data.
+  [[nodiscard]] double macro_f1() const;
+
+  /// Pretty multi-line rendering for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // classes × classes, row = truth
+};
+
+/// Plain accuracy from two label vectors of equal size.
+[[nodiscard]] double accuracy_score(const std::vector<int>& truth,
+                                    const std::vector<int>& predicted);
+
+}  // namespace smore

@@ -1,0 +1,72 @@
+#include "eval/reporting.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace smore {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TablePrinter: empty header");
+  }
+}
+
+void TablePrinter::row(std::vector<std::string> fields) {
+  if (fields.size() != header_.size()) {
+    throw std::invalid_argument("TablePrinter: arity mismatch");
+  }
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::row_numeric(const std::string& label,
+                               const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> fields;
+  fields.push_back(label);
+  for (const double v : values) fields.push_back(fmt(v, precision));
+  row(std::move(fields));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+void print_banner(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_speedup(double ratio, int precision) {
+  return fmt(ratio, precision) + "x";
+}
+
+}  // namespace smore

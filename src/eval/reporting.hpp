@@ -1,0 +1,42 @@
+#pragma once
+// Console table rendering for the benchmark harnesses: every bench prints
+// the paper's rows/series next to our measured numbers in aligned columns.
+
+#include <string>
+#include <vector>
+
+namespace smore {
+
+/// Fixed-column text table accumulated in memory and printed at once.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; arity must match the header.
+  void row(std::vector<std::string> fields);
+
+  /// Convenience row from printf-style doubles with the given precision.
+  void row_numeric(const std::string& label, const std::vector<double>& values,
+                   int precision = 2);
+
+  /// Render with padding and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "===== title =====" section banner to stdout.
+void print_banner(const std::string& title);
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Format a ratio as "N.NNx".
+[[nodiscard]] std::string fmt_speedup(double ratio, int precision = 2);
+
+}  // namespace smore

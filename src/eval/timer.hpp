@@ -1,0 +1,40 @@
+#pragma once
+// Wall-clock timing for the efficiency experiments (paper Sec 4.3).
+
+#include <chrono>
+
+namespace smore {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds the lifetime of the scope to an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : acc_(accumulator) {}
+  ~ScopedTimer() { acc_ += timer_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& acc_;
+  WallTimer timer_;
+};
+
+}  // namespace smore

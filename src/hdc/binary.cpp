@@ -1,0 +1,77 @@
+#include "hdc/binary.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace smore {
+
+BinaryVector::BinaryVector(std::span<const float> values)
+    : dim_(values.size()), words_((values.size() + 63) / 64, 0) {
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    if (values[j] >= 0.0f) {
+      words_[j >> 6] |= (std::uint64_t{1} << (j & 63));
+    }
+  }
+}
+
+std::size_t BinaryVector::hamming(const BinaryVector& other) const {
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument("BinaryVector::hamming: dimension mismatch");
+  }
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    distance += static_cast<std::size_t>(
+        std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return distance;
+}
+
+double BinaryVector::similarity(const BinaryVector& other) const {
+  if (dim_ == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(hamming(other)) /
+                   static_cast<double>(dim_);
+}
+
+BinaryModel::BinaryModel(const OnlineHDClassifier& model) : dim_(model.dim()) {
+  classes_.reserve(static_cast<std::size_t>(model.num_classes()));
+  for (int c = 0; c < model.num_classes(); ++c) {
+    classes_.emplace_back(model.class_vector(c).span());
+  }
+}
+
+std::size_t BinaryModel::footprint_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& c : classes_) bytes += c.words().size() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+int BinaryModel::predict(std::span<const float> hv) const {
+  return predict(BinaryVector(hv));
+}
+
+int BinaryModel::predict(const BinaryVector& query) const {
+  if (query.dim() != dim_) {
+    throw std::invalid_argument("BinaryModel::predict: dimension mismatch");
+  }
+  int best = 0;
+  std::size_t best_distance = dim_ + 1;
+  for (int c = 0; c < num_classes(); ++c) {
+    const std::size_t d = classes_[static_cast<std::size_t>(c)].hamming(query);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double BinaryModel::accuracy(const HvDataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace smore

@@ -1,0 +1,85 @@
+#pragma once
+// Binarized HDC inference (extension beyond the paper; see DESIGN.md §6).
+//
+// Edge HDC deployments commonly sign-quantize trained class hypervectors to
+// single bits and replace cosine similarity with Hamming distance computed
+// by XOR + popcount: a d=8192 model shrinks 32× (float -> bit) and a
+// similarity query touches d/64 machine words instead of d floats. Accuracy
+// typically drops by a small margin — quantified in
+// bench_ablation_encoding's companion test and the edge example.
+//
+// BinaryModel quantizes any trained OnlineHDClassifier; BinaryVector is the
+// packed bit representation of one hypervector.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/onlinehd.hpp"
+
+namespace smore {
+
+/// A hypervector sign-quantized to packed bits (1 = positive).
+class BinaryVector {
+ public:
+  BinaryVector() = default;
+
+  /// Quantize a real hypervector: bit j = (v[j] >= 0).
+  explicit BinaryVector(std::span<const float> values);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Bit j as 0/1.
+  [[nodiscard]] int bit(std::size_t j) const noexcept {
+    return static_cast<int>((words_[j >> 6] >> (j & 63)) & 1u);
+  }
+
+  /// Hamming distance to another vector of the same dimension.
+  /// Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::size_t hamming(const BinaryVector& other) const;
+
+  /// Normalized similarity in [-1, 1]: 1 - 2·hamming/d (the binary analogue
+  /// of cosine — equals the expected cosine of the underlying bipolar
+  /// vectors).
+  [[nodiscard]] double similarity(const BinaryVector& other) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Sign-quantized multi-class model: Hamming-distance argmin prediction.
+class BinaryModel {
+ public:
+  /// Quantize every class vector of a trained classifier.
+  explicit BinaryModel(const OnlineHDClassifier& model);
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Model size in bytes (packed class vectors only).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+  /// Predict from a raw (float) query: the query is quantized on the fly.
+  [[nodiscard]] int predict(std::span<const float> hv) const;
+
+  /// Predict from an already-quantized query (hot path on device).
+  [[nodiscard]] int predict(const BinaryVector& query) const;
+
+  /// Fraction of `data` classified correctly.
+  [[nodiscard]] double accuracy(const HvDataset& data) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<BinaryVector> classes_;
+};
+
+}  // namespace smore

@@ -1,0 +1,166 @@
+#include "hdc/domino.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace smore {
+
+DominoClassifier::DominoClassifier(int num_classes, const DominoConfig& config)
+    : num_classes_(num_classes),
+      config_(config),
+      model_(num_classes, config.active_dim) {
+  if (config.active_dim == 0) {
+    throw std::invalid_argument("Domino: active_dim must be positive");
+  }
+  if (config.active_dim > config.total_dim) {
+    throw std::invalid_argument("Domino: active_dim must not exceed total_dim");
+  }
+  if (config.regen_fraction <= 0.0 || config.regen_fraction >= 1.0) {
+    throw std::invalid_argument("Domino: regen_fraction must be in (0, 1)");
+  }
+  active_.resize(config.active_dim);
+  std::iota(active_.begin(), active_.end(), 0);
+  consumed_ = config.active_dim;
+}
+
+int DominoClassifier::planned_rounds() const noexcept {
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(config_.active_dim) * config_.regen_fraction));
+  const std::size_t pool_left = config_.total_dim - config_.active_dim;
+  // One final round after the pool is exhausted to retrain on the last set.
+  return static_cast<int>((pool_left + per_round - 1) / per_round) + 1;
+}
+
+HvDataset DominoClassifier::gather(const HvDataset& data) const {
+  HvDataset compact(data.size(), config_.active_dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto src = data.row(i);
+    auto dst = compact.row(i);
+    for (std::size_t j = 0; j < active_.size(); ++j) dst[j] = src[active_[j]];
+    compact.set_label(i, data.label(i));
+    compact.set_domain(i, data.domain(i));
+  }
+  return compact;
+}
+
+std::vector<double> DominoClassifier::bias_scores(
+    const HvDataset& compact) const {
+  const int domains = compact.num_domains();
+  const int classes = num_classes_;
+  const std::size_t d = config_.active_dim;
+
+  // Per-(domain, class) prototype = normalized bundle of that cell's samples.
+  std::vector<std::vector<float>> proto(
+      static_cast<std::size_t>(domains) * classes, std::vector<float>(d, 0.0f));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(domains) * classes,
+                                  0);
+  for (std::size_t i = 0; i < compact.size(); ++i) {
+    const std::size_t cell = static_cast<std::size_t>(compact.domain(i)) *
+                                 static_cast<std::size_t>(classes) +
+                             static_cast<std::size_t>(compact.label(i));
+    ops::axpy(1.0f, compact.row(i).data(), proto[cell].data(), d);
+    ++counts[cell];
+  }
+  for (std::size_t cell = 0; cell < proto.size(); ++cell) {
+    const double n = ops::nrm2(proto[cell].data(), d);
+    if (n > 0.0) {
+      ops::scale(static_cast<float>(1.0 / n), proto[cell].data(), d);
+    }
+  }
+
+  // score_j = Σ_c Var_domains(proto[domain, c][j]) over populated cells.
+  std::vector<double> score(d, 0.0);
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      int populated = 0;
+      for (int k = 0; k < domains; ++k) {
+        const std::size_t cell = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(classes) +
+                                 static_cast<std::size_t>(c);
+        if (counts[cell] == 0) continue;
+        const double v = proto[cell][j];
+        sum += v;
+        sum_sq += v * v;
+        ++populated;
+      }
+      if (populated > 1) {
+        const double mean = sum / populated;
+        score[j] += sum_sq / populated - mean * mean;
+      }
+    }
+  }
+  return score;
+}
+
+std::vector<double> DominoClassifier::fit(const HvDataset& train) {
+  if (train.dim() < config_.total_dim) {
+    throw std::invalid_argument(
+        "Domino::fit: encoded pool narrower than total_dim");
+  }
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(config_.active_dim) * config_.regen_fraction));
+
+  OnlineHDConfig inner;
+  inner.learning_rate = config_.learning_rate;
+  inner.epochs = config_.inner_epochs;
+  inner.seed = config_.seed;
+
+  std::vector<double> history;
+  std::size_t pool_cursor = config_.active_dim;
+  const int rounds = planned_rounds();
+  history.reserve(static_cast<std::size_t>(rounds));
+
+  for (int round = 0; round < rounds; ++round) {
+    const HvDataset compact = gather(train);
+    model_ = OnlineHDClassifier(num_classes_, config_.active_dim);
+    const auto trace = model_.fit(compact, inner);
+    history.push_back(trace.empty() ? 0.0 : trace.back());
+
+    if (pool_cursor >= config_.total_dim) break;  // pool exhausted
+
+    // Rank active dimensions by cross-domain bias, descending.
+    const std::vector<double> score = bias_scores(compact);
+    std::vector<std::size_t> order(active_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return score[a] > score[b];
+                     });
+
+    const std::size_t replace =
+        std::min(per_round, config_.total_dim - pool_cursor);
+    for (std::size_t r = 0; r < replace; ++r) {
+      active_[order[r]] = pool_cursor++;
+    }
+    consumed_ += replace;
+  }
+  return history;
+}
+
+int DominoClassifier::predict(std::span<const float> full_row) const {
+  if (full_row.size() < config_.total_dim) {
+    throw std::invalid_argument("Domino::predict: row narrower than pool");
+  }
+  std::vector<float> compact(config_.active_dim);
+  for (std::size_t j = 0; j < active_.size(); ++j) {
+    compact[j] = full_row[active_[j]];
+  }
+  return model_.predict(compact);
+}
+
+double DominoClassifier::accuracy(const HvDataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace smore

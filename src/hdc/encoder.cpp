@@ -1,0 +1,174 @@
+#include "hdc/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace smore {
+
+MultiSensorEncoder::MultiSensorEncoder(const EncoderConfig& config)
+    : config_(config), memory_(config.dim, config.seed) {
+  if (config.dim == 0) {
+    throw std::invalid_argument("MultiSensorEncoder: dim must be positive");
+  }
+  if (config.ngram == 0) {
+    throw std::invalid_argument("MultiSensorEncoder: ngram must be positive");
+  }
+}
+
+void MultiSensorEncoder::prepare(std::size_t channels) {
+  memory_.prefetch(channels);
+}
+
+// Computes the sensor hypervector for one channel into scratch.sensor_acc:
+//   sensor_acc = Σ_t ρ^{n-1}(L_t) * ρ^{n-2}(L_{t+1}) * ... * L_{t+n-1}
+// where L_t interpolates between base_lo and base_hi by the normalized signal
+// value. When the window is shorter than the n-gram, the single gram over the
+// whole window (with correspondingly fewer factors) is used.
+void MultiSensorEncoder::encode_sensor(std::span<const float> signal,
+                                       const float* base_lo,
+                                       const float* base_hi,
+                                       const float* thresholds,
+                                       EncodeScratch& scratch) const {
+  const std::size_t d = config_.dim;
+  const std::size_t steps = signal.size();
+  const std::size_t q = config_.quantization_levels;
+  // Resolve the temporal dilation set: explicit multi-scale list, explicit
+  // single dilation, or auto (max(1, steps/16) capped at 8).
+  std::vector<std::size_t> dilations = config_.ngram_dilations;
+  if (dilations.empty()) {
+    dilations.push_back(config_.ngram_dilation != 0
+                            ? config_.ngram_dilation
+                            : std::min<std::size_t>(
+                                  8, std::max<std::size_t>(1, steps / 16)));
+  }
+
+  // 1. Value quantization: window min/max anchor the level spectrum.
+  const auto [min_it, max_it] = std::minmax_element(signal.begin(), signal.end());
+  const float vmin = *min_it;
+  const float vmax = *max_it;
+  const float inv_range = (vmax > vmin) ? 1.0f / (vmax - vmin) : 0.0f;
+
+  scratch.levels.resize(steps * d);
+  for (std::size_t t = 0; t < steps; ++t) {
+    float alpha = (signal[t] - vmin) * inv_range;
+    float* level = scratch.levels.data() + t * d;
+    if (q == 0) {
+      // Paper-literal continuous interpolation (ablation mode).
+      ops::lerp(base_lo, base_hi, alpha, level, d);
+    } else {
+      if (q > 1) {  // snap to the Q-point grid
+        alpha = std::round(alpha * static_cast<float>(q - 1)) /
+                static_cast<float>(q - 1);
+      }
+      for (std::size_t i = 0; i < d; ++i) {
+        level[i] = alpha >= thresholds[i] ? base_hi[i] : base_lo[i];
+      }
+    }
+  }
+
+  // 2. Temporal n-gram binding with graded permutation, bundled over t and
+  //    over the dilation scales. The gram at (t, δ) binds timesteps
+  //    {t, t+δ, ..., t+(n-1)δ}; each scale's n-gram count is normalized so
+  //    no single scale dominates the bundle.
+  scratch.gram.resize(d);
+  scratch.sensor_acc.assign(d, 0.0f);
+  for (std::size_t dilation : dilations) {
+    // Clamp (n, δ) so one gram always fits: (n-1)·δ + 1 <= steps.
+    std::size_t n = config_.ngram;
+    while (n > 1 && (n - 1) * dilation + 1 > steps) {
+      if (dilation > 1) {
+        --dilation;
+      } else {
+        --n;
+      }
+    }
+    const std::size_t span = (n - 1) * dilation;
+    const std::size_t n_grams = steps - span;
+    const float scale_w = 1.0f / static_cast<float>(n_grams);
+    for (std::size_t t = 0; t < n_grams; ++t) {
+      // gram = ρ^{n-1}(L_t)
+      ops::rotate(scratch.levels.data() + t * d, d, n - 1, scratch.gram.data());
+      // gram *= ρ^{n-1-p}(L_{t+pδ}) for p = 1..n-1
+      for (std::size_t p = 1; p < n; ++p) {
+        ops::hadamard_rotated(scratch.levels.data() + (t + p * dilation) * d,
+                              d, n - 1 - p, scratch.gram.data());
+      }
+      ops::axpy(scale_w, scratch.gram.data(), scratch.sensor_acc.data(), d);
+    }
+  }
+}
+
+Hypervector MultiSensorEncoder::encode(const Window& window,
+                                       std::uint64_t salt) const {
+  EncodeScratch scratch;
+  return encode(window, scratch, salt);
+}
+
+Hypervector MultiSensorEncoder::encode(const Window& window,
+                                       EncodeScratch& scratch,
+                                       std::uint64_t salt) const {
+  if (window.channels() == 0 || window.steps() == 0) {
+    throw std::invalid_argument("encode: empty window");
+  }
+  const std::size_t d = config_.dim;
+  Hypervector out(d);
+
+  // Paper-literal mode: fresh extremum hypervectors per (window, sensor).
+  std::vector<float> lo_buf;
+  std::vector<float> hi_buf;
+  Rng window_rng(Rng(config_.seed).fork(0x77a11d00 + salt)());
+
+  for (std::size_t s = 0; s < window.channels(); ++s) {
+    const float* lo = nullptr;
+    const float* hi = nullptr;
+    if (config_.per_window_random_base) {
+      lo_buf.resize(d);
+      hi_buf.resize(d);
+      for (auto& x : lo_buf) x = window_rng.bipolar();
+      if (config_.antipodal_base) {
+        for (std::size_t j = 0; j < d; ++j) hi_buf[j] = -lo_buf[j];
+      } else {
+        for (auto& x : hi_buf) x = window_rng.bipolar();
+      }
+      lo = lo_buf.data();
+      hi = hi_buf.data();
+    } else {
+      lo = memory_.base_low(s).data();
+      if (config_.antipodal_base) {
+        hi_buf.resize(d);
+        for (std::size_t j = 0; j < d; ++j) hi_buf[j] = -lo[j];
+        hi = hi_buf.data();
+      } else {
+        hi = memory_.base_high(s).data();
+      }
+    }
+    const float* thresholds = memory_.thresholds(s).data();
+
+    encode_sensor(window.channel(s), lo, hi, thresholds, scratch);
+
+    // 3. Spatial integration: out += G_s * H_s.
+    const float* sig = memory_.signature(s).data();
+    float* acc = out.data();
+    const float* sens = scratch.sensor_acc.data();
+    for (std::size_t j = 0; j < d; ++j) acc[j] += sig[j] * sens[j];
+  }
+  return out;
+}
+
+HvDataset MultiSensorEncoder::encode_dataset(const WindowDataset& dataset) const {
+  memory_.prefetch(dataset.channels());
+  HvDataset out(dataset.size(), config_.dim);
+  parallel_for(dataset.size(), [&](std::size_t i) {
+    thread_local EncodeScratch scratch;
+    const Hypervector hv = encode(dataset[i], scratch, i);
+    std::copy(hv.data(), hv.data() + config_.dim, out.row(i).begin());
+    out.set_label(i, dataset[i].label());
+    out.set_domain(i, dataset[i].domain());
+  });
+  return out;
+}
+
+}  // namespace smore

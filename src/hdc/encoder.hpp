@@ -1,0 +1,125 @@
+#pragma once
+// Multi-sensor time-series HDC encoder (paper Sec 3.3, Figure 3).
+//
+// Pipeline per window, per sensor channel i:
+//   1. Value quantization: each reading y_t is mapped to a level hypervector
+//      by linear interpolation between the window-extremum base hypervectors,
+//        L_t = H_min + (y_t - y_min)/(y_max - y_min) · (H_max - H_min),
+//      exactly the paper's vector-quantization formula.
+//   2. Temporal n-gram binding: consecutive readings are bound with graded
+//      permutation, G_t = ρ^{n-1}(L_t) * ρ^{n-2}(L_{t+1}) * ... * L_{t+n-1}
+//      (the paper's trigram example: ρρH_t1 * ρH_t2 * H_t3); all n-grams in
+//      the window are bundled into the sensor hypervector H_i.
+//   3. Spatial integration: per-sensor signatures bind provenance and the
+//      result is bundled across sensors, H = Σ_i G_i * H_i.
+//
+// Base-vector policy (see DESIGN.md "ambiguity resolutions"): by default
+// H_min/H_max are fixed per sensor (seeded once through the ItemMemory), which
+// makes the encoding deterministic and similarity-preserving across windows.
+// `per_window_random_base = true` reproduces the paper-literal reading where
+// fresh random extremum hypervectors are drawn for every window; it is kept
+// for the encoding ablation bench.
+//
+// Level policy: the paper's interpolation formula taken literally (every
+// level vector a linear combination of the two anchors) makes the bundled
+// n-gram encoding a function of the value sequence's lag-product sums, which
+// are invariant under time reversal — the encoder would ignore temporal
+// direction. The default therefore quantizes through per-coordinate flip
+// thresholds (a standard HDC level item memory): coordinate i of the level
+// for normalized value α is base_high[i] when α ≥ θ_i else base_low[i], with
+// θ uniform on [0,1). Expected similarity to the anchors still varies
+// linearly in α (the paper's "spectrum of similarity"), but levels are
+// per-coordinate nonlinear, restoring direction sensitivity.
+// `quantization_levels = 0` selects the paper-literal linear interpolation
+// for the ablation bench; Q > 0 snaps α to a Q-point grid first.
+
+#include <cstdint>
+
+#include "data/timeseries.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+
+namespace smore {
+
+/// Tunable parameters of the multi-sensor encoder.
+struct EncoderConfig {
+  std::size_t dim = 4096;       ///< hyperdimensional size d
+  std::size_t ngram = 3;        ///< temporal n-gram length (paper figure: 3)
+  std::uint64_t seed = 0x5304e; ///< basis seed
+  bool per_window_random_base = false;  ///< paper-literal ablation mode
+  /// Value-quantization levels Q; 0 selects the paper-literal continuous
+  /// linear interpolation (see the level-policy note above).
+  std::size_t quantization_levels = 32;
+  /// Use antipodal window anchors: H_max = -H_min instead of two independent
+  /// random hypervectors. With independent anchors, every coordinate where
+  /// the two agree (half of them in expectation) is constant across all
+  /// levels, which injects a large value-independent DC component into every
+  /// encoding — cosine similarities compress toward 1 and domain contrast
+  /// drowns. Antipodal anchors make every coordinate value-sensitive (the
+  /// classic L ... -L level-memory construction). Ablated in
+  /// bench_ablation_encoding.
+  bool antipodal_base = true;
+  /// Temporal dilation δ of the n-gram: the gram at t binds timesteps
+  /// {t, t+δ, t+2δ, ...}. Adjacent samples of a high-rate smooth signal are
+  /// nearly identical, so δ=1 grams carry little temporal information; a
+  /// dilation of a few samples probes lags where activity dynamics actually
+  /// live. 0 = auto: max(1, steps/16) capped at 8. Swept in the encoding
+  /// ablation bench. Ignored when `ngram_dilations` is non-empty.
+  std::size_t ngram_dilation = 0;
+  /// Multi-scale temporal encoding: when non-empty, the sensor hypervector
+  /// bundles the n-gram sums at *each* listed dilation. A subject whose
+  /// motion runs x% faster produces nearly the same grams at a
+  /// correspondingly scaled dilation, so spanning an octave of scales buys
+  /// tempo robustness — the dominant cross-subject shift in activity data —
+  /// at proportional encode cost. Empty = single-scale (ngram_dilation).
+  std::vector<std::size_t> ngram_dilations = {};
+};
+
+/// Reusable scratch buffers for encode(); pass one per thread when encoding
+/// in parallel to avoid per-call allocation.
+struct EncodeScratch {
+  std::vector<float> levels;      // T × d level hypervectors
+  std::vector<float> gram;        // d
+  std::vector<float> sensor_acc;  // d
+};
+
+/// Encoder from raw multi-sensor windows to hypervectors. Immutable after
+/// construction (thread-safe for concurrent encode calls once `prepare()` has
+/// been invoked for the channel count in use).
+class MultiSensorEncoder {
+ public:
+  /// Throws std::invalid_argument for dim == 0, ngram == 0.
+  explicit MultiSensorEncoder(const EncoderConfig& config);
+
+  [[nodiscard]] const EncoderConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+
+  /// Pre-generate the basis for `channels` sensors (required before encoding
+  /// from multiple threads).
+  void prepare(std::size_t channels);
+
+  /// Encode one window. `salt` perturbs the per-window random basis in
+  /// per_window_random_base mode (pass the sample index); it is ignored in
+  /// the default fixed-basis mode.
+  [[nodiscard]] Hypervector encode(const Window& window,
+                                   std::uint64_t salt = 0) const;
+
+  /// Encode with caller-provided scratch (hot path).
+  [[nodiscard]] Hypervector encode(const Window& window, EncodeScratch& scratch,
+                                   std::uint64_t salt = 0) const;
+
+  /// Encode every window of `dataset` (in parallel when a thread pool is
+  /// available), carrying labels and domains into the result.
+  [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+
+ private:
+  void encode_sensor(std::span<const float> signal, const float* base_lo,
+                     const float* base_hi, const float* thresholds,
+                     EncodeScratch& scratch) const;
+
+  EncoderConfig config_;
+  mutable ItemMemory memory_;  // lazily populated cache of basis vectors
+};
+
+}  // namespace smore

@@ -1,0 +1,148 @@
+#pragma once
+// HvDataset: a struct-of-arrays container of encoded hypervectors together
+// with their class labels and domain ids. This is the common currency between
+// the encoder, the HDC classifiers, and the SMORE core.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace smore {
+
+/// Row-major [n × dim] matrix of encoded samples plus per-row label/domain.
+/// Invariants: data.size() == n*dim, labels.size() == domains.size() == n.
+class HvDataset {
+ public:
+  HvDataset() = default;
+
+  /// Empty dataset of the given hyperdimension.
+  explicit HvDataset(std::size_t dim) : dim_(dim) {}
+
+  /// Pre-size for `n` rows (rows remain zero until written).
+  HvDataset(std::size_t n, std::size_t dim)
+      : dim_(dim), data_(n * dim, 0.0f), labels_(n, 0), domains_(n, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Append a row. Throws std::invalid_argument on dimension mismatch.
+  void add(std::span<const float> hv, int label, int domain) {
+    if (hv.size() != dim_) {
+      throw std::invalid_argument("HvDataset::add: dimension mismatch");
+    }
+    data_.insert(data_.end(), hv.begin(), hv.end());
+    labels_.push_back(label);
+    domains_.push_back(domain);
+  }
+
+  [[nodiscard]] std::span<const float> row(std::size_t i) const noexcept {
+    return {data_.data() + i * dim_, dim_};
+  }
+  [[nodiscard]] std::span<float> row(std::size_t i) noexcept {
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  [[nodiscard]] int label(std::size_t i) const noexcept { return labels_[i]; }
+  [[nodiscard]] int domain(std::size_t i) const noexcept { return domains_[i]; }
+
+  void set_label(std::size_t i, int label) noexcept { labels_[i] = label; }
+  void set_domain(std::size_t i, int domain) noexcept { domains_[i] = domain; }
+
+  [[nodiscard]] const std::vector<int>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] const std::vector<int>& domains() const noexcept {
+    return domains_;
+  }
+
+  /// Number of distinct class labels, assuming labels are 0-based and dense:
+  /// max(label)+1, or 0 when empty.
+  [[nodiscard]] int num_classes() const noexcept {
+    int m = -1;
+    for (const int l : labels_) m = l > m ? l : m;
+    return m + 1;
+  }
+
+  /// Number of distinct domains, assuming 0-based dense domain ids.
+  [[nodiscard]] int num_domains() const noexcept {
+    int m = -1;
+    for (const int d : domains_) m = d > m ? d : m;
+    return m + 1;
+  }
+
+  /// Copy the selected rows into a new dataset (e.g., one CV fold).
+  [[nodiscard]] HvDataset select(std::span<const std::size_t> indices) const {
+    HvDataset out(dim_);
+    out.data_.reserve(indices.size() * dim_);
+    out.labels_.reserve(indices.size());
+    out.domains_.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      if (i >= size()) {
+        throw std::out_of_range("HvDataset::select: index out of range");
+      }
+      out.add(row(i), labels_[i], domains_[i]);
+    }
+    return out;
+  }
+
+  /// Mean over all rows (the dataset's "DC component"). Bundled n-gram
+  /// encodings share a large common component that compresses every cosine
+  /// similarity toward 1 and hides domain structure; subtracting the
+  /// training-set mean before similarity computation restores contrast.
+  /// Returns a zero vector when empty.
+  [[nodiscard]] std::vector<float> mean_row() const {
+    std::vector<float> mean(dim_, 0.0f);
+    if (empty()) return mean;
+    std::vector<double> acc(dim_, 0.0);
+    for (std::size_t i = 0; i < size(); ++i) {
+      const auto r = row(i);
+      for (std::size_t j = 0; j < dim_; ++j) acc[j] += r[j];
+    }
+    const double inv = 1.0 / static_cast<double>(size());
+    for (std::size_t j = 0; j < dim_; ++j) {
+      mean[j] = static_cast<float>(acc[j] * inv);
+    }
+    return mean;
+  }
+
+  /// Subtract `center` (typically the training mean) from every row.
+  /// Throws std::invalid_argument on dimension mismatch.
+  void subtract(std::span<const float> center) {
+    if (center.size() != dim_) {
+      throw std::invalid_argument("HvDataset::subtract: dimension mismatch");
+    }
+    for (std::size_t i = 0; i < size(); ++i) {
+      auto r = row(i);
+      for (std::size_t j = 0; j < dim_; ++j) r[j] -= center[j];
+    }
+  }
+
+  /// Row indices belonging to the given domain.
+  [[nodiscard]] std::vector<std::size_t> indices_of_domain(int domain) const {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (domains_[i] == domain) idx.push_back(i);
+    }
+    return idx;
+  }
+
+  /// Row indices NOT in the given domain (the LODO training split).
+  [[nodiscard]] std::vector<std::size_t> indices_excluding_domain(
+      int domain) const {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (domains_[i] != domain) idx.push_back(i);
+    }
+    return idx;
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+  std::vector<int> labels_;
+  std::vector<int> domains_;
+};
+
+}  // namespace smore

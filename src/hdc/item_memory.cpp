@@ -1,0 +1,61 @@
+#include "hdc/item_memory.hpp"
+
+#include <stdexcept>
+
+namespace smore {
+
+ItemMemory::ItemMemory(std::size_t dim, std::uint64_t seed)
+    : dim_(dim), seed_(seed) {
+  if (dim == 0) {
+    throw std::invalid_argument("ItemMemory: dim must be positive");
+  }
+}
+
+const Hypervector& ItemMemory::get(Kind kind, std::size_t sensor) {
+  // Key layout: kind in the top bits, sensor below; collision-free for any
+  // realistic sensor count.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kind) << 56) | static_cast<std::uint64_t>(sensor);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    Rng rng(Rng(seed_).fork(key)());
+    Hypervector hv = kind == Kind::kThreshold
+                         ? uniform_thresholds(dim_, rng)
+                         : Hypervector::random_bipolar(dim_, rng);
+    it = cache_.emplace(key, std::move(hv)).first;
+  }
+  return it->second;
+}
+
+Hypervector ItemMemory::uniform_thresholds(std::size_t dim, Rng& rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng.uniform_f(0.0f, 1.0f);
+  return Hypervector(std::move(v));
+}
+
+const Hypervector& ItemMemory::signature(std::size_t sensor) {
+  return get(Kind::kSignature, sensor);
+}
+
+const Hypervector& ItemMemory::base_low(std::size_t sensor) {
+  return get(Kind::kLow, sensor);
+}
+
+const Hypervector& ItemMemory::base_high(std::size_t sensor) {
+  return get(Kind::kHigh, sensor);
+}
+
+const Hypervector& ItemMemory::thresholds(std::size_t sensor) {
+  return get(Kind::kThreshold, sensor);
+}
+
+void ItemMemory::prefetch(std::size_t n_sensors) {
+  for (std::size_t s = 0; s < n_sensors; ++s) {
+    (void)signature(s);
+    (void)base_low(s);
+    (void)base_high(s);
+    (void)thresholds(s);
+  }
+}
+
+}  // namespace smore

@@ -1,0 +1,73 @@
+#pragma once
+// Item memory: the deterministic source of all random base hypervectors used
+// by the multi-sensor encoder (Sec 3.3).
+//
+// For every sensor channel i the encoder needs three seeded hypervectors:
+//   * signature  G_i : binds "which sensor produced this" (spatial identity)
+//   * base_low   H_min^i : represents the window minimum signal value
+//   * base_high  H_max^i : represents the window maximum signal value
+// All are bipolar and derived from a single 64-bit seed, so an encoder can be
+// reconstructed exactly from (dim, seed) — a model file never needs to store
+// the basis.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace smore {
+
+/// Lazily-generated, cached store of the per-sensor basis hypervectors.
+/// Thread-compatibility: `prefetch()` everything first if sharing across
+/// threads; lazy generation itself is not synchronized.
+class ItemMemory {
+ public:
+  /// `dim` is the hyperdimensional size; `seed` fixes the whole basis.
+  /// Throws std::invalid_argument when dim == 0.
+  ItemMemory(std::size_t dim, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Sensor signature hypervector G_i (Sec 3.3, "spatially integrate").
+  const Hypervector& signature(std::size_t sensor);
+
+  /// Base hypervector representing the minimum value of a window.
+  const Hypervector& base_low(std::size_t sensor);
+
+  /// Base hypervector representing the maximum value of a window.
+  const Hypervector& base_high(std::size_t sensor);
+
+  /// Per-coordinate quantization thresholds in [0, 1) for the thresholded
+  /// level encoding: coordinate i of a level vector takes base_high[i] when
+  /// the normalized signal value reaches thresholds[i], else base_low[i].
+  /// Uniformly distributed thresholds make the expected similarity to
+  /// base_low/base_high vary linearly with the value — the paper's "spectrum
+  /// of similarity" — while keeping levels per-coordinate nonlinear (see
+  /// DESIGN.md on time-reversal invariance of the linear-interpolation
+  /// reading).
+  const Hypervector& thresholds(std::size_t sensor);
+
+  /// Generate (and cache) the vectors for sensors [0, n) up front; required
+  /// before concurrent read access from multiple threads.
+  void prefetch(std::size_t n_sensors);
+
+ private:
+  enum class Kind : std::uint64_t {
+    kSignature = 1,
+    kLow = 2,
+    kHigh = 3,
+    kThreshold = 4,
+  };
+
+  const Hypervector& get(Kind kind, std::size_t sensor);
+  static Hypervector uniform_thresholds(std::size_t dim, Rng& rng);
+
+  std::size_t dim_;
+  std::uint64_t seed_;
+  std::unordered_map<std::uint64_t, Hypervector> cache_;
+};
+
+}  // namespace smore

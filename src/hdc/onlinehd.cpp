@@ -1,0 +1,190 @@
+#include "hdc/onlinehd.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace smore {
+
+OnlineHDClassifier::OnlineHDClassifier(int num_classes, std::size_t dim)
+    : dim_(dim) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("OnlineHDClassifier: num_classes must be > 0");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("OnlineHDClassifier: dim must be > 0");
+  }
+  classes_.assign(static_cast<std::size_t>(num_classes), Hypervector(dim));
+  norms_.assign(static_cast<std::size_t>(num_classes), 0.0);
+}
+
+double OnlineHDClassifier::cosine_to_class(std::span<const float> hv,
+                                           double hv_norm, int c) const {
+  const double cn = norms_[static_cast<std::size_t>(c)];
+  if (hv_norm == 0.0 || cn == 0.0) return 0.0;
+  return ops::dot(hv.data(), classes_[static_cast<std::size_t>(c)].data(),
+                  dim_) /
+         (hv_norm * cn);
+}
+
+void OnlineHDClassifier::refresh_norm(int c) {
+  norms_[static_cast<std::size_t>(c)] =
+      classes_[static_cast<std::size_t>(c)].norm();
+}
+
+void OnlineHDClassifier::bootstrap(std::span<const float> hv, int label) {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("bootstrap: dimension mismatch");
+  }
+  const double hv_norm = ops::nrm2(hv.data(), dim_);
+  const double delta = cosine_to_class(hv, hv_norm, label);
+  const float w = static_cast<float>(1.0 - delta);
+  ops::axpy(w, hv.data(), classes_[static_cast<std::size_t>(label)].data(),
+            dim_);
+  refresh_norm(label);
+}
+
+bool OnlineHDClassifier::refine(std::span<const float> hv, int label,
+                                float learning_rate) {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("refine: dimension mismatch");
+  }
+  const double hv_norm = ops::nrm2(hv.data(), dim_);
+  int best = 0;
+  double best_sim = -2.0;
+  for (int c = 0; c < num_classes(); ++c) {
+    const double s = cosine_to_class(hv, hv_norm, c);
+    if (s > best_sim) {
+      best_sim = s;
+      best = c;
+    }
+  }
+  if (best == label) return true;
+
+  const double delta_true = cosine_to_class(hv, hv_norm, label);
+  const float w_true = learning_rate * static_cast<float>(1.0 - delta_true);
+  ops::axpy(w_true, hv.data(), classes_[static_cast<std::size_t>(label)].data(),
+            dim_);
+  const float w_pred = learning_rate * static_cast<float>(1.0 - best_sim);
+  ops::axpy(-w_pred, hv.data(), classes_[static_cast<std::size_t>(best)].data(),
+            dim_);
+  refresh_norm(label);
+  refresh_norm(best);
+  return false;
+}
+
+std::vector<double> OnlineHDClassifier::fit(const HvDataset& train,
+                                            const OnlineHDConfig& config) {
+  if (train.dim() != dim_) {
+    throw std::invalid_argument("fit: dataset dimension mismatch");
+  }
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (const std::size_t i : order) bootstrap(train.row(i), train.label(i));
+
+  std::vector<double> history;
+  history.reserve(static_cast<std::size_t>(config.epochs));
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.shuffle(order);
+    std::size_t correct = 0;
+    for (const std::size_t i : order) {
+      correct += refine(train.row(i), train.label(i), config.learning_rate)
+                     ? 1
+                     : 0;
+    }
+    history.push_back(train.size() == 0
+                          ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(train.size()));
+  }
+  return history;
+}
+
+int OnlineHDClassifier::predict(std::span<const float> hv) const {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("predict: dimension mismatch");
+  }
+  const double hv_norm = ops::nrm2(hv.data(), dim_);
+  int best = 0;
+  double best_sim = -2.0;
+  for (int c = 0; c < num_classes(); ++c) {
+    const double s = cosine_to_class(hv, hv_norm, c);
+    if (s > best_sim) {
+      best_sim = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> OnlineHDClassifier::similarities(
+    std::span<const float> hv) const {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("similarities: dimension mismatch");
+  }
+  const double hv_norm = ops::nrm2(hv.data(), dim_);
+  std::vector<double> sims(static_cast<std::size_t>(num_classes()));
+  for (int c = 0; c < num_classes(); ++c) {
+    sims[static_cast<std::size_t>(c)] = cosine_to_class(hv, hv_norm, c);
+  }
+  return sims;
+}
+
+double OnlineHDClassifier::accuracy(const HvDataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+const Hypervector& OnlineHDClassifier::class_vector(int c) const {
+  return classes_.at(static_cast<std::size_t>(c));
+}
+
+void OnlineHDClassifier::set_class_vector(int c, Hypervector hv) {
+  if (hv.dim() != dim_) {
+    throw std::invalid_argument("set_class_vector: dimension mismatch");
+  }
+  classes_.at(static_cast<std::size_t>(c)) = std::move(hv);
+  refresh_norm(c);
+}
+
+void OnlineHDClassifier::save(std::ostream& out) const {
+  const std::uint64_t d = dim_;
+  const std::uint64_t k = classes_.size();
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(&k), sizeof(k));
+  for (const auto& c : classes_) {
+    out.write(reinterpret_cast<const char*>(c.data()),
+              static_cast<std::streamsize>(sizeof(float) * dim_));
+  }
+}
+
+OnlineHDClassifier OnlineHDClassifier::load(std::istream& in) {
+  std::uint64_t d = 0;
+  std::uint64_t k = 0;
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  in.read(reinterpret_cast<char*>(&k), sizeof(k));
+  if (!in || d == 0 || k == 0) {
+    throw std::runtime_error("OnlineHDClassifier::load: corrupt header");
+  }
+  OnlineHDClassifier model(static_cast<int>(k), static_cast<std::size_t>(d));
+  for (std::uint64_t c = 0; c < k; ++c) {
+    Hypervector hv(static_cast<std::size_t>(d));
+    in.read(reinterpret_cast<char*>(hv.data()),
+            static_cast<std::streamsize>(sizeof(float) * d));
+    if (!in) {
+      throw std::runtime_error("OnlineHDClassifier::load: truncated payload");
+    }
+    model.set_class_vector(static_cast<int>(c), std::move(hv));
+  }
+  return model;
+}
+
+}  // namespace smore

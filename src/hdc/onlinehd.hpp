@@ -1,0 +1,94 @@
+#pragma once
+// OnlineHD-style hyperdimensional classifier (Hernandez-Cano et al., DATE'21).
+//
+// This is simultaneously:
+//   * "BaselineHD" — the SOTA single-model HDC baseline of the paper [22]
+//     (trained on all source domains pooled, no distribution-shift handling);
+//   * the per-domain learner inside SMORE's domain-specific modeling
+//     (paper Sec 3.4, Eq. 1-2).
+//
+// Training has two phases, mirroring the paper's description of "bundling
+// data points by scaling a proper weight to each of them":
+//   1. adaptive single-pass bootstrap: C_label += (1 - δ(H, C_label)) · H
+//   2. iterative refinement: for each mispredicted sample (predicted class i,
+//      true class j):
+//         C_j ← C_j + η (1 - δ(H, C_j)) H
+//         C_i ← C_i - η (1 - δ(H, C_i)) H            (Eq. 2)
+// Samples that are already well represented contribute little (1 - δ ≈ 0),
+// which prevents model saturation and speeds convergence.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// Hyperparameters of OnlineHD training.
+struct OnlineHDConfig {
+  float learning_rate = 0.035f;  ///< η in Eq. 2
+  int epochs = 20;               ///< refinement iterations after the bootstrap
+  bool shuffle = true;           ///< reshuffle sample order each epoch
+  std::uint64_t seed = 0x0d1e;   ///< shuffle seed
+};
+
+/// Multi-class HDC classifier: one class hypervector per class, cosine
+/// similarity argmax prediction. Class-vector norms are cached and kept
+/// in sync by every update, so predictions cost one dot product per class.
+class OnlineHDClassifier {
+ public:
+  /// Zero-initialized model. Throws std::invalid_argument when
+  /// num_classes <= 0 or dim == 0.
+  OnlineHDClassifier(int num_classes, std::size_t dim);
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Full training: adaptive bootstrap pass + `config.epochs` refinement
+  /// epochs over `train`. Returns per-epoch training accuracy (bootstrap
+  /// excluded), useful for convergence studies (paper Fig. 1b).
+  std::vector<double> fit(const HvDataset& train, const OnlineHDConfig& config);
+
+  /// Adaptive bootstrap for a single sample (phase 1).
+  void bootstrap(std::span<const float> hv, int label);
+
+  /// One Eq.-2 refinement step for a single sample (phase 2); returns true
+  /// when the sample was already classified correctly (no update applied).
+  bool refine(std::span<const float> hv, int label, float learning_rate);
+
+  /// Predicted class: argmax_c δ(hv, C_c).
+  [[nodiscard]] int predict(std::span<const float> hv) const;
+
+  /// Cosine similarity of `hv` to every class hypervector.
+  [[nodiscard]] std::vector<double> similarities(std::span<const float> hv) const;
+
+  /// Fraction of `data` classified correctly.
+  [[nodiscard]] double accuracy(const HvDataset& data) const;
+
+  /// Class hypervector C_c (read-only).
+  [[nodiscard]] const Hypervector& class_vector(int c) const;
+
+  /// Overwrite class hypervector C_c (used by model ensembling; re-syncs the
+  /// cached norm).
+  void set_class_vector(int c, Hypervector hv);
+
+  /// Binary serialization (dimension, class count, raw class vectors).
+  void save(std::ostream& out) const;
+  static OnlineHDClassifier load(std::istream& in);
+
+ private:
+  [[nodiscard]] double cosine_to_class(std::span<const float> hv, double hv_norm,
+                                       int c) const;
+  void refresh_norm(int c);
+
+  std::size_t dim_;
+  std::vector<Hypervector> classes_;
+  std::vector<double> norms_;  // cached ‖C_c‖, kept in sync with classes_
+};
+
+}  // namespace smore

@@ -1,0 +1,116 @@
+#pragma once
+// Low-level dense kernels for hyperdimensional computing.
+//
+// Everything in the HDC layer reduces to a handful of element-wise loops over
+// contiguous float arrays. They are kept header-inline so the compiler can
+// vectorize them at every call site; all higher-level operations
+// (bundle / bind / permute / cosine, encoding, classifier updates) are built
+// from these.
+//
+// Preconditions are asserted, not thrown: dimensional agreement is a class
+// invariant of the callers (see Hypervector), so violations are programming
+// errors, not runtime conditions.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace smore::ops {
+
+/// Dot product over n contiguous floats (accumulated in double for
+/// stability). Four independent accumulators break the loop-carried
+/// dependency so the compiler can pipeline/vectorize the float->double
+/// converts — this is the hottest kernel of HDC inference (every cosine is
+/// one dot per class).
+inline double dot(const float* a, const float* b, std::size_t n) noexcept {
+  assert(a != nullptr && b != nullptr);
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(a[i]) * b[i];
+    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += static_cast<double>(a[i]) * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// Euclidean norm.
+inline double nrm2(const float* a, std::size_t n) noexcept {
+  return std::sqrt(dot(a, a, n));
+}
+
+/// y += alpha * x
+inline void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  assert(x != nullptr && y != nullptr);
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// y = alpha * y
+inline void scale(float alpha, float* y, std::size_t n) noexcept {
+  assert(y != nullptr);
+  for (std::size_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+/// out = a ⊙ b  (element-wise multiply: the HDC binding operation)
+inline void hadamard(const float* a, const float* b, float* out,
+                     std::size_t n) noexcept {
+  assert(a != nullptr && b != nullptr && out != nullptr);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+/// y = y ⊙ a  (in-place binding)
+inline void hadamard_inplace(const float* a, float* y, std::size_t n) noexcept {
+  assert(a != nullptr && y != nullptr);
+  for (std::size_t i = 0; i < n; ++i) y[i] *= a[i];
+}
+
+/// out = ρ^k(src): circular right-shift by k positions. The paper's ρ moves
+/// the last element to the front; ρ^k moves element i to (i + k) mod n.
+/// `out` must not alias `src`.
+inline void rotate(const float* src, std::size_t n, std::size_t k,
+                   float* out) noexcept {
+  assert(src != nullptr && out != nullptr && src != out);
+  if (n == 0) return;
+  k %= n;
+  // out[(i + k) % n] = src[i]  ==  out[j] = src[(j + n - k) % n]
+  const std::size_t split = n - k;
+  for (std::size_t i = 0; i < split; ++i) out[i + k] = src[i];
+  for (std::size_t i = split; i < n; ++i) out[i + k - n] = src[i];
+}
+
+/// y[j] *= src[(j - k) mod n]  for all j: in-place binding with the k-times
+/// rotated source, without materializing the rotation. This is the hot inner
+/// loop of the temporal n-gram encoder (Sec 3.3): binding ρ^k(H_t) into an
+/// accumulator. Precondition: k < n.
+inline void hadamard_rotated(const float* src, std::size_t n, std::size_t k,
+                             float* y) noexcept {
+  assert(src != nullptr && y != nullptr && k < n);
+  // (ρ^k src)[j] = src[(j - k + n) mod n]; split at j == k to avoid the mod.
+  const float* wrapped = src + (n - k);
+  for (std::size_t j = 0; j < k; ++j) y[j] *= wrapped[j];
+  for (std::size_t j = k; j < n; ++j) y[j] *= src[j - k];
+}
+
+/// Cosine similarity; returns 0 when either vector is all-zero (the HDC
+/// convention: the zero vector is "similar to nothing").
+inline double cosine(const float* a, const float* b, std::size_t n) noexcept {
+  const double na = nrm2(a, n);
+  const double nb = nrm2(b, n);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b, n) / (na * nb);
+}
+
+/// out = (1-t)*a + t*b  (linear interpolation: the paper's value quantization)
+inline void lerp(const float* a, const float* b, float t, float* out,
+                 std::size_t n) noexcept {
+  assert(a != nullptr && b != nullptr && out != nullptr);
+  const float s = 1.0f - t;
+  for (std::size_t i = 0; i < n; ++i) out[i] = s * a[i] + t * b[i];
+}
+
+}  // namespace smore::ops

@@ -1,0 +1,71 @@
+#include "hdc/projection_encoder.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smore {
+
+ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
+    : config_(config) {
+  if (config.dim == 0) {
+    throw std::invalid_argument("ProjectionEncoder: dim must be positive");
+  }
+}
+
+void ProjectionEncoder::ensure_projection(std::size_t features) const {
+  if (features_ != 0) {
+    if (features != features_) {
+      throw std::invalid_argument(
+          "ProjectionEncoder: window shape changed after first encode");
+    }
+    return;
+  }
+  features_ = features;
+  Rng rng(config_.seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(features));
+  weights_.resize(config_.dim * features);
+  for (auto& w : weights_) {
+    w = static_cast<float>(rng.normal(0.0, scale));
+  }
+  bias_.resize(config_.dim);
+  for (auto& b : bias_) {
+    b = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  }
+}
+
+Hypervector ProjectionEncoder::encode(const Window& window) const {
+  if (window.channels() == 0 || window.steps() == 0) {
+    throw std::invalid_argument("ProjectionEncoder::encode: empty window");
+  }
+  const std::size_t features = window.channels() * window.steps();
+  ensure_projection(features);
+
+  // The window's values() buffer is already the flattened [channel][t] row.
+  const float* x = window.values().data();
+  Hypervector out(config_.dim);
+  for (std::size_t j = 0; j < config_.dim; ++j) {
+    const double acc =
+        bias_[j] + ops::dot(weights_.data() + j * features, x, features);
+    out[j] = static_cast<float>(std::cos(acc));
+  }
+  return out;
+}
+
+HvDataset ProjectionEncoder::encode_dataset(const WindowDataset& dataset) const {
+  if (dataset.empty()) return HvDataset(config_.dim);
+  ensure_projection(dataset.channels() * dataset.steps());
+  HvDataset out(dataset.size(), config_.dim);
+  parallel_for(dataset.size(), [&](std::size_t i) {
+    const Hypervector hv = encode(dataset[i]);
+    std::copy(hv.data(), hv.data() + config_.dim, out.row(i).begin());
+    out.set_label(i, dataset[i].label());
+    out.set_domain(i, dataset[i].domain());
+  });
+  return out;
+}
+
+}  // namespace smore

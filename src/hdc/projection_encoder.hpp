@@ -1,0 +1,57 @@
+#pragma once
+// OnlineHD-style nonlinear random-projection encoder — the encoding used by
+// "BaselineHD" [22] (Hernandez-Cano et al., DATE'21), the SOTA HDC baseline
+// the paper compares against (Sec 4.1).
+//
+// Unlike SMORE's structure-aware multi-sensor encoder (Sec 3.3), OnlineHD
+// flattens the raw window and maps it through a fixed random projection with
+// a cosine nonlinearity:
+//     z_j = cos(w_j · x + b_j),   w_j ~ N(0, 1/sqrt(F)),  b_j ~ U[0, 2π),
+// where F = channels × steps. This pipeline has no built-in normalization
+// against per-subject offset/gain drift, which is precisely why BaselineHD
+// degrades under distribution shift in the paper's Figures 1(b) and 4 while
+// SMORE's window-anchored value quantization does not.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/timeseries.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// Parameters of the random-projection encoder.
+struct ProjectionEncoderConfig {
+  std::size_t dim = 4096;        ///< hyperdimensional size d
+  std::uint64_t seed = 0x09e14d; ///< projection seed
+};
+
+/// Fixed random projection from flattened windows to hyperspace.
+/// The projection matrix is lazily materialized on the first encode for the
+/// observed input size and is immutable afterwards (same-shape windows only).
+class ProjectionEncoder {
+ public:
+  /// Throws std::invalid_argument when dim == 0.
+  explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+
+  /// Encode one window (flatten -> project -> cos). Throws
+  /// std::invalid_argument when the window shape differs from the first one
+  /// encoded.
+  [[nodiscard]] Hypervector encode(const Window& window) const;
+
+  /// Encode a whole dataset, carrying labels/domains.
+  [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+
+ private:
+  void ensure_projection(std::size_t features) const;
+
+  ProjectionEncoderConfig config_;
+  mutable std::size_t features_ = 0;          // flattened input size F
+  mutable std::vector<float> weights_;        // d × F row-major
+  mutable std::vector<float> bias_;           // d
+};
+
+}  // namespace smore

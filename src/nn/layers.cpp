@@ -1,0 +1,418 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smore::nn {
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features), weight_({out_features, in_features}),
+      bias_({out_features}) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: zero feature count");
+  }
+  // He initialization for ReLU networks.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (std::size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, scale));
+  }
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Dense: expected [B, in] input");
+  }
+  x_cache_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y = Tensor::matrix(batch, out_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = x.data() + b * in_;
+    float* yb = y.data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* w = weight_.value.data() + o * in_;
+      double acc = bias_.value[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += double(w[i]) * xb[i];
+      yb[o] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::size_t batch = x_cache_.dim(0);
+  Tensor grad_in = Tensor::matrix(batch, in_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = x_cache_.data() + b * in_;
+    const float* gb = grad_out.data() + b * out_;
+    float* gi = grad_in.data() + b * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gb[o];
+      if (g == 0.0f) continue;
+      float* wg = weight_.grad.data() + o * in_;
+      const float* w = weight_.value.data() + o * in_;
+      bias_.grad[o] += g;
+      for (std::size_t i = 0; i < in_; ++i) {
+        wg[i] += g * xb[i];
+        gi[i] += g * w[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Conv1D ----
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t stride, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel_size),
+      stride_(stride),
+      weight_({out_channels, in_channels, kernel_size}),
+      bias_({out_channels}) {
+  if (in_channels == 0 || out_channels == 0 || kernel_size == 0 || stride == 0) {
+    throw std::invalid_argument("Conv1D: zero-sized configuration");
+  }
+  const double fan_in = static_cast<double>(in_channels * kernel_size);
+  const double scale = std::sqrt(2.0 / fan_in);
+  for (std::size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, scale));
+  }
+}
+
+Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv1D: expected [B, C_in, T] input");
+  }
+  x_cache_ = x;
+  const std::size_t batch = x.dim(0);
+  const std::size_t t_in = x.dim(2);
+  const std::size_t t_out = (t_in + stride_ - 1) / stride_;
+  // 'same' padding: pad_left centers the kernel.
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(kernel_ - 1) / 2;
+
+  Tensor y = Tensor::cube(batch, out_ch_, t_out);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float bias = bias_.value[oc];
+      for (std::size_t ot = 0; ot < t_out; ++ot) {
+        const std::ptrdiff_t origin =
+            static_cast<std::ptrdiff_t>(ot * stride_) - pad;
+        double acc = bias;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          const float* xr = x.data() + (b * in_ch_ + ic) * t_in;
+          const float* w = weight_.value.data() + (oc * in_ch_ + ic) * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t t = origin + static_cast<std::ptrdiff_t>(k);
+            if (t < 0 || t >= static_cast<std::ptrdiff_t>(t_in)) continue;
+            acc += double(w[k]) * xr[t];
+          }
+        }
+        y.at(b, oc, ot) = static_cast<float>(acc);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_out) {
+  const std::size_t batch = x_cache_.dim(0);
+  const std::size_t t_in = x_cache_.dim(2);
+  const std::size_t t_out = grad_out.dim(2);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(kernel_ - 1) / 2;
+
+  Tensor grad_in = Tensor::cube(batch, in_ch_, t_in);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t ot = 0; ot < t_out; ++ot) {
+        const float g = grad_out.at(b, oc, ot);
+        if (g == 0.0f) continue;
+        bias_.grad[oc] += g;
+        const std::ptrdiff_t origin =
+            static_cast<std::ptrdiff_t>(ot * stride_) - pad;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          const float* xr = x_cache_.data() + (b * in_ch_ + ic) * t_in;
+          float* gxr = grad_in.data() + (b * in_ch_ + ic) * t_in;
+          const float* w = weight_.value.data() + (oc * in_ch_ + ic) * kernel_;
+          float* wg = weight_.grad.data() + (oc * in_ch_ + ic) * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t t = origin + static_cast<std::ptrdiff_t>(k);
+            if (t < 0 || t >= static_cast<std::ptrdiff_t>(t_in)) continue;
+            wg[k] += g * xr[t];
+            gxr[t] += g * w[k];
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------ BatchNorm ----
+
+BatchNorm::BatchNorm(std::size_t features, float momentum, float epsilon)
+    : features_(features),
+      momentum_(momentum),
+      eps_(epsilon),
+      gamma_({features}),
+      beta_({features}),
+      running_mean_({features}),
+      running_var_({features}) {
+  if (features == 0) {
+    throw std::invalid_argument("BatchNorm: zero features");
+  }
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool training) {
+  // Accept [B, F] or [B, F, T]; statistics are per feature/channel.
+  if (!((x.rank() == 2 && x.dim(1) == features_) ||
+        (x.rank() == 3 && x.dim(1) == features_))) {
+    throw std::invalid_argument("BatchNorm: feature dimension mismatch");
+  }
+  const std::size_t batch = x.dim(0);
+  const std::size_t t = x.rank() == 3 ? x.dim(2) : 1;
+  const double count = static_cast<double>(batch * t);
+  cached_shape_ = x.shape();
+
+  const bool use_batch_stats = training || tent_mode_;
+  batch_mean_.assign(features_, 0.0);
+  batch_inv_std_.assign(features_, 0.0);
+
+  if (use_batch_stats) {
+    std::vector<double> var(features_, 0.0);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t f = 0; f < features_; ++f) {
+        const float* row = x.data() + (b * features_ + f) * t;
+        for (std::size_t i = 0; i < t; ++i) batch_mean_[f] += row[i];
+      }
+    }
+    for (auto& m : batch_mean_) m /= count;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t f = 0; f < features_; ++f) {
+        const float* row = x.data() + (b * features_ + f) * t;
+        for (std::size_t i = 0; i < t; ++i) {
+          const double d = row[i] - batch_mean_[f];
+          var[f] += d * d;
+        }
+      }
+    }
+    for (std::size_t f = 0; f < features_; ++f) {
+      var[f] /= count;
+      batch_inv_std_[f] = 1.0 / std::sqrt(var[f] + eps_);
+      if (training) {
+        running_mean_[f] = (1.0f - momentum_) * running_mean_[f] +
+                           momentum_ * static_cast<float>(batch_mean_[f]);
+        running_var_[f] = (1.0f - momentum_) * running_var_[f] +
+                          momentum_ * static_cast<float>(var[f]);
+      }
+    }
+  } else {
+    for (std::size_t f = 0; f < features_; ++f) {
+      batch_mean_[f] = running_mean_[f];
+      batch_inv_std_[f] = 1.0 / std::sqrt(running_var_[f] + eps_);
+    }
+  }
+
+  x_hat_ = x;
+  Tensor y = x;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float mean = static_cast<float>(batch_mean_[f]);
+      const float inv = static_cast<float>(batch_inv_std_[f]);
+      const float g = gamma_.value[f];
+      const float be = beta_.value[f];
+      float* xh = x_hat_.data() + (b * features_ + f) * t;
+      float* yr = y.data() + (b * features_ + f) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        xh[i] = (xh[i] - mean) * inv;
+        yr[i] = g * xh[i] + be;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_shape_[0];
+  const std::size_t t = cached_shape_.size() == 3 ? cached_shape_[2] : 1;
+  const double count = static_cast<double>(batch * t);
+
+  // Accumulate per-feature sums needed by the batch-norm gradient.
+  std::vector<double> sum_g(features_, 0.0);
+  std::vector<double> sum_gx(features_, 0.0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float* g = grad_out.data() + (b * features_ + f) * t;
+      const float* xh = x_hat_.data() + (b * features_ + f) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        sum_g[f] += g[i];
+        sum_gx[f] += static_cast<double>(g[i]) * xh[i];
+      }
+    }
+  }
+  for (std::size_t f = 0; f < features_; ++f) {
+    gamma_.grad[f] += static_cast<float>(sum_gx[f]);
+    beta_.grad[f] += static_cast<float>(sum_g[f]);
+  }
+
+  Tensor grad_in(cached_shape_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < features_; ++f) {
+      const double inv = batch_inv_std_[f];
+      const double g = gamma_.value[f];
+      const float* go = grad_out.data() + (b * features_ + f) * t;
+      const float* xh = x_hat_.data() + (b * features_ + f) * t;
+      float* gi = grad_in.data() + (b * features_ + f) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        // dL/dx = γ·inv_std/N · (N·dL/dy − Σ dL/dy − x̂ Σ(dL/dy·x̂))
+        gi[i] = static_cast<float>(
+            g * inv / count *
+            (count * go[i] - sum_g[f] - double(xh[i]) * sum_gx[f]));
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  mask_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) y[i] = 0.0f;
+    mask_[i] = y[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+// ------------------------------------------------------ GlobalAvgPool1D ----
+
+Tensor GlobalAvgPool1D::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3) {
+    throw std::invalid_argument("GlobalAvgPool1D: expected [B, C, T]");
+  }
+  in_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  const std::size_t ch = x.dim(1);
+  const std::size_t t = x.dim(2);
+  Tensor y = Tensor::matrix(batch, ch);
+  const float inv = 1.0f / static_cast<float>(t);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* row = x.data() + (b * ch + c) * t;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < t; ++i) acc += row[i];
+      y.at(b, c) = static_cast<float>(acc) * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool1D::backward(const Tensor& grad_out) {
+  const std::size_t batch = in_shape_[0];
+  const std::size_t ch = in_shape_[1];
+  const std::size_t t = in_shape_[2];
+  Tensor grad_in(in_shape_);
+  const float inv = 1.0f / static_cast<float>(t);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float g = grad_out.at(b, c) * inv;
+      float* row = grad_in.data() + (b * ch + c) * t;
+      for (std::size_t i = 0; i < t; ++i) row[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------ MaxPool1D ----
+
+MaxPool1D::MaxPool1D(std::size_t kernel) : kernel_(kernel) {
+  if (kernel == 0) throw std::invalid_argument("MaxPool1D: zero kernel");
+}
+
+Tensor MaxPool1D::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3) {
+    throw std::invalid_argument("MaxPool1D: expected [B, C, T]");
+  }
+  in_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  const std::size_t ch = x.dim(1);
+  const std::size_t t_in = x.dim(2);
+  const std::size_t t_out = t_in / kernel_;
+  if (t_out == 0) {
+    throw std::invalid_argument("MaxPool1D: window longer than sequence");
+  }
+  Tensor y = Tensor::cube(batch, ch, t_out);
+  argmax_.assign(batch * ch * t_out, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* row = x.data() + (b * ch + c) * t_in;
+      for (std::size_t o = 0; o < t_out; ++o) {
+        std::size_t best = o * kernel_;
+        float best_v = row[best];
+        for (std::size_t k = 1; k < kernel_; ++k) {
+          const std::size_t idx = o * kernel_ + k;
+          if (row[idx] > best_v) {
+            best_v = row[idx];
+            best = idx;
+          }
+        }
+        y.at(b, c, o) = best_v;
+        argmax_[(b * ch + c) * t_out + o] = best;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool1D::backward(const Tensor& grad_out) {
+  const std::size_t batch = in_shape_[0];
+  const std::size_t ch = in_shape_[1];
+  const std::size_t t_in = in_shape_[2];
+  const std::size_t t_out = grad_out.dim(2);
+  Tensor grad_in(in_shape_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      float* row = grad_in.data() + (b * ch + c) * t_in;
+      for (std::size_t o = 0; o < t_out; ++o) {
+        row[argmax_[(b * ch + c) * t_out + o]] += grad_out.at(b, c, o);
+      }
+    }
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3) {
+    throw std::invalid_argument("Flatten: expected [B, C, T]");
+  }
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.dim(1) * x.dim(2)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+// --------------------------------------------------------- GradReversal ----
+
+Tensor GradReversal::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= -lambda_;
+  return grad_in;
+}
+
+}  // namespace smore::nn

@@ -1,0 +1,190 @@
+#pragma once
+// Layer zoo for the CNN baselines.
+//
+// Each layer implements explicit forward/backward with cached activations —
+// no autograd engine, just the chain rule written out. The set covers the
+// backbone both TENT and MDANs need: Conv1D, BatchNorm (the layer TENT
+// adapts at test time), ReLU, pooling, Dense, and the gradient-reversal
+// layer that MDANs' adversarial training relies on.
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace smore::nn {
+
+/// Abstract differentiable layer. `forward` caches whatever `backward`
+/// needs; `backward` consumes the gradient w.r.t. the output and returns the
+/// gradient w.r.t. the input, accumulating parameter gradients on the side.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// `training` toggles batch-statistics vs. running-statistics behaviour
+  /// (BatchNorm) — other layers ignore it.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Human-readable layer name for summaries.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Fully connected layer: [B, in] -> [B, out], He-initialized.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] const char* name() const override { return "Dense"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor x_cache_;
+};
+
+/// 1-D convolution over [B, C, T] with zero 'same' padding and a stride.
+/// Output time length = ceil(T / stride).
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, std::size_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] const char* name() const override { return "Conv1D"; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  Param weight_;  // [out_ch, in_ch, kernel]
+  Param bias_;    // [out_ch]
+  Tensor x_cache_;
+};
+
+/// Batch normalization over features ([B, F]) or channels ([B, C, T]).
+/// In training mode it normalizes with batch statistics and updates running
+/// estimates; in eval mode it uses the running estimates. `use_batch_stats_in
+/// _eval` supports TENT, which normalizes test batches with their own
+/// statistics (Wang et al., ICLR 2021).
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::size_t features, float momentum = 0.1f,
+                     float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] const char* name() const override { return "BatchNorm"; }
+
+  /// TENT switch: normalize with current-batch statistics even in eval mode.
+  void set_use_batch_stats_in_eval(bool v) noexcept { tent_mode_ = v; }
+
+  /// Affine parameters (the only parameters TENT updates).
+  Param& gamma() noexcept { return gamma_; }
+  Param& beta() noexcept { return beta_; }
+
+  [[nodiscard]] const Tensor& running_mean() const noexcept {
+    return running_mean_;
+  }
+  [[nodiscard]] const Tensor& running_var() const noexcept {
+    return running_var_;
+  }
+
+ private:
+  std::size_t features_;
+  float momentum_;
+  float eps_;
+  bool tent_mode_ = false;
+  Param gamma_;  // [F]
+  Param beta_;   // [F]
+  Tensor running_mean_;
+  Tensor running_var_;
+  // backward caches
+  Tensor x_hat_;
+  std::vector<double> batch_mean_;
+  std::vector<double> batch_inv_std_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Element-wise max(x, 0).
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const char* name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;
+};
+
+/// Global average pooling over time: [B, C, T] -> [B, C].
+class GlobalAvgPool1D : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const char* name() const override { return "GlobalAvgPool1D"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Max pooling over time with kernel == stride: [B, C, T] -> [B, C, T/k].
+class MaxPool1D : public Layer {
+ public:
+  explicit MaxPool1D(std::size_t kernel);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const char* name() const override { return "MaxPool1D"; }
+
+ private:
+  std::size_t kernel_;
+  std::vector<std::size_t> in_shape_;
+  std::vector<std::size_t> argmax_;
+};
+
+/// [B, C, T] -> [B, C*T].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const char* name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Gradient reversal (Ganin et al.): identity forward, -λ·grad backward.
+/// The adversarial hinge of MDANs' domain discriminators.
+class GradReversal : public Layer {
+ public:
+  explicit GradReversal(float lambda = 1.0f) : lambda_(lambda) {}
+
+  Tensor forward(const Tensor& x, bool /*training*/) override { return x; }
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const char* name() const override { return "GradReversal"; }
+
+  void set_lambda(float lambda) noexcept { lambda_ = lambda; }
+  [[nodiscard]] float lambda() const noexcept { return lambda_; }
+
+ private:
+  float lambda_;
+};
+
+}  // namespace smore::nn

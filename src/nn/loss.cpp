@@ -1,0 +1,109 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smore::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected [B, C] logits");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor p = logits;
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = p.data() + b * classes;
+    float max_v = row[0];
+    for (std::size_t c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t c = 0; c < classes; ++c) row[c] *= inv;
+  }
+  return p;
+}
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
+  if (logits.rank() != 2 || logits.dim(0) != targets.size()) {
+    throw std::invalid_argument("cross_entropy: shape/target mismatch");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  const Tensor p = softmax(logits);
+
+  LossResult result;
+  result.grad = Tensor::matrix(batch, classes);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const int y = targets[b];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::invalid_argument("cross_entropy: label out of range");
+    }
+    const float* pr = p.data() + b * classes;
+    float* gr = result.grad.data() + b * classes;
+    total -= std::log(std::max(pr[static_cast<std::size_t>(y)], 1e-12f));
+    for (std::size_t c = 0; c < classes; ++c) {
+      gr[c] = (pr[c] - (c == static_cast<std::size_t>(y) ? 1.0f : 0.0f)) *
+              inv_batch;
+    }
+  }
+  result.value = total / static_cast<double>(batch);
+  return result;
+}
+
+LossResult entropy_loss(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("entropy_loss: expected [B, C] logits");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  const Tensor p = softmax(logits);
+
+  LossResult result;
+  result.grad = Tensor::matrix(batch, classes);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* pr = p.data() + b * classes;
+    float* gr = result.grad.data() + b * classes;
+    double h = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double pc = std::max(static_cast<double>(pr[c]), 1e-12);
+      h -= pc * std::log(pc);
+    }
+    total += h;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double pc = std::max(static_cast<double>(pr[c]), 1e-12);
+      // dH/dz_c = -p_c (log p_c + H)
+      gr[c] = static_cast<float>(-pc * (std::log(pc) + h)) * inv_batch;
+    }
+  }
+  result.value = total / static_cast<double>(batch);
+  return result;
+}
+
+double logits_accuracy(const Tensor& logits, const std::vector<int>& targets) {
+  if (logits.rank() != 2 || logits.dim(0) != targets.size()) {
+    throw std::invalid_argument("logits_accuracy: shape/target mismatch");
+  }
+  if (targets.empty()) return 0.0;
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    correct += static_cast<int>(best) == targets[b] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace smore::nn

@@ -1,0 +1,36 @@
+#pragma once
+// Losses for the CNN baselines, computed from raw logits:
+//   * softmax cross-entropy — source training of TENT's backbone, MDANs'
+//     label head, and the domain discriminators;
+//   * prediction entropy H(softmax(z)) — the quantity TENT minimizes at test
+//     time (Wang et al., ICLR 2021).
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace smore::nn {
+
+/// Value and logits-gradient of a loss over a batch.
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Tensor grad;         ///< dL/dlogits, same shape as the logits
+};
+
+/// Row-wise softmax of a [B, C] logit matrix (numerically stabilized).
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Mean softmax cross-entropy with integer targets.
+/// Throws std::invalid_argument when shapes/labels are inconsistent.
+[[nodiscard]] LossResult cross_entropy(const Tensor& logits,
+                                       const std::vector<int>& targets);
+
+/// Mean prediction entropy  H = -Σ_c p_c log p_c  over the batch.
+/// The gradient w.r.t. logit z_k is  -p_k (log p_k + H_row) / B.
+[[nodiscard]] LossResult entropy_loss(const Tensor& logits);
+
+/// Batch classification accuracy from logits.
+[[nodiscard]] double logits_accuracy(const Tensor& logits,
+                                     const std::vector<int>& targets);
+
+}  // namespace smore::nn

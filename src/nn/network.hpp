@@ -1,0 +1,82 @@
+#pragma once
+// Sequential network container: an ordered list of layers with forward /
+// backward passes and parameter collection. TENT and MDAN compose their
+// models from these.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace smore::nn {
+
+/// A feed-forward stack of layers.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference to it typed as the concrete layer
+  /// (handy for keeping a handle on BatchNorm/GradReversal layers).
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Append an already-constructed layer.
+  void append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Run the stack front-to-back.
+  Tensor forward(const Tensor& x, bool training) {
+    Tensor h = x;
+    for (auto& l : layers_) h = l->forward(h, training);
+    return h;
+  }
+
+  /// Run the chain rule back-to-front; returns gradient w.r.t. the input.
+  Tensor backward(const Tensor& grad_out) {
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  /// All learnable parameters in layer order.
+  [[nodiscard]] std::vector<Param*> params() {
+    std::vector<Param*> out;
+    for (auto& l : layers_) {
+      for (Param* p : l->params()) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Total learnable scalar count (model size reporting).
+  [[nodiscard]] std::size_t param_count() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->value.size();
+    return n;
+  }
+
+  /// Collect all BatchNorm layers (TENT adapts exactly these).
+  [[nodiscard]] std::vector<BatchNorm*> batch_norm_layers() {
+    std::vector<BatchNorm*> out;
+    for (auto& l : layers_) {
+      if (auto* bn = dynamic_cast<BatchNorm*>(l.get())) out.push_back(bn);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace smore::nn

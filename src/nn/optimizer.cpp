@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smore::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float learning_rate, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (learning_rate <= 0.0f) {
+    throw std::invalid_argument("Sgd: learning_rate must be positive");
+  }
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p.value[j] -= lr_ * vel[j];
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float learning_rate, float beta1,
+           float beta2, float epsilon)
+    : Optimizer(std::move(params)),
+      lr_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(epsilon) {
+  if (learning_rate <= 0.0f) {
+    throw std::invalid_argument("Adam: learning_rate must be positive");
+  }
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      p.value[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace smore::nn

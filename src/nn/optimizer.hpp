@@ -1,0 +1,73 @@
+#pragma once
+// First-order optimizers over Param lists: SGD with momentum (source
+// training) and Adam (the common choice for TENT/MDAN adaptation steps).
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace smore::nn {
+
+/// Abstract optimizer over a fixed parameter set.
+class Optimizer {
+ public:
+  /// The pointed-to params must outlive the optimizer.
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then clear them.
+  virtual void step() = 0;
+
+  /// Clear accumulated gradients without updating.
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+  [[nodiscard]] const std::vector<Param*>& params() const noexcept {
+    return params_;
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float learning_rate, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float learning_rate, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void step() override;
+
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace smore::nn

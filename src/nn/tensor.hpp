@@ -1,0 +1,105 @@
+#pragma once
+// Minimal dense tensor for the CNN baseline substrate.
+//
+// The paper's comparators (TENT, MDANs) are small 1-D CNNs; this tensor is
+// just enough for them: row-major float storage with a rank ≤ 3 shape
+// ([batch, features] for dense layers, [batch, channels, time] for
+// convolutions). No views, no broadcasting — layers own their layouts.
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace smore::nn {
+
+/// Dense row-major float tensor with a dynamic shape.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero tensor of the given shape. A dimension of 0 is invalid.
+  explicit Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+    std::size_t n = 1;
+    for (const std::size_t d : shape_) {
+      if (d == 0) throw std::invalid_argument("Tensor: zero dimension");
+      n *= d;
+    }
+    data_.assign(n, 0.0f);
+  }
+
+  static Tensor matrix(std::size_t rows, std::size_t cols) {
+    return Tensor({rows, cols});
+  }
+  static Tensor cube(std::size_t b, std::size_t c, std::size_t t) {
+    return Tensor({b, c, t});
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// 2-D accessors ([rows, cols]).
+  float& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 3-D accessors ([batch, channel, time]).
+  float& at(std::size_t b, std::size_t c, std::size_t t) noexcept {
+    return data_[(b * shape_[1] + c) * shape_[2] + t];
+  }
+  [[nodiscard]] float at(std::size_t b, std::size_t c,
+                         std::size_t t) const noexcept {
+    return data_[(b * shape_[1] + c) * shape_[2] + t];
+  }
+
+  void fill(float v) noexcept {
+    for (auto& x : data_) x = v;
+  }
+
+  /// Reinterpret with a new shape of identical element count.
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const {
+    const std::size_t n = std::accumulate(new_shape.begin(), new_shape.end(),
+                                          std::size_t{1}, std::multiplies<>());
+    if (n != size()) {
+      throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+    }
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+  }
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// A learnable parameter: value plus accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::vector<std::size_t> shape)
+      : value(shape), grad(std::move(shape)) {}
+
+  void zero_grad() noexcept { grad.fill(0.0f); }
+};
+
+}  // namespace smore::nn

@@ -1,0 +1,145 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace smore {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+CliParser& CliParser::flag_double(const std::string& name, double default_value,
+                                  const std::string& help) {
+  std::ostringstream os;
+  os.precision(10);
+  os << default_value;
+  options_[name] = Option{Kind::kDouble, os.str(), os.str(), help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::flag_int(const std::string& name,
+                               std::int64_t default_value,
+                               const std::string& help) {
+  const std::string v = std::to_string(default_value);
+  options_[name] = Option{Kind::kInt, v, v, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::flag_string(const std::string& name,
+                                  const std::string& default_value,
+                                  const std::string& help) {
+  options_[name] = Option{Kind::kString, default_value, default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::flag_bool(const std::string& name, bool default_value,
+                                const std::string& help) {
+  const std::string v = default_value ? "true" : "false";
+  options_[name] = Option{Kind::kBool, v, v, help};
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliParser::assign(const std::string& name, const std::string& value) {
+  auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  Option& opt = it->second;
+  try {
+    switch (opt.kind) {
+      case Kind::kDouble:
+        (void)std::stod(value);
+        break;
+      case Kind::kInt:
+        (void)std::stoll(value);
+        break;
+      case Kind::kBool:
+        if (value != "true" && value != "false" && value != "1" &&
+            value != "0") {
+          return false;
+        }
+        break;
+      case Kind::kString:
+        break;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  opt.value = value;
+  return true;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), help_text().c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = options_.find(name);
+      const bool is_bool = it != options_.end() && it->second.kind == Kind::kBool;
+      if (is_bool) {
+        value = "true";  // bare --flag turns a boolean on
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!assign(name, value)) {
+      std::fprintf(stderr, "unknown or ill-formed flag: --%s=%s\n%s",
+                   name.c_str(), value.c_str(), help_text().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(options_.at(name).value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(options_.at(name).value);
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return options_.at(name).value;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = options_.at(name).value;
+  return v == "true" || v == "1";
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name << " (default: " << opt.default_value << ")\n      "
+       << opt.help << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace smore

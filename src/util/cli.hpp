@@ -1,0 +1,62 @@
+#pragma once
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supported syntax: --name=value, --name value, and boolean --name.
+// Unknown flags raise an error listing the registered options, so every
+// harness is self-documenting via --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smore {
+
+/// Declarative command-line parser: register flags with defaults, then parse.
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Register flags. `help` is shown by --help. Returns *this for chaining.
+  CliParser& flag_double(const std::string& name, double default_value,
+                         const std::string& help);
+  CliParser& flag_int(const std::string& name, std::int64_t default_value,
+                      const std::string& help);
+  CliParser& flag_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+  CliParser& flag_bool(const std::string& name, bool default_value,
+                       const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text printed) or
+  /// an unknown/ill-formed flag was seen (diagnostic printed to stderr).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; throw std::out_of_range for unregistered names.
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Render the --help text.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { kDouble, kInt, kString, kBool };
+  struct Option {
+    Kind kind;
+    std::string value;  // canonical string form of the current value
+    std::string default_value;
+    std::string help;
+  };
+
+  bool assign(const std::string& name, const std::string& value);
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order for --help
+};
+
+}  // namespace smore

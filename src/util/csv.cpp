@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace smore {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path,
+                     const std::vector<std::string>& header)
+    : path_(path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+  columns_ = header.size();
+  rows_ = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: expected " +
+                                std::to_string(columns_) + " fields, got " +
+                                std::to_string(fields.size()));
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace smore

@@ -1,0 +1,68 @@
+#pragma once
+// Small CSV writer used by the benchmark harnesses to dump every table/figure
+// series into results/*.csv so plots can be regenerated outside the binary.
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smore {
+
+/// Append-only CSV file writer. Creates parent directories on demand and
+/// RFC4180-quotes any field containing commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Open (truncate) `path` and emit `header` as the first row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::filesystem::path& path,
+            const std::vector<std::string>& header);
+
+  /// Emit one row; the field count must match the header.
+  /// Throws std::invalid_argument on arity mismatch.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format arithmetic values with max round-trip precision.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format(values)), ...);
+    row(fields);
+  }
+
+  /// Number of data rows written so far (excluding the header).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// The file being written.
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  template <typename T>
+  static std::string format(const T& v) {
+    if constexpr (std::is_same_v<T, std::string> ||
+                  std::is_same_v<T, const char*> ||
+                  std::is_convertible_v<T, std::string_view>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os.precision(10);
+      os << v;
+      return os.str();
+    }
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace smore

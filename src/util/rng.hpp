@@ -1,0 +1,171 @@
+#pragma once
+// Deterministic, seedable random number generation for every stochastic
+// component in the library.
+//
+// Design notes:
+//  * xoshiro256** as the core generator: fast, high quality, and trivially
+//    reproducible across platforms (unlike std::mt19937 distributions, whose
+//    std::normal_distribution output is implementation-defined).
+//  * All distribution sampling is implemented here so results are bit-stable
+//    across standard libraries.
+//  * `Rng::fork(tag)` derives an independent stream from a parent seed, which
+//    lets parallel per-sample work stay deterministic regardless of scheduling.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+namespace smore {
+
+/// splitmix64: used to seed and to derive independent sub-streams.
+/// Reference: Sebastiano Vigna, public domain.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seedable pseudo-random generator (xoshiro256**) with portable
+/// distribution sampling. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed. Two Rng constructed from the same seed
+  /// produce identical streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  /// Re-initialize the state from `seed`.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent generator; `tag` distinguishes sibling streams.
+  /// fork(i) != fork(j) for i != j, and forks never collide with the parent.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept {
+    // Mix the current state with the tag through splitmix64 twice.
+    std::uint64_t s = state_[0] ^ (state_[3] + 0x9e3779b97f4a7c15ULL * (tag + 1));
+    std::uint64_t a = splitmix64(s);
+    std::uint64_t b = splitmix64(s);
+    Rng child(a ^ (b << 1) ^ tag);
+    return child;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_f(float lo, float hi) noexcept {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t index(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    index(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box-Muller (portable, unlike std::normal_distribution).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    // Avoid log(0).
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Random bipolar value: +1 or -1 with equal probability.
+  float bipolar() noexcept { return ((*this)() & 1u) ? 1.0f : -1.0f; }
+
+  /// Bernoulli trial with success probability `p`.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n) noexcept {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace smore

@@ -1,0 +1,79 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+namespace smore {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t threads = std::max<std::size_t>(1, workers_.size());
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t blocks = std::min(threads, n);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    auto task = std::make_shared<std::packaged_task<void()>>([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+    pending.push_back(task->get_future());
+    {
+      const std::scoped_lock lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+  }
+  for (auto& f : pending) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace smore

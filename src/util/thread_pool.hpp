@@ -1,0 +1,55 @@
+#pragma once
+// Minimal fixed-size thread pool with a deterministic parallel_for.
+//
+// HDC encoding and similarity search are embarrassingly parallel per sample.
+// The pool hands out contiguous index blocks so results land in pre-sized
+// output slots: the outcome is bit-identical regardless of thread count,
+// which keeps every experiment reproducible (see DESIGN.md §6).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace smore {
+
+/// Fixed-size worker pool. Create once, submit many tasks.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run `body(i)` for every i in [0, n), partitioned into contiguous blocks
+  /// across the workers; blocks until all iterations have completed.
+  /// `body` must be safe to call concurrently for distinct indices.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized to the hardware; lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for. Falls back to a
+/// serial loop when the pool has a single worker (avoids sync overhead on
+/// single-core hosts).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace smore

@@ -1,0 +1,100 @@
+// Unit tests for binarized inference: bit packing, Hamming algebra, and
+// accuracy retention after sign quantization.
+
+#include "hdc/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::separable_hv_dataset;
+
+TEST(BinaryVector, PacksBitsBySign) {
+  const std::vector<float> v{1.0f, -2.0f, 0.0f, -0.5f, 3.0f};
+  const BinaryVector b{v};
+  EXPECT_EQ(b.dim(), 5u);
+  EXPECT_EQ(b.bit(0), 1);
+  EXPECT_EQ(b.bit(1), 0);
+  EXPECT_EQ(b.bit(2), 1);  // >= 0 maps to 1
+  EXPECT_EQ(b.bit(3), 0);
+  EXPECT_EQ(b.bit(4), 1);
+}
+
+TEST(BinaryVector, HammingBasics) {
+  const std::vector<float> a{1.0f, 1.0f, -1.0f, -1.0f};
+  const std::vector<float> b{1.0f, -1.0f, -1.0f, 1.0f};
+  const BinaryVector ba{a};
+  const BinaryVector bb{b};
+  EXPECT_EQ(ba.hamming(ba), 0u);
+  EXPECT_EQ(ba.hamming(bb), 2u);
+  EXPECT_EQ(bb.hamming(ba), 2u);  // symmetric
+}
+
+TEST(BinaryVector, HammingDimMismatchThrows) {
+  const std::vector<float> a(8, 1.0f);
+  const std::vector<float> b(16, 1.0f);
+  EXPECT_THROW((void)BinaryVector{a}.hamming(BinaryVector{b}),
+               std::invalid_argument);
+}
+
+TEST(BinaryVector, SimilarityMatchesBipolarCosine) {
+  // For exactly bipolar vectors, 1 - 2h/d equals the cosine.
+  Rng rng(3);
+  const auto a = Hypervector::random_bipolar(512, rng);
+  const auto b = Hypervector::random_bipolar(512, rng);
+  const BinaryVector ba(a.span());
+  const BinaryVector bb(b.span());
+  EXPECT_NEAR(ba.similarity(bb), cosine_similarity(a, b), 1e-9);
+  EXPECT_NEAR(ba.similarity(ba), 1.0, 1e-12);
+}
+
+TEST(BinaryVector, CrossesWordBoundaries) {
+  // dim = 130 spans three 64-bit words; flip one bit in the last word.
+  std::vector<float> a(130, 1.0f);
+  std::vector<float> b(130, 1.0f);
+  b[129] = -1.0f;
+  EXPECT_EQ(BinaryVector{a}.hamming(BinaryVector{b}), 1u);
+}
+
+TEST(BinaryModel, FootprintIs32xSmaller) {
+  OnlineHDClassifier model(4, 2048);
+  const BinaryModel binary(model);
+  EXPECT_EQ(binary.footprint_bytes(), 4u * 2048 / 8);
+  EXPECT_EQ(binary.num_classes(), 4);
+  EXPECT_EQ(binary.dim(), 2048u);
+}
+
+TEST(BinaryModel, RetainsMostAccuracyOnSeparableData) {
+  const HvDataset data = separable_hv_dataset(4, 1, 40, 2048, 0.5);
+  OnlineHDClassifier model(4, 2048);
+  OnlineHDConfig cfg;
+  cfg.epochs = 10;
+  model.fit(data, cfg);
+  const double full = model.accuracy(data);
+  const BinaryModel binary(model);
+  EXPECT_GT(binary.accuracy(data), full - 0.08);
+}
+
+TEST(BinaryModel, PredictsQuantizedQueriesConsistently) {
+  const HvDataset data = separable_hv_dataset(3, 1, 10, 256, 0.4);
+  OnlineHDClassifier model(3, 256);
+  model.fit(data, {});
+  const BinaryModel binary(model);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const BinaryVector q(data.row(i));
+    EXPECT_EQ(binary.predict(q), binary.predict(data.row(i)));
+  }
+}
+
+TEST(BinaryModel, DimMismatchThrows) {
+  OnlineHDClassifier model(2, 64);
+  const BinaryModel binary(model);
+  const std::vector<float> bad(32, 1.0f);
+  EXPECT_THROW((void)binary.predict(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smore

@@ -1,0 +1,148 @@
+// Unit tests for the CSV writer and the CLI flag parser.
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace smore {
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() / "smore_csv_test.csv";
+
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x", "y"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\nx,y\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"v"});
+    csv.row({"has,comma"});
+    csv.row({"has\"quote"});
+  }
+  EXPECT_EQ(read_file(path_), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, RowValuesFormatsNumbers) {
+  {
+    CsvWriter csv(path_, {"name", "x", "n"});
+    csv.row_values("abc", 1.5, 42);
+  }
+  EXPECT_EQ(read_file(path_), "name,x,n\nabc,1.5,42\n");
+}
+
+TEST_F(CsvTest, ArityMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, CreatesParentDirectories) {
+  const auto nested =
+      std::filesystem::temp_directory_path() / "smore_csv_nested" / "x.csv";
+  {
+    CsvWriter csv(nested, {"a"});
+    csv.row({"1"});
+  }
+  EXPECT_TRUE(std::filesystem::exists(nested));
+  std::filesystem::remove_all(nested.parent_path());
+}
+
+TEST(Cli, DefaultsAreReturned) {
+  CliParser cli("test");
+  cli.flag_int("n", 5, "count").flag_double("x", 1.5, "value");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 1.5);
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli("test");
+  cli.flag_int("n", 5, "count");
+  const char* argv[] = {"prog", "--n=9"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("n"), 9);
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliParser cli("test");
+  cli.flag_string("name", "a", "name");
+  const char* argv[] = {"prog", "--name", "hello"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_string("name"), "hello");
+}
+
+TEST(Cli, BareBooleanFlagTurnsOn) {
+  CliParser cli("test");
+  cli.flag_bool("full", false, "run full scale");
+  const char* argv[] = {"prog", "--full"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("full"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("test");
+  cli.flag_int("n", 5, "count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, MalformedNumberFails) {
+  CliParser cli("test");
+  cli.flag_int("n", 5, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalseAndLists) {
+  CliParser cli("summary text");
+  cli.flag_int("n", 5, "the count flag");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("summary text"), std::string::npos);
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("the count flag"), std::string::npos);
+}
+
+TEST(Cli, DoubleParses) {
+  CliParser cli("test");
+  cli.flag_double("scale", 0.15, "scale");
+  const char* argv[] = {"prog", "--scale=0.4"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.4);
+}
+
+TEST(Cli, BoolExplicitValues) {
+  CliParser cli("test");
+  cli.flag_bool("x", true, "x");
+  const char* argv[] = {"prog", "--x=false"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_bool("x"));
+}
+
+}  // namespace
+}  // namespace smore

@@ -1,0 +1,197 @@
+// Unit tests for normalization and cross-validation splits.
+
+#include "data/dataset.hpp"
+#include "data/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::tiny_spec;
+
+WindowDataset shifted_dataset() {
+  // Channel 0 centered at 10 with spread, channel 1 centered at -5.
+  WindowDataset ds("n", 2, 8);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Window w(2, 8);
+    for (std::size_t t = 0; t < 8; ++t) {
+      w.set(0, t, static_cast<float>(10.0 + 2.0 * rng.normal()));
+      w.set(1, t, static_cast<float>(-5.0 + 0.5 * rng.normal()));
+    }
+    w.set_label(i % 2);
+    w.set_domain(i % 4);
+    ds.add(w);
+  }
+  return ds;
+}
+
+TEST(Normalizer, FitApplyZeroMeanUnitVar) {
+  const WindowDataset ds = shifted_dataset();
+  ChannelNormalizer norm;
+  norm.fit(ds);
+  const WindowDataset out = norm.transform(ds);
+
+  // Aggregate statistics of the transformed data must be ~N(0,1) per channel.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      for (const float v : out[i].channel(c)) {
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum_sq / static_cast<double>(n) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Normalizer, UsesOnlyTrainingIndices) {
+  const WindowDataset ds = shifted_dataset();
+  ChannelNormalizer all;
+  all.fit(ds);
+  ChannelNormalizer subset;
+  subset.fit(ds, {0, 1, 2});
+  // Different statistics bases -> different parameters (no silent leakage of
+  // the full set).
+  EXPECT_NE(all.mean()[0], subset.mean()[0]);
+}
+
+TEST(Normalizer, ConstantChannelGetsUnitStd) {
+  WindowDataset ds("c", 1, 4);
+  Window w(1, 4);
+  for (std::size_t t = 0; t < 4; ++t) w.set(0, t, 2.0f);
+  ds.add(w);
+  ChannelNormalizer norm;
+  norm.fit(ds);
+  EXPECT_FLOAT_EQ(norm.stddev()[0], 1.0f);
+  const WindowDataset out = norm.transform(ds);
+  EXPECT_FLOAT_EQ(out[0].at(0, 0), 0.0f);  // (2-2)/1
+}
+
+TEST(Normalizer, ApplyBeforeFitThrows) {
+  ChannelNormalizer norm;
+  Window w(1, 4);
+  EXPECT_THROW(norm.apply(w), std::logic_error);
+}
+
+TEST(Normalizer, EmptyFitThrows) {
+  const WindowDataset ds = shifted_dataset();
+  ChannelNormalizer norm;
+  EXPECT_THROW(norm.fit(ds, {}), std::invalid_argument);
+}
+
+TEST(Normalizer, ChannelMismatchThrows) {
+  const WindowDataset ds = shifted_dataset();
+  ChannelNormalizer norm;
+  norm.fit(ds);
+  Window w(3, 8);
+  EXPECT_THROW(norm.apply(w), std::invalid_argument);
+}
+
+// ----- splits -----
+
+TEST(Splits, LodoPartitionsByDomain) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 3, 1, 16, 12));
+  const Split split = lodo_split(ds, 1);
+  EXPECT_EQ(split.test.size(), ds.domain_size(1));
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  for (const std::size_t i : split.test) EXPECT_EQ(ds[i].domain(), 1);
+  for (const std::size_t i : split.train) EXPECT_NE(ds[i].domain(), 1);
+}
+
+TEST(Splits, LodoMissingDomainThrows) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 3, 1, 16, 12));
+  EXPECT_THROW(lodo_split(ds, 17), std::invalid_argument);
+}
+
+TEST(Splits, LodoFoldsCoverEveryDomainOnce) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 4, 1, 16, 10));
+  const auto folds = lodo_folds(ds);
+  ASSERT_EQ(folds.size(), 4u);
+  std::size_t total_test = 0;
+  for (const auto& f : folds) total_test += f.test.size();
+  EXPECT_EQ(total_test, ds.size());  // each window held out exactly once
+}
+
+TEST(Splits, KfoldPartitionsAreDisjointAndComplete) {
+  const auto folds = kfold_splits(100, 5, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> all_test;
+  for (const auto& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 100u);
+    for (const std::size_t i : f.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "index tested twice";
+    }
+    // train ∩ test = ∅
+    std::set<std::size_t> train_set(f.train.begin(), f.train.end());
+    for (const std::size_t i : f.test) {
+      EXPECT_EQ(train_set.count(i), 0u);
+    }
+  }
+  EXPECT_EQ(all_test.size(), 100u);
+}
+
+TEST(Splits, KfoldValidatesArguments) {
+  EXPECT_THROW(kfold_splits(10, 1, 0), std::invalid_argument);
+  EXPECT_THROW(kfold_splits(3, 5, 0), std::invalid_argument);
+}
+
+TEST(Splits, KfoldDeterministicBySeed) {
+  const auto a = kfold_splits(50, 5, 9);
+  const auto b = kfold_splits(50, 5, 9);
+  const auto c = kfold_splits(50, 5, 10);
+  EXPECT_EQ(a[0].test, b[0].test);
+  EXPECT_NE(a[0].test, c[0].test);
+}
+
+TEST(Splits, StratifiedSubsampleKeepsCellBalance) {
+  const WindowDataset ds = generate_dataset(tiny_spec(3, 3, 1, 16, 30));
+  const auto keep = stratified_subsample(ds, 0.5, 3);
+  // Every (domain,label) cell is halved (±1 rounding).
+  std::map<std::pair<int, int>, int> full;
+  std::map<std::pair<int, int>, int> kept;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ++full[{ds[i].domain(), ds[i].label()}];
+  }
+  for (const std::size_t i : keep) {
+    ++kept[{ds[i].domain(), ds[i].label()}];
+  }
+  for (const auto& [cell, n] : full) {
+    EXPECT_NEAR(kept[cell], n * 0.5, 1.0);
+  }
+}
+
+TEST(Splits, StratifiedSubsampleFullFractionIdentity) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 2, 1, 16, 10));
+  const auto keep = stratified_subsample(ds, 1.0, 3);
+  EXPECT_EQ(keep.size(), ds.size());
+}
+
+TEST(Splits, StratifiedSubsampleValidatesFraction) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 2, 1, 16, 10));
+  EXPECT_THROW(stratified_subsample(ds, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_subsample(ds, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Splits, TakeMaterializesSelection) {
+  const WindowDataset ds = generate_dataset(tiny_spec(2, 2, 1, 16, 10));
+  const WindowDataset sub = take(ds, {0, 3, 5});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[1].label(), ds[3].label());
+  EXPECT_THROW(take(ds, {ds.size()}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace smore

@@ -1,0 +1,321 @@
+// Unit & property tests for the multi-sensor time-series encoder (Sec 3.3):
+// determinism, similarity preservation, temporal order sensitivity, sensor
+// separation, and the paper-literal per-window-random ablation mode.
+
+#include "hdc/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/timeseries.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+namespace {
+
+Window sine_window(std::size_t channels, std::size_t steps, double freq,
+                   double phase = 0.0, double amp = 1.0, int label = 0) {
+  Window w(channels, steps);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double x = static_cast<double>(t) / static_cast<double>(steps);
+      w.set(c, t,
+            static_cast<float>(
+                amp * std::sin(2.0 * std::numbers::pi * freq * x + phase +
+                               0.7 * static_cast<double>(c))));
+    }
+  }
+  w.set_label(label);
+  w.set_domain(0);
+  return w;
+}
+
+EncoderConfig small_config() {
+  EncoderConfig cfg;
+  cfg.dim = 2048;
+  cfg.ngram = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Encoder, RejectsInvalidConfig) {
+  EncoderConfig cfg = small_config();
+  cfg.dim = 0;
+  EXPECT_THROW(MultiSensorEncoder{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.ngram = 0;
+  EXPECT_THROW(MultiSensorEncoder{cfg}, std::invalid_argument);
+}
+
+TEST(Encoder, OutputDimMatchesConfig) {
+  const MultiSensorEncoder enc(small_config());
+  const auto hv = enc.encode(sine_window(2, 32, 2.0));
+  EXPECT_EQ(hv.dim(), 2048u);
+}
+
+TEST(Encoder, DeterministicAcrossCallsAndInstances) {
+  const MultiSensorEncoder enc1(small_config());
+  const MultiSensorEncoder enc2(small_config());
+  const Window w = sine_window(2, 32, 2.0);
+  EXPECT_EQ(enc1.encode(w), enc1.encode(w));
+  EXPECT_EQ(enc1.encode(w), enc2.encode(w));
+}
+
+TEST(Encoder, SeedChangesEncoding) {
+  EncoderConfig cfg = small_config();
+  const MultiSensorEncoder enc1(cfg);
+  cfg.seed = 12;
+  const MultiSensorEncoder enc2(cfg);
+  const Window w = sine_window(2, 32, 2.0);
+  EXPECT_NE(enc1.encode(w), enc2.encode(w));
+}
+
+TEST(Encoder, IdenticalWindowsMaximallySimilar) {
+  const MultiSensorEncoder enc(small_config());
+  const Window w = sine_window(3, 48, 1.5);
+  EXPECT_NEAR(cosine_similarity(enc.encode(w), enc.encode(w)), 1.0, 1e-9);
+}
+
+TEST(Encoder, SimilarWindowsMoreSimilarThanDifferentOnes) {
+  // Small phase perturbation of the same signal must stay closer than a
+  // different-frequency signal: the similarity-preservation property the
+  // whole SMORE pipeline rests on.
+  const MultiSensorEncoder enc(small_config());
+  const auto base = enc.encode(sine_window(2, 48, 1.5));
+  const auto near = enc.encode(sine_window(2, 48, 1.5, /*phase=*/0.12));
+  const auto far = enc.encode(sine_window(2, 48, 4.9, /*phase=*/1.0));
+  EXPECT_GT(cosine_similarity(base, near), cosine_similarity(base, far) + 0.05);
+}
+
+TEST(Encoder, AmplitudeInvarianceViaWindowMinMax) {
+  // Window min/max anchoring makes pure rescaling (gain shift) invisible —
+  // the value-quantization levels are relative to the window extremes.
+  const MultiSensorEncoder enc(small_config());
+  const auto a = enc.encode(sine_window(2, 48, 2.0, 0.0, /*amp=*/1.0));
+  const auto b = enc.encode(sine_window(2, 48, 2.0, 0.0, /*amp=*/3.0));
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-5);
+}
+
+TEST(Encoder, TemporalOrderMatters) {
+  // Permutation-bound n-grams encode order: scrambling the window must
+  // change the encoding substantially. Time *reversal* is the hardest case —
+  // lag-k product statistics are nearly symmetric under reversal, so the
+  // remaining sensitivity comes only from odd higher-order terms; we pin it
+  // as measurably below identity. (The paper-literal linear-interpolation
+  // levels are *exactly* reversal-invariant; see the encoder header note —
+  // the default thresholded quantization restores this sensitivity.)
+  const MultiSensorEncoder enc(small_config());
+  Window fwd(1, 32);
+  Window rev(1, 32);
+  Window shuffled(1, 32);
+  Rng rng(5);
+  std::vector<float> vals(32);
+  for (auto& v : vals) v = rng.uniform_f(-1.0f, 1.0f);
+  std::vector<float> scrambled = vals;
+  rng.shuffle(scrambled);
+  for (std::size_t t = 0; t < 32; ++t) {
+    fwd.set(0, t, vals[t]);
+    rev.set(0, t, vals[31 - t]);
+    shuffled.set(0, t, scrambled[t]);
+  }
+  const auto h_fwd = enc.encode(fwd);
+  const double sim_rev = cosine_similarity(h_fwd, enc.encode(rev));
+  const double sim_shuffled = cosine_similarity(h_fwd, enc.encode(shuffled));
+  // Graded order sensitivity: identical > reversed > fully shuffled. The
+  // absolute similarities stay high (bundling keeps a large order-invariant
+  // component), but the ordering is strict and discriminative.
+  EXPECT_LT(sim_rev, 0.995);
+  EXPECT_LT(sim_shuffled, sim_rev - 0.005);
+}
+
+TEST(Encoder, LinearInterpolationModeIsReversalInvariant) {
+  // Documented property of the paper-literal continuous levels (ablation
+  // mode): the bundled n-gram encoding cannot distinguish a window from its
+  // time reversal (gap-multiset invariance of lag products).
+  EncoderConfig cfg = small_config();
+  cfg.quantization_levels = 0;
+  cfg.antipodal_base = false;  // paper-literal pairing (independent anchors)
+  const MultiSensorEncoder enc(cfg);
+  Window fwd(1, 32);
+  Window rev(1, 32);
+  Rng rng(6);
+  for (std::size_t t = 0; t < 32; ++t) {
+    const float v = rng.uniform_f(-1.0f, 1.0f);
+    fwd.set(0, t, v);
+    rev.set(0, 31 - t, v);
+  }
+  EXPECT_GT(cosine_similarity(enc.encode(fwd), enc.encode(rev)), 0.99);
+}
+
+TEST(Encoder, ConstantWindowEncodesWithoutNan) {
+  // Flat signal: vmax == vmin, inv_range = 0 — must not divide by zero.
+  const MultiSensorEncoder enc(small_config());
+  Window w(2, 16);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t t = 0; t < 16; ++t) w.set(c, t, 3.5f);
+  }
+  const auto hv = enc.encode(w);
+  for (std::size_t i = 0; i < hv.dim(); ++i) {
+    EXPECT_TRUE(std::isfinite(hv[i]));
+  }
+  EXPECT_GT(hv.norm(), 0.0);
+}
+
+TEST(Encoder, WindowShorterThanNgramStillEncodes) {
+  EncoderConfig cfg = small_config();
+  cfg.ngram = 8;
+  const MultiSensorEncoder enc(cfg);
+  const auto hv = enc.encode(sine_window(1, 4, 1.0));  // steps < ngram
+  EXPECT_GT(hv.norm(), 0.0);
+}
+
+TEST(Encoder, EmptyWindowThrows) {
+  const MultiSensorEncoder enc(small_config());
+  Window w;  // default: 0 channels
+  EXPECT_THROW(enc.encode(w), std::invalid_argument);
+}
+
+TEST(Encoder, SensorsContributeIndependently) {
+  // Swapping which sensor carries the signal must change the encoding:
+  // the signature binding separates channels.
+  const MultiSensorEncoder enc(small_config());
+  Window a(2, 32);
+  Window b(2, 32);
+  for (std::size_t t = 0; t < 32; ++t) {
+    const float v = std::sin(0.4f * static_cast<float>(t));
+    a.set(0, t, v);
+    a.set(1, t, 0.5f);  // flat
+    b.set(0, t, 0.5f);
+    b.set(1, t, v);
+  }
+  EXPECT_LT(cosine_similarity(enc.encode(a), enc.encode(b)), 0.8);
+}
+
+TEST(Encoder, EncodeDatasetAlignsMetadata) {
+  const MultiSensorEncoder enc(small_config());
+  WindowDataset ds("t", 2, 32);
+  Window w0 = sine_window(2, 32, 1.0);
+  w0.set_label(3);
+  w0.set_domain(1);
+  Window w1 = sine_window(2, 32, 2.0);
+  w1.set_label(1);
+  w1.set_domain(2);
+  ds.add(w0);
+  ds.add(w1);
+  const HvDataset encoded = enc.encode_dataset(ds);
+  ASSERT_EQ(encoded.size(), 2u);
+  EXPECT_EQ(encoded.label(0), 3);
+  EXPECT_EQ(encoded.domain(0), 1);
+  EXPECT_EQ(encoded.label(1), 1);
+  EXPECT_EQ(encoded.domain(1), 2);
+  // Rows equal the single-window encodings.
+  const auto hv0 = enc.encode(ds[0], 0);
+  for (std::size_t j = 0; j < hv0.dim(); ++j) {
+    EXPECT_FLOAT_EQ(encoded.row(0)[j], hv0[j]);
+  }
+}
+
+TEST(Encoder, PerWindowRandomBaseBreaksCrossWindowSimilarity) {
+  // The paper-literal ablation mode: identical signals in different windows
+  // get (nearly) unrelated encodings because the extremum hypervectors are
+  // redrawn per window (salt-dependent).
+  EncoderConfig cfg = small_config();
+  cfg.per_window_random_base = true;
+  const MultiSensorEncoder enc(cfg);
+  const Window w = sine_window(2, 32, 2.0);
+  const auto a = enc.encode(w, /*salt=*/1);
+  const auto b = enc.encode(w, /*salt=*/2);
+  EXPECT_LT(cosine_similarity(a, b), 0.5);
+  // Same salt still deterministic.
+  EXPECT_EQ(a, enc.encode(w, 1));
+}
+
+TEST(Encoder, ScratchReuseMatchesFreshScratch) {
+  const MultiSensorEncoder enc(small_config());
+  EncodeScratch scratch;
+  const Window w1 = sine_window(2, 32, 1.0);
+  const Window w2 = sine_window(2, 32, 3.0);
+  (void)enc.encode(w1, scratch);  // warm the buffers
+  const auto reused = enc.encode(w2, scratch);
+  EXPECT_EQ(reused, enc.encode(w2));
+}
+
+TEST(Encoder, AntipodalFlagChangesEncoding) {
+  EncoderConfig a = small_config();
+  EncoderConfig b = small_config();
+  b.antipodal_base = false;
+  const Window w = sine_window(2, 32, 2.0);
+  EXPECT_NE(MultiSensorEncoder(a).encode(w), MultiSensorEncoder(b).encode(w));
+}
+
+TEST(Encoder, QuantizationSnapsToGrid) {
+  // Q=2 snaps every value to one of the two anchors: a window whose values
+  // are perturbed within the same half still encodes identically.
+  EncoderConfig cfg = small_config();
+  cfg.quantization_levels = 2;
+  const MultiSensorEncoder enc(cfg);
+  Window a(1, 8);
+  Window b(1, 8);
+  const float va[] = {0.0f, 0.9f, 0.1f, 1.0f, 0.2f, 0.8f, 0.0f, 1.0f};
+  const float vb[] = {0.0f, 0.7f, 0.3f, 1.0f, 0.4f, 0.6f, 0.0f, 1.0f};
+  for (std::size_t t = 0; t < 8; ++t) {
+    a.set(0, t, va[t]);
+    b.set(0, t, vb[t]);
+  }
+  EXPECT_EQ(enc.encode(a), enc.encode(b));
+}
+
+TEST(Encoder, MultiScaleDilationDeterministicAndDistinct) {
+  EncoderConfig single = small_config();
+  single.ngram_dilation = 4;
+  EncoderConfig multi = small_config();
+  multi.ngram_dilations = {2, 4, 8};
+  const MultiSensorEncoder enc_s(single);
+  const MultiSensorEncoder enc_m(multi);
+  const Window w = sine_window(2, 48, 1.5);
+  const auto hm = enc_m.encode(w);
+  EXPECT_EQ(hm, enc_m.encode(w));  // deterministic
+  EXPECT_NE(hm, enc_s.encode(w));  // scales actually contribute
+  for (std::size_t j = 0; j < hm.dim(); ++j) {
+    ASSERT_TRUE(std::isfinite(hm[j]));
+  }
+}
+
+TEST(Encoder, MultiScaleStillSimilarityPreserving) {
+  EncoderConfig cfg = small_config();
+  cfg.ngram_dilations = {2, 4, 8};
+  const MultiSensorEncoder enc(cfg);
+  const auto base = enc.encode(sine_window(2, 48, 1.5));
+  const auto near = enc.encode(sine_window(2, 48, 1.5, 0.12));
+  const auto far = enc.encode(sine_window(2, 48, 4.9, 1.0));
+  EXPECT_GT(cosine_similarity(base, near), cosine_similarity(base, far));
+}
+
+TEST(Encoder, DilationLargerThanWindowClampsGracefully) {
+  EncoderConfig cfg = small_config();
+  cfg.ngram_dilation = 100;  // larger than the window
+  const MultiSensorEncoder enc(cfg);
+  const auto hv = enc.encode(sine_window(1, 12, 1.0));
+  EXPECT_GT(hv.norm(), 0.0);
+}
+
+TEST(Encoder, NgramOneIsOrderInsensitiveForPermutedValues) {
+  // With n=1 no permutation happens, so a window and its reverse bundle the
+  // same level vectors — encodings must be identical.
+  EncoderConfig cfg = small_config();
+  cfg.ngram = 1;
+  const MultiSensorEncoder enc(cfg);
+  Window fwd(1, 16);
+  Window rev(1, 16);
+  for (std::size_t t = 0; t < 16; ++t) {
+    const float v = static_cast<float>(t);
+    fwd.set(0, t, v);
+    rev.set(0, 15 - t, v);
+  }
+  EXPECT_NEAR(cosine_similarity(enc.encode(fwd), enc.encode(rev)), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace smore

@@ -1,0 +1,151 @@
+// Unit tests for the evaluation layer: metrics, edge-device model, reporting.
+
+#include "eval/edge_model.hpp"
+#include "eval/metrics.hpp"
+#include "eval/reporting.hpp"
+#include "eval/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace smore {
+namespace {
+
+TEST(ConfusionMatrixTest, RejectsBadConstruction) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, RecordsAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  cm.record(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRangeLabels) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.record(0, -1), std::invalid_argument);
+  EXPECT_THROW((void)cm.at(5, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=2, FP=1, FN=1
+  cm.record(1, 1);
+  cm.record(1, 1);
+  cm.record(1, 0);  // FN for class 1
+  cm.record(0, 1);  // FP for class 1
+  cm.record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, DegenerateClassesScoreZero) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // never occurred
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, MacroF1IgnoresAbsentClasses) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(1, 1);
+  // class 2 never occurs: macro over classes 0 and 1 -> F1 = 1.
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("2 classes"), std::string::npos);
+}
+
+TEST(AccuracyScore, BasicAndValidation) {
+  EXPECT_DOUBLE_EQ(accuracy_score({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy_score({}, {}), 0.0);
+  EXPECT_THROW((void)accuracy_score({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, ScopedTimerAccumulates) {
+  double acc = 0.0;
+  {
+    ScopedTimer s(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    ScopedTimer s(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(acc, 0.015);
+}
+
+TEST(EdgeModel, PlatformsMatchPaperSetup) {
+  const auto platforms = paper_edge_platforms();
+  ASSERT_EQ(platforms.size(), 2u);
+  EXPECT_EQ(platforms[0].name, "Raspberry Pi 3B+");
+  EXPECT_DOUBLE_EQ(platforms[0].power_watts, 5.0);
+  EXPECT_EQ(platforms[1].name, "Jetson Nano");
+  EXPECT_DOUBLE_EQ(platforms[1].power_watts, 10.0);
+}
+
+TEST(EdgeModel, CnnPenaltyExceedsHdcPenalty) {
+  // The property Fig. 6b rests on: CNN inference degrades more on edge
+  // devices than HDC inference.
+  for (const auto& p : paper_edge_platforms()) {
+    EXPECT_GT(p.cnn_slowdown, p.hdc_slowdown) << p.name;
+    EXPECT_GT(p.hdc_slowdown, 1.0) << p.name;
+  }
+}
+
+TEST(EdgeModel, ProjectionArithmetic) {
+  const EdgePlatform rpi = raspberry_pi3();
+  const double latency = rpi.project_latency(2.0, WorkloadKind::kHdcInference);
+  EXPECT_DOUBLE_EQ(latency, 2.0 * rpi.hdc_slowdown);
+  EXPECT_DOUBLE_EQ(rpi.project_energy(2.0, WorkloadKind::kHdcInference),
+                   latency * rpi.power_watts);
+}
+
+TEST(EdgeModel, JetsonCnnFasterThanPi) {
+  // The GPU should make Jetson's CNN projection faster than the Pi's.
+  EXPECT_LT(jetson_nano().cnn_slowdown, raspberry_pi3().cnn_slowdown);
+}
+
+TEST(Reporting, TableAlignsAndValidates) {
+  TablePrinter table({"name", "value"});
+  table.row({"alpha", "1"});
+  table.row_numeric("beta", {2.5}, 1);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_THROW(table.row({"too", "many", "fields"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(Reporting, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_speedup(18.814, 2), "18.81x");
+}
+
+}  // namespace
+}  // namespace smore

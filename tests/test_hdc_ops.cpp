@@ -1,0 +1,210 @@
+// Unit tests for the low-level HDC kernels (ops.hpp) and the Hypervector
+// class, pinning the Sec 3.1 algebra: bundling membership, binding
+// near-orthogonality and reversibility, permutation orthogonality.
+
+#include "hdc/hypervector.hpp"
+#include "hdc/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smore {
+namespace {
+
+constexpr std::size_t kDim = 4096;
+
+TEST(Ops, DotAndNorm) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(ops::dot(a, b, 3), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(ops::nrm2(a, 3), std::sqrt(14.0));
+}
+
+TEST(Ops, AxpyAccumulates) {
+  const float x[] = {1.0f, 2.0f};
+  float y[] = {10.0f, 20.0f};
+  ops::axpy(0.5f, x, y, 2);
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+  EXPECT_FLOAT_EQ(y[1], 21.0f);
+}
+
+TEST(Ops, RotateMovesLastToFront) {
+  // The paper's ρ: single shift moves the final element to position 0.
+  const float src[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float dst[4];
+  ops::rotate(src, 4, 1, dst);
+  EXPECT_FLOAT_EQ(dst[0], 4.0f);
+  EXPECT_FLOAT_EQ(dst[1], 1.0f);
+  EXPECT_FLOAT_EQ(dst[2], 2.0f);
+  EXPECT_FLOAT_EQ(dst[3], 3.0f);
+}
+
+TEST(Ops, RotateByZeroCopies) {
+  const float src[] = {1.0f, 2.0f, 3.0f};
+  float dst[3];
+  ops::rotate(src, 3, 0, dst);
+  EXPECT_FLOAT_EQ(dst[0], 1.0f);
+  EXPECT_FLOAT_EQ(dst[2], 3.0f);
+}
+
+TEST(Ops, RotateFullCycleIsIdentity) {
+  const float src[] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  float dst[5];
+  ops::rotate(src, 5, 5, dst);
+  for (int i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(dst[i], src[i]);
+}
+
+TEST(Ops, HadamardRotatedMatchesExplicitRotation) {
+  Rng rng(1);
+  std::vector<float> src(64);
+  std::vector<float> acc(64);
+  for (auto& v : src) v = rng.uniform_f(-2.0f, 2.0f);
+  for (auto& v : acc) v = rng.uniform_f(-2.0f, 2.0f);
+
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{17}}) {
+    std::vector<float> rotated(64);
+    ops::rotate(src.data(), 64, k, rotated.data());
+    std::vector<float> expected = acc;
+    ops::hadamard_inplace(rotated.data(), expected.data(), 64);
+
+    std::vector<float> actual = acc;
+    ops::hadamard_rotated(src.data(), 64, k, actual.data());
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_FLOAT_EQ(actual[i], expected[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(Ops, CosineOfZeroVectorIsZero) {
+  const float z[] = {0.0f, 0.0f};
+  const float a[] = {1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(ops::cosine(z, a, 2), 0.0);
+}
+
+TEST(Ops, CosineOfSelfIsOne) {
+  const float a[] = {1.0f, -2.0f, 3.0f};
+  EXPECT_NEAR(ops::cosine(a, a, 3), 1.0, 1e-12);
+}
+
+TEST(Ops, LerpEndpointsAndMidpoint) {
+  const float a[] = {0.0f, 10.0f};
+  const float b[] = {1.0f, 20.0f};
+  float out[2];
+  ops::lerp(a, b, 0.0f, out, 2);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  ops::lerp(a, b, 1.0f, out, 2);
+  EXPECT_FLOAT_EQ(out[1], 20.0f);
+  ops::lerp(a, b, 0.5f, out, 2);
+  EXPECT_FLOAT_EQ(out[1], 15.0f);
+}
+
+// ----- Hypervector algebra (Sec 3.1 properties) -----
+
+TEST(Hypervector, RandomBipolarNearlyOrthogonal) {
+  Rng rng(2);
+  const auto a = Hypervector::random_bipolar(kDim, rng);
+  const auto b = Hypervector::random_bipolar(kDim, rng);
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 0.08);
+}
+
+TEST(Hypervector, BundleRemembersMembers) {
+  // δ(H_bundle, H1) >> 0 while δ(H_bundle, H3) ≈ 0 for H3 not in the bundle.
+  Rng rng(3);
+  const auto h1 = Hypervector::random_bipolar(kDim, rng);
+  const auto h2 = Hypervector::random_bipolar(kDim, rng);
+  const auto h3 = Hypervector::random_bipolar(kDim, rng);
+  const Hypervector bundled = h1 + h2;
+  EXPECT_GT(cosine_similarity(bundled, h1), 0.5);
+  EXPECT_GT(cosine_similarity(bundled, h2), 0.5);
+  EXPECT_NEAR(cosine_similarity(bundled, h3), 0.0, 0.08);
+}
+
+TEST(Hypervector, BindNearlyOrthogonalToOperands) {
+  Rng rng(4);
+  const auto h1 = Hypervector::random_bipolar(kDim, rng);
+  const auto h2 = Hypervector::random_bipolar(kDim, rng);
+  const Hypervector bound = bind(h1, h2);
+  EXPECT_NEAR(cosine_similarity(bound, h1), 0.0, 0.08);
+  EXPECT_NEAR(cosine_similarity(bound, h2), 0.0, 0.08);
+}
+
+TEST(Hypervector, BindIsReversible) {
+  // H_bind * H1 == H2 for bipolar H1 (self-inverse binding).
+  Rng rng(5);
+  const auto h1 = Hypervector::random_bipolar(kDim, rng);
+  const auto h2 = Hypervector::random_bipolar(kDim, rng);
+  const Hypervector recovered = bind(bind(h1, h2), h1);
+  EXPECT_NEAR(cosine_similarity(recovered, h2), 1.0, 1e-6);
+}
+
+TEST(Hypervector, PermutationNearlyOrthogonal) {
+  Rng rng(6);
+  const auto h = Hypervector::random_bipolar(kDim, rng);
+  EXPECT_NEAR(cosine_similarity(permute(h), h), 0.0, 0.08);
+}
+
+TEST(Hypervector, PermutationComposesAndInverts) {
+  Rng rng(7);
+  const auto h = Hypervector::random_bipolar(kDim, rng);
+  const auto twice = permute(permute(h));
+  EXPECT_EQ(twice, permute(h, 2));
+  EXPECT_EQ(permute(h, kDim), h);  // full cycle
+}
+
+TEST(Hypervector, DimensionMismatchThrows) {
+  Hypervector a(8);
+  Hypervector b(16);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+  EXPECT_THROW(cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(Hypervector, NormalizeMakesUnitNorm) {
+  Rng rng(8);
+  auto h = Hypervector::random_bipolar(256, rng);
+  h *= 3.7f;
+  h.normalize();
+  EXPECT_NEAR(h.norm(), 1.0, 1e-6);
+}
+
+TEST(Hypervector, NormalizeZeroStaysZero) {
+  Hypervector z(16);
+  z.normalize();
+  EXPECT_DOUBLE_EQ(z.norm(), 0.0);
+}
+
+TEST(Hypervector, AddScaled) {
+  Hypervector a(4);
+  Hypervector b(4);
+  for (std::size_t i = 0; i < 4; ++i) b[i] = static_cast<float>(i);
+  a.add_scaled(b, 2.0f);
+  EXPECT_FLOAT_EQ(a[3], 6.0f);
+}
+
+TEST(Hypervector, BundleSpanThrowsOnEmpty) {
+  std::vector<Hypervector> empty;
+  EXPECT_THROW(bundle(empty), std::invalid_argument);
+}
+
+TEST(Hypervector, BundleSpanSumsAll) {
+  std::vector<Hypervector> hs(3, Hypervector(2));
+  hs[0][0] = 1.0f;
+  hs[1][0] = 2.0f;
+  hs[2][1] = 5.0f;
+  const Hypervector sum = bundle(hs);
+  EXPECT_FLOAT_EQ(sum[0], 3.0f);
+  EXPECT_FLOAT_EQ(sum[1], 5.0f);
+}
+
+TEST(Hypervector, ScalarMultiply) {
+  Hypervector a(2);
+  a[0] = 1.0f;
+  a[1] = -2.0f;
+  const Hypervector b = a * 2.0f;
+  EXPECT_FLOAT_EQ(b[0], 2.0f);
+  EXPECT_FLOAT_EQ(b[1], -4.0f);
+}
+
+}  // namespace
+}  // namespace smore

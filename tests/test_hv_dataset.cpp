@@ -1,0 +1,98 @@
+// Unit tests for the HvDataset container.
+
+#include "hdc/hv_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smore {
+namespace {
+
+HvDataset small() {
+  HvDataset d(2);
+  const std::vector<float> r0{1.0f, 2.0f};
+  const std::vector<float> r1{3.0f, 4.0f};
+  const std::vector<float> r2{5.0f, 6.0f};
+  d.add(r0, 0, 0);
+  d.add(r1, 1, 0);
+  d.add(r2, 1, 2);
+  return d;
+}
+
+TEST(HvDataset, SizeAndDim) {
+  const HvDataset d = small();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(HvDataset, RowAccess) {
+  const HvDataset d = small();
+  EXPECT_FLOAT_EQ(d.row(1)[0], 3.0f);
+  EXPECT_FLOAT_EQ(d.row(2)[1], 6.0f);
+}
+
+TEST(HvDataset, LabelsAndDomains) {
+  const HvDataset d = small();
+  EXPECT_EQ(d.label(0), 0);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_EQ(d.domain(2), 2);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_EQ(d.num_domains(), 3);  // dense ids: max(domain)+1
+}
+
+TEST(HvDataset, AddRejectsWrongDim) {
+  HvDataset d(3);
+  const std::vector<float> bad{1.0f};
+  EXPECT_THROW(d.add(bad, 0, 0), std::invalid_argument);
+}
+
+TEST(HvDataset, SelectCopiesRows) {
+  const HvDataset d = small();
+  const std::vector<std::size_t> idx{2, 0};
+  const HvDataset s = d.select(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_FLOAT_EQ(s.row(0)[0], 5.0f);
+  EXPECT_EQ(s.domain(0), 2);
+  EXPECT_FLOAT_EQ(s.row(1)[0], 1.0f);
+}
+
+TEST(HvDataset, SelectOutOfRangeThrows) {
+  const HvDataset d = small();
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW(d.select(idx), std::out_of_range);
+}
+
+TEST(HvDataset, DomainIndexHelpers) {
+  const HvDataset d = small();
+  const auto in0 = d.indices_of_domain(0);
+  ASSERT_EQ(in0.size(), 2u);
+  EXPECT_EQ(in0[0], 0u);
+  EXPECT_EQ(in0[1], 1u);
+  const auto not2 = d.indices_excluding_domain(2);
+  ASSERT_EQ(not2.size(), 2u);
+  EXPECT_EQ(not2[1], 1u);
+}
+
+TEST(HvDataset, PreSizedConstructionWritable) {
+  HvDataset d(4, 3);
+  EXPECT_EQ(d.size(), 4u);
+  auto row = d.row(2);
+  row[0] = 9.0f;
+  d.set_label(2, 5);
+  d.set_domain(2, 1);
+  EXPECT_FLOAT_EQ(d.row(2)[0], 9.0f);
+  EXPECT_EQ(d.label(2), 5);
+  EXPECT_EQ(d.domain(2), 1);
+}
+
+TEST(HvDataset, EmptyDatasetCounts) {
+  HvDataset d(8);
+  EXPECT_EQ(d.num_classes(), 0);
+  EXPECT_EQ(d.num_domains(), 0);
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace smore

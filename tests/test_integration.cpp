@@ -1,0 +1,212 @@
+// Integration tests: the full pipeline from synthetic generation through
+// encoding, training, and LODO evaluation via the shared experiment engine —
+// including the paper's qualitative claims at test scale (SMORE recovers
+// held-out-domain accuracy that BaselineHD loses; HDC trains faster than the
+// CNN DA baselines).
+
+#include <gtest/gtest.h>
+
+#include "core/smore.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "eval/experiment.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/onlinehd.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::tiny_spec;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec = tiny_spec(4, 3, 3, 32, 60, 0x9a9a);
+    spec.domain_shift = 1.2;
+    raw_ = new WindowDataset(generate_dataset(spec));
+
+    EncoderConfig ec;
+    ec.dim = 1024;
+    ec.ngram = 3;
+    ec.seed = 7;
+    encoder_ = new MultiSensorEncoder(ec);
+    encoded_ = new HvDataset(encoder_->encode_dataset(*raw_));
+  }
+
+  static void TearDownTestSuite() {
+    delete raw_;
+    delete encoder_;
+    delete encoded_;
+    raw_ = nullptr;
+    encoder_ = nullptr;
+    encoded_ = nullptr;
+  }
+
+  static WindowDataset* raw_;
+  static MultiSensorEncoder* encoder_;
+  static HvDataset* encoded_;
+};
+
+WindowDataset* PipelineTest::raw_ = nullptr;
+MultiSensorEncoder* PipelineTest::encoder_ = nullptr;
+HvDataset* PipelineTest::encoded_ = nullptr;
+
+TEST_F(PipelineTest, EncodedAlignsWithRaw) {
+  ASSERT_EQ(encoded_->size(), raw_->size());
+  for (std::size_t i = 0; i < raw_->size(); i += 17) {
+    EXPECT_EQ(encoded_->label(i), (*raw_)[i].label());
+    EXPECT_EQ(encoded_->domain(i), (*raw_)[i].domain());
+  }
+}
+
+TEST_F(PipelineTest, KfoldBeatsLodoForBaselineHd) {
+  // Figure 1(b)'s motivation: random k-fold (leaky) CV inflates BaselineHD
+  // accuracy relative to LODO under domain shift.
+  OnlineHDConfig cfg;
+  cfg.epochs = 10;
+
+  // k-fold
+  double kfold_acc = 0.0;
+  const auto kfolds = kfold_splits(encoded_->size(), 3, 5);
+  for (const auto& fold : kfolds) {
+    OnlineHDClassifier model(raw_->num_classes(), encoded_->dim());
+    model.fit(encoded_->select(fold.train), cfg);
+    kfold_acc += model.accuracy(encoded_->select(fold.test));
+  }
+  kfold_acc /= static_cast<double>(kfolds.size());
+
+  // LODO
+  double lodo_acc = 0.0;
+  for (int d = 0; d < raw_->num_domains(); ++d) {
+    const Split fold = lodo_split(*raw_, d);
+    OnlineHDClassifier model(raw_->num_classes(), encoded_->dim());
+    model.fit(encoded_->select(fold.train), cfg);
+    lodo_acc += model.accuracy(encoded_->select(fold.test));
+  }
+  lodo_acc /= static_cast<double>(raw_->num_domains());
+
+  EXPECT_GT(kfold_acc, lodo_acc);
+}
+
+TEST_F(PipelineTest, SmoreRecoversLodoAccuracy) {
+  // The headline claim at test scale: averaged over LODO folds, SMORE is at
+  // least as accurate as the pooled BaselineHD on held-out domains.
+  OnlineHDConfig cfg;
+  cfg.epochs = 10;
+  double baseline_acc = 0.0;
+  double smore_acc = 0.0;
+  for (int d = 0; d < raw_->num_domains(); ++d) {
+    const Split fold = lodo_split(*raw_, d);
+    const HvDataset train = encoded_->select(fold.train);
+    const HvDataset test = encoded_->select(fold.test);
+
+    OnlineHDClassifier baseline(raw_->num_classes(), encoded_->dim());
+    baseline.fit(train, cfg);
+    baseline_acc += baseline.accuracy(test);
+
+    SmoreConfig sc;
+    sc.domain_model = cfg;
+    SmoreModel model(raw_->num_classes(), encoded_->dim(), sc);
+    model.fit(train);
+    smore_acc += model.accuracy(test);
+  }
+  baseline_acc /= static_cast<double>(raw_->num_domains());
+  smore_acc /= static_cast<double>(raw_->num_domains());
+  // The reference here is a pooled OnlineHD on SMORE's *own* encoder — a
+  // stronger baseline than the paper's BaselineHD (which uses the fragile
+  // projection pipeline; see DESIGN.md). SMORE must stay within noise of
+  // this upper reference at unit-test scale, where per-domain models see
+  // only ~45 samples each.
+  EXPECT_GE(smore_acc, baseline_acc - 0.05);
+  EXPECT_GT(smore_acc, 0.5);  // far above 1/4 chance
+}
+
+TEST_F(PipelineTest, ExperimentEngineRunsAllFiveAlgorithms) {
+  SuiteConfig cfg;
+  cfg.dim = encoded_->dim();
+  cfg.hd_epochs = 5;
+  cfg.cnn_epochs = 3;
+  cfg.domino_inner_epochs = 1;
+  cfg.domino_active_divisor = 8;
+  const Split fold = lodo_split(*raw_, 0);
+
+  for (const Algo algo : all_algos()) {
+    const AlgoRunResult r = run_algorithm(algo, *raw_, *encoded_, fold, cfg);
+    EXPECT_EQ(r.algo, algo);
+    EXPECT_GE(r.accuracy, 0.0) << algo_name(algo);
+    EXPECT_LE(r.accuracy, 1.0) << algo_name(algo);
+    EXPECT_GT(r.accuracy, 0.25) << algo_name(algo);  // above 1/4 chance
+    EXPECT_GT(r.train_seconds, 0.0) << algo_name(algo);
+    EXPECT_GT(r.infer_seconds, 0.0) << algo_name(algo);
+    if (algo != Algo::kSmore) {
+      EXPECT_DOUBLE_EQ(r.ood_rate, 0.0);
+    }
+  }
+}
+
+TEST_F(PipelineTest, HdcTrainsFasterThanCnns) {
+  // The efficiency claim's direction at test scale: BaselineHD/SMORE train
+  // faster than TENT/MDANs on the same fold.
+  SuiteConfig cfg;
+  cfg.dim = encoded_->dim();
+  cfg.hd_epochs = 5;
+  cfg.cnn_epochs = 3;
+  const Split fold = lodo_split(*raw_, 0);
+
+  const double smore_t =
+      run_algorithm(Algo::kSmore, *raw_, *encoded_, fold, cfg).train_seconds;
+  const double tent_t =
+      run_algorithm(Algo::kTent, *raw_, *encoded_, fold, cfg).train_seconds;
+  const double mdan_t =
+      run_algorithm(Algo::kMdans, *raw_, *encoded_, fold, cfg).train_seconds;
+  EXPECT_LT(smore_t, tent_t);
+  EXPECT_LT(smore_t, mdan_t);
+}
+
+TEST_F(PipelineTest, EncodeAmortizationAddsToTimes) {
+  // BaselineHD runs its own projection pipeline (timed directly), so the
+  // amortized shared-encoder attribution applies to the temporal-encoder
+  // algorithms — checked on SMORE.
+  SuiteConfig cfg;
+  cfg.dim = encoded_->dim();
+  cfg.hd_epochs = 2;
+  const Split fold = lodo_split(*raw_, 0);
+  const double base =
+      run_algorithm(Algo::kSmore, *raw_, *encoded_, fold, cfg).train_seconds;
+  cfg.encode_seconds_per_sample = 0.01;
+  const double with_encode =
+      run_algorithm(Algo::kSmore, *raw_, *encoded_, fold, cfg).train_seconds;
+  EXPECT_GT(with_encode,
+            base + 0.009 * static_cast<double>(fold.train.size()));
+}
+
+TEST_F(PipelineTest, RunAlgorithmValidatesFold) {
+  SuiteConfig cfg;
+  const Split empty;
+  EXPECT_THROW((void)run_algorithm(Algo::kSmore, *raw_, *encoded_, empty, cfg),
+               std::invalid_argument);
+}
+
+TEST_F(PipelineTest, RunAlgorithmValidatesAlignment) {
+  SuiteConfig cfg;
+  cfg.dim = encoded_->dim();
+  const Split fold = lodo_split(*raw_, 0);
+  const HvDataset misaligned(8);
+  EXPECT_THROW((void)run_algorithm(Algo::kSmore, *raw_, misaligned, fold, cfg),
+               std::invalid_argument);
+}
+
+TEST(AlgoMeta, NamesAndWorkloads) {
+  EXPECT_STREQ(algo_name(Algo::kTent), "TENT");
+  EXPECT_STREQ(algo_name(Algo::kMdans), "MDANs");
+  EXPECT_STREQ(algo_name(Algo::kBaselineHd), "BaselineHD");
+  EXPECT_STREQ(algo_name(Algo::kDomino), "DOMINO");
+  EXPECT_STREQ(algo_name(Algo::kSmore), "SMORE");
+  EXPECT_EQ(algo_workload(Algo::kTent), WorkloadKind::kCnnInference);
+  EXPECT_EQ(algo_workload(Algo::kSmore), WorkloadKind::kHdcInference);
+  EXPECT_EQ(all_algos().size(), 5u);
+}
+
+}  // namespace
+}  // namespace smore

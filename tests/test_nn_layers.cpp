@@ -1,0 +1,309 @@
+// Unit tests for every layer: shape contracts plus numerical gradient checks
+// (central differences against the analytic backward pass).
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace smore::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng,
+                     float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.uniform_f(-scale, scale);
+  }
+  return t;
+}
+
+/// Scalar objective: 0.5 * Σ y² of the layer output for a fixed input.
+/// Numerically differentiates w.r.t. one input element or one parameter
+/// element and compares against the analytic backward result.
+void check_gradients(Layer& layer, const Tensor& x, bool training = true,
+                     double tol = 2e-2) {
+  auto objective = [&](const Tensor& input) {
+    Tensor mutable_input = input;  // forward may cache; keep x intact
+    const Tensor y = layer.forward(mutable_input, training);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      s += 0.5 * static_cast<double>(y[i]) * y[i];
+    }
+    return s;
+  };
+
+  // Analytic gradients: dL/dy = y.
+  Tensor x_copy = x;
+  const Tensor y = layer.forward(x_copy, training);
+  for (Param* p : layer.params()) p->zero_grad();
+  const Tensor grad_in = layer.backward(y);
+
+  Rng pick(0x9c);
+  const float eps = 1e-2f;
+
+  // Input gradient at a handful of sampled coordinates.
+  Tensor probe = x;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t i = pick.index(probe.size());
+    const float saved = probe[i];
+    probe[i] = saved + eps;
+    const double hi = objective(probe);
+    probe[i] = saved - eps;
+    const double lo = objective(probe);
+    probe[i] = saved;
+    const double numeric = (hi - lo) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::size_t i = pick.index(p->value.size());
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double hi = objective(x);
+      p->value[i] = saved - eps;
+      const double lo = objective(x);
+      p->value[i] = saved;
+      const double numeric = (hi - lo) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(Dense, ForwardShapeAndBias) {
+  Rng rng(1);
+  Dense layer(3, 2, rng);
+  // Zero input -> output equals bias (initialized to 0).
+  Tensor x = Tensor::matrix(4, 3);
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.dim(0), 4u);
+  EXPECT_EQ(y.dim(1), 2u);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 0.0f);
+}
+
+TEST(Dense, RejectsWrongInput) {
+  Rng rng(1);
+  Dense layer(3, 2, rng);
+  Tensor bad = Tensor::matrix(4, 5);
+  EXPECT_THROW(layer.forward(bad, true), std::invalid_argument);
+  EXPECT_THROW(Dense(0, 2, rng), std::invalid_argument);
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(2);
+  Dense layer(5, 4, rng);
+  check_gradients(layer, random_tensor({3, 5}, rng));
+}
+
+TEST(Conv1D, SamePaddingKeepsLength) {
+  Rng rng(3);
+  Conv1D layer(2, 4, 5, 1, rng);
+  const Tensor y = layer.forward(random_tensor({2, 2, 16}, rng), true);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 4u);
+  EXPECT_EQ(y.dim(2), 16u);
+}
+
+TEST(Conv1D, StrideDownsamples) {
+  Rng rng(3);
+  Conv1D layer(2, 4, 3, 2, rng);
+  const Tensor y = layer.forward(random_tensor({1, 2, 15}, rng), true);
+  EXPECT_EQ(y.dim(2), 8u);  // ceil(15/2)
+}
+
+TEST(Conv1D, KnownTinyConvolution) {
+  // 1 channel, kernel 3 (pad 1), identity-like weight [0, 1, 0] => output
+  // equals input.
+  Rng rng(4);
+  Conv1D layer(1, 1, 3, 1, rng);
+  for (Param* p : layer.params()) p->value.fill(0.0f);
+  layer.params()[0]->value[1] = 1.0f;  // center tap
+  Tensor x = Tensor::cube(1, 1, 5);
+  for (std::size_t t = 0; t < 5; ++t) x.at(0, 0, t) = static_cast<float>(t + 1);
+  const Tensor y = layer.forward(x, true);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_FLOAT_EQ(y.at(0, 0, t), static_cast<float>(t + 1));
+  }
+}
+
+TEST(Conv1D, GradientCheck) {
+  Rng rng(5);
+  Conv1D layer(2, 3, 3, 1, rng);
+  check_gradients(layer, random_tensor({2, 2, 8}, rng));
+}
+
+TEST(Conv1D, GradientCheckStrided) {
+  Rng rng(6);
+  Conv1D layer(2, 2, 5, 2, rng);
+  check_gradients(layer, random_tensor({2, 2, 9}, rng));
+}
+
+TEST(BatchNorm, NormalizesBatch) {
+  BatchNorm bn(3);
+  Rng rng(7);
+  const Tensor x = random_tensor({16, 3}, rng, 5.0f);
+  const Tensor y = bn.forward(x, true);
+  // Per-feature batch mean ≈ 0, var ≈ 1 (γ=1, β=0 initially).
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t b = 0; b < 16; ++b) mean += y.at(b, f);
+    mean /= 16.0;
+    for (std::size_t b = 0; b < 16; ++b) {
+      var += (y.at(b, f) - mean) * (y.at(b, f) - mean);
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn(2);
+  Rng rng(8);
+  // Train on shifted data so running stats move away from (0, 1).
+  for (int i = 0; i < 50; ++i) {
+    Tensor x = random_tensor({8, 2}, rng);
+    for (std::size_t j = 0; j < x.size(); ++j) x[j] += 10.0f;
+    (void)bn.forward(x, true);
+  }
+  // Eval: an input equal to the running mean must map to ≈ β = 0.
+  Tensor probe = Tensor::matrix(1, 2);
+  probe.at(0, 0) = bn.running_mean()[0];
+  probe.at(0, 1) = bn.running_mean()[1];
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y.at(0, 0), 0.0f, 0.05f);
+}
+
+TEST(BatchNorm, TentModeUsesBatchStatsInEval) {
+  BatchNorm bn(1);
+  bn.set_use_batch_stats_in_eval(true);
+  Rng rng(9);
+  Tensor x = random_tensor({32, 1}, rng);
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] += 100.0f;  // far from (0,1)
+  const Tensor y = bn.forward(x, /*training=*/false);
+  double mean = 0.0;
+  for (std::size_t b = 0; b < 32; ++b) mean += y.at(b, 0);
+  EXPECT_NEAR(mean / 32.0, 0.0, 1e-4);  // batch stats despite eval mode
+}
+
+TEST(BatchNorm, ChannelModeOn3D) {
+  BatchNorm bn(2);
+  Rng rng(10);
+  const Tensor x = random_tensor({4, 2, 6}, rng, 3.0f);
+  const Tensor y = bn.forward(x, true);
+  EXPECT_EQ(y.dim(2), 6u);
+  double mean = 0.0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    for (std::size_t t = 0; t < 6; ++t) mean += y.at(b, 0, t);
+  }
+  EXPECT_NEAR(mean / 24.0, 0.0, 1e-5);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm bn(3);
+  Rng rng(11);
+  check_gradients(bn, random_tensor({6, 3}, rng));
+}
+
+TEST(BatchNorm, GradientCheck3D) {
+  BatchNorm bn(2);
+  Rng rng(12);
+  check_gradients(bn, random_tensor({3, 2, 5}, rng));
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::matrix(1, 4);
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = -0.5f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU relu;
+  Tensor x = Tensor::matrix(1, 2);
+  x[0] = -1.0f;
+  x[1] = 3.0f;
+  (void)relu.forward(x, true);
+  Tensor g = Tensor::matrix(1, 2);
+  g.fill(1.0f);
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 1.0f);
+}
+
+TEST(GlobalAvgPool, AveragesOverTime) {
+  GlobalAvgPool1D pool;
+  Tensor x = Tensor::cube(1, 2, 4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    x.at(0, 0, t) = static_cast<float>(t);       // mean 1.5
+    x.at(0, 1, t) = 2.0f;                        // mean 2.0
+  }
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+}
+
+TEST(GlobalAvgPool, GradientCheck) {
+  GlobalAvgPool1D pool;
+  Rng rng(13);
+  check_gradients(pool, random_tensor({2, 3, 5}, rng));
+}
+
+TEST(MaxPool, PicksMaxAndRoutesGrad) {
+  MaxPool1D pool(2);
+  Tensor x = Tensor::cube(1, 1, 4);
+  x.at(0, 0, 0) = 1.0f;
+  x.at(0, 0, 1) = 5.0f;
+  x.at(0, 0, 2) = 3.0f;
+  x.at(0, 0, 3) = 2.0f;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), 3.0f);
+  Tensor g = Tensor::cube(1, 1, 2);
+  g.fill(1.0f);
+  const Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 2), 1.0f);
+}
+
+TEST(Flatten, RoundTrips) {
+  Flatten flat;
+  Rng rng(14);
+  const Tensor x = random_tensor({2, 3, 4}, rng);
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.dim(1), 12u);
+  const Tensor back = flat.backward(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(back[i], x[i]);
+}
+
+TEST(GradReversal, IdentityForwardNegatedBackward) {
+  GradReversal grl(0.5f);
+  Rng rng(15);
+  const Tensor x = random_tensor({2, 3}, rng);
+  const Tensor y = grl.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+  Tensor g = Tensor::matrix(2, 3);
+  g.fill(2.0f);
+  const Tensor gi = grl.backward(g);
+  for (std::size_t i = 0; i < gi.size(); ++i) EXPECT_FLOAT_EQ(gi[i], -1.0f);
+}
+
+}  // namespace
+}  // namespace smore::nn

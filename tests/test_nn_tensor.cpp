@@ -1,0 +1,75 @@
+// Unit tests for the nn::Tensor container and Param.
+
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smore::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  const Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t({4, 4});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ZeroDimensionThrows) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, MatrixAccessors) {
+  Tensor t = Tensor::matrix(2, 3);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t[1 * 3 + 2], 5.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, CubeAccessors) {
+  Tensor t = Tensor::cube(2, 3, 4);
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t[(1 * 3 + 2) * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, FillSetsAll) {
+  Tensor t({3, 3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::matrix(2, 6);
+  for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2u);
+  EXPECT_EQ(r.dim(0), 3u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(r[i], t[i]);
+}
+
+TEST(Tensor, ReshapeCountMismatchThrows) {
+  const Tensor t = Tensor::matrix(2, 6);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 2}).same_shape(Tensor({2, 2})));
+  EXPECT_FALSE(Tensor({2, 2}).same_shape(Tensor({4})));
+}
+
+TEST(Param, GradMatchesValueShape) {
+  Param p({3, 5});
+  EXPECT_TRUE(p.value.same_shape(p.grad));
+  p.grad.fill(1.0f);
+  p.zero_grad();
+  for (std::size_t i = 0; i < p.grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace smore::nn

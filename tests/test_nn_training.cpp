@@ -1,0 +1,215 @@
+// Unit tests for losses, optimizers, and end-to-end Sequential training.
+
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace smore::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits = Tensor::matrix(2, 3);
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(0, 2) = 3.0f;
+  logits.at(1, 0) = -10.0f;
+  logits.at(1, 2) = 10.0f;
+  const Tensor p = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += p.at(b, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  EXPECT_GT(p.at(1, 2), 0.99f);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::matrix(1, 2);
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 999.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0, 1e-6);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits = Tensor::matrix(1, 3);
+  logits.at(0, 1) = 50.0f;
+  const LossResult r = cross_entropy(logits, {1});
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionLogC) {
+  const Tensor logits = Tensor::matrix(1, 4);  // all-zero -> uniform
+  const LossResult r = cross_entropy(logits, {2});
+  EXPECT_NEAR(r.value, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits = Tensor::matrix(1, 3);
+  logits.at(0, 0) = 0.5f;
+  logits.at(0, 1) = -0.3f;
+  const Tensor p = softmax(logits);
+  const LossResult r = cross_entropy(logits, {0});
+  EXPECT_NEAR(r.grad.at(0, 0), p.at(0, 0) - 1.0f, 1e-6);
+  EXPECT_NEAR(r.grad.at(0, 1), p.at(0, 1), 1e-6);
+}
+
+TEST(CrossEntropy, ValidatesLabels) {
+  const Tensor logits = Tensor::matrix(1, 3);
+  EXPECT_THROW(cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {-1}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(EntropyLoss, UniformIsMaximal) {
+  const Tensor uniform = Tensor::matrix(1, 4);
+  Tensor peaked = Tensor::matrix(1, 4);
+  peaked.at(0, 0) = 20.0f;
+  EXPECT_NEAR(entropy_loss(uniform).value, std::log(4.0), 1e-6);
+  EXPECT_LT(entropy_loss(peaked).value, 0.01);
+}
+
+TEST(EntropyLoss, GradientMatchesNumerical) {
+  Rng rng(3);
+  Tensor logits = Tensor::matrix(2, 3);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = rng.uniform_f(-1.0f, 1.0f);
+  }
+  const LossResult r = entropy_loss(logits);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double hi = entropy_loss(logits).value * 2.0;  // value is mean
+    logits[i] = saved - eps;
+    const double lo = entropy_loss(logits).value * 2.0;
+    logits[i] = saved;
+    const double numeric = (hi - lo) / (2.0 * eps) / 2.0;
+    EXPECT_NEAR(r.grad[i], numeric, 5e-3) << "logit " << i;
+  }
+}
+
+TEST(LogitsAccuracy, CountsArgmaxHits) {
+  Tensor logits = Tensor::matrix(2, 2);
+  logits.at(0, 1) = 1.0f;  // pred 1
+  logits.at(1, 0) = 1.0f;  // pred 0
+  EXPECT_DOUBLE_EQ(logits_accuracy(logits, {1, 1}), 0.5);
+}
+
+TEST(Sgd, DescendsQuadratic) {
+  // minimize f(w) = 0.5*(w-3)^2 by feeding grad = (w-3).
+  Param w({1});
+  Sgd opt({&w}, 0.1f, 0.0f);
+  for (int i = 0; i < 200; ++i) {
+    w.grad[0] = w.value[0] - 3.0f;
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Param w({1});
+    w.value[0] = 10.0f;
+    Sgd opt({&w}, 0.01f, momentum);
+    for (int i = 0; i < 50; ++i) {
+      w.grad[0] = w.value[0];
+      opt.step();
+    }
+    return std::abs(w.value[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Sgd, StepClearsGradient) {
+  Param w({2});
+  Sgd opt({&w}, 0.1f);
+  w.grad.fill(1.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);
+}
+
+TEST(Sgd, RejectsNonPositiveLr) {
+  Param w({1});
+  EXPECT_THROW(Sgd({&w}, 0.0f), std::invalid_argument);
+}
+
+TEST(Adam, DescendsQuadratic) {
+  Param w({1});
+  w.value[0] = -4.0f;
+  Adam opt({&w}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    w.grad[0] = w.value[0] - 1.0f;
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-2);
+}
+
+TEST(Adam, HandlesSparseDirections) {
+  // Adam's per-coordinate scaling should move a rarely-updated coordinate.
+  Param w({2});
+  Adam opt({&w}, 0.01f);
+  for (int i = 0; i < 1000; ++i) {
+    w.grad[0] = w.value[0] - 1.0f;
+    w.grad[1] = (i % 10 == 0) ? (w.value[1] - 1.0f) : 0.0f;
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 0.1f);
+  EXPECT_GT(w.value[1], 0.1f);
+}
+
+TEST(Sequential, LearnsXor) {
+  // Classic nonlinear sanity check: 2-16-2 MLP must fit XOR exactly.
+  Rng rng(5);
+  Sequential net;
+  net.emplace<Dense>(2, 16, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(16, 2, rng);
+
+  Tensor x = Tensor::matrix(4, 2);
+  x.at(0, 0) = 0.0f; x.at(0, 1) = 0.0f;
+  x.at(1, 0) = 0.0f; x.at(1, 1) = 1.0f;
+  x.at(2, 0) = 1.0f; x.at(2, 1) = 0.0f;
+  x.at(3, 0) = 1.0f; x.at(3, 1) = 1.0f;
+  const std::vector<int> y{0, 1, 1, 0};
+
+  Adam opt(net.params(), 0.01f);
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    const Tensor logits = net.forward(x, true);
+    const LossResult loss = cross_entropy(logits, y);
+    net.backward(loss.grad);
+    opt.step();
+  }
+  EXPECT_DOUBLE_EQ(logits_accuracy(net.forward(x, false), y), 1.0);
+}
+
+TEST(Sequential, ParamCollectionCoversAllLayers) {
+  Rng rng(6);
+  Sequential net;
+  net.emplace<Dense>(4, 8, rng);       // W + b
+  net.emplace<BatchNorm>(8);           // γ + β
+  net.emplace<ReLU>();                 // none
+  net.emplace<Dense>(8, 2, rng);       // W + b
+  EXPECT_EQ(net.params().size(), 6u);
+  EXPECT_EQ(net.param_count(), 4u * 8 + 8 + 8 + 8 + 8u * 2 + 2);
+}
+
+TEST(Sequential, BatchNormLayerDiscovery) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Dense>(2, 4, rng);
+  net.emplace<BatchNorm>(4);
+  net.emplace<ReLU>();
+  net.emplace<BatchNorm>(4);
+  EXPECT_EQ(net.batch_norm_layers().size(), 2u);
+}
+
+}  // namespace
+}  // namespace smore::nn

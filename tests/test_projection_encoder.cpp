@@ -1,0 +1,146 @@
+// Unit tests for the OnlineHD-style random-projection encoder (BaselineHD's
+// pipeline): determinism, bounded features, shape discipline, similarity
+// behaviour, and its characteristic *sensitivity to offset shift* — the
+// fragility that motivates the paper's comparison.
+
+#include "hdc/projection_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "hdc/hypervector.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::tiny_spec;
+
+Window make_window(std::size_t channels, std::size_t steps, float base) {
+  Window w(channels, steps);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      w.set(c, t,
+            base + std::sin(0.3f * static_cast<float>(t) +
+                            static_cast<float>(c)));
+    }
+  }
+  w.set_label(1);
+  w.set_domain(2);
+  return w;
+}
+
+ProjectionEncoderConfig small_config() {
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ProjectionEncoder, RejectsZeroDim) {
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 0;
+  EXPECT_THROW(ProjectionEncoder{cfg}, std::invalid_argument);
+}
+
+TEST(ProjectionEncoder, FeaturesAreCosineBounded) {
+  const ProjectionEncoder enc(small_config());
+  const auto hv = enc.encode(make_window(2, 32, 0.0f));
+  EXPECT_EQ(hv.dim(), 1024u);
+  for (std::size_t j = 0; j < hv.dim(); ++j) {
+    EXPECT_GE(hv[j], -1.0f);
+    EXPECT_LE(hv[j], 1.0f);
+  }
+}
+
+TEST(ProjectionEncoder, Deterministic) {
+  const ProjectionEncoder a(small_config());
+  const ProjectionEncoder b(small_config());
+  const Window w = make_window(2, 32, 0.0f);
+  EXPECT_EQ(a.encode(w), a.encode(w));
+  EXPECT_EQ(a.encode(w), b.encode(w));
+}
+
+TEST(ProjectionEncoder, SeedChangesProjection) {
+  ProjectionEncoderConfig cfg = small_config();
+  const ProjectionEncoder a(cfg);
+  cfg.seed = 6;
+  const ProjectionEncoder b(cfg);
+  const Window w = make_window(2, 32, 0.0f);
+  EXPECT_NE(a.encode(w), b.encode(w));
+}
+
+TEST(ProjectionEncoder, ShapeDiscipline) {
+  const ProjectionEncoder enc(small_config());
+  (void)enc.encode(make_window(2, 32, 0.0f));
+  EXPECT_THROW((void)enc.encode(make_window(3, 32, 0.0f)),
+               std::invalid_argument);
+  EXPECT_THROW((void)enc.encode(Window{}), std::invalid_argument);
+}
+
+TEST(ProjectionEncoder, SimilarInputsSimilarCodes) {
+  const ProjectionEncoder enc(small_config());
+  const auto base = enc.encode(make_window(2, 32, 0.0f));
+  Window nearby = make_window(2, 32, 0.0f);
+  nearby.set(0, 5, nearby.at(0, 5) + 0.05f);
+  Window far = make_window(2, 32, 0.0f);
+  for (std::size_t t = 0; t < 32; ++t) {
+    far.set(0, t, std::cos(1.7f * static_cast<float>(t)));
+  }
+  EXPECT_GT(cosine_similarity(base, enc.encode(nearby)),
+            cosine_similarity(base, enc.encode(far)));
+}
+
+TEST(ProjectionEncoder, OffsetShiftMovesCodes) {
+  // The defining weakness vs the Sec 3.3 encoder: a constant input offset
+  // (per-subject sensor bias) substantially changes the code. The temporal
+  // encoder is exactly invariant to this.
+  const ProjectionEncoder enc(small_config());
+  const auto a = enc.encode(make_window(2, 32, 0.0f));
+  const auto b = enc.encode(make_window(2, 32, 1.5f));
+  EXPECT_LT(cosine_similarity(a, b), 0.7);
+}
+
+TEST(ProjectionEncoder, EncodeDatasetAlignsMetadata) {
+  const SyntheticSpec spec = tiny_spec(2, 2, 2, 16, 8);
+  const WindowDataset raw = generate_dataset(spec);
+  const ProjectionEncoder enc(small_config());
+  const HvDataset encoded = enc.encode_dataset(raw);
+  ASSERT_EQ(encoded.size(), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(encoded.label(i), raw[i].label());
+    EXPECT_EQ(encoded.domain(i), raw[i].domain());
+  }
+  const auto direct = enc.encode(raw[0]);
+  for (std::size_t j = 0; j < direct.dim(); ++j) {
+    EXPECT_FLOAT_EQ(encoded.row(0)[j], direct[j]);
+  }
+}
+
+TEST(ProjectionEncoder, EmptyDatasetYieldsEmpty) {
+  const ProjectionEncoder enc(small_config());
+  const HvDataset encoded = enc.encode_dataset(WindowDataset("e", 2, 8));
+  EXPECT_TRUE(encoded.empty());
+  EXPECT_EQ(encoded.dim(), 1024u);
+}
+
+TEST(HvDatasetCentering, MeanAndSubtract) {
+  HvDataset d(2);
+  const std::vector<float> r0{1.0f, 4.0f};
+  const std::vector<float> r1{3.0f, 0.0f};
+  d.add(r0, 0, 0);
+  d.add(r1, 1, 0);
+  const auto mean = d.mean_row();
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 2.0f);
+  d.subtract(mean);
+  EXPECT_FLOAT_EQ(d.row(0)[0], -1.0f);
+  EXPECT_FLOAT_EQ(d.row(1)[1], -2.0f);
+  const std::vector<float> bad(3, 0.0f);
+  EXPECT_THROW(d.subtract(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smore

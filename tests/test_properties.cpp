@@ -1,0 +1,173 @@
+// Property-based parameterized suites (TEST_P sweeps) over the HDC algebra,
+// the encoder, and SMORE invariants: the Sec 3.1 properties must hold across
+// dimensions, seeds, and n-gram sizes, not just at one configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/smore.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/hypervector.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+// ----- HDC algebra across (dim, seed) -----
+
+class HdcAlgebraProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  std::size_t dim() const { return std::get<0>(GetParam()); }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+  // Orthogonality tolerance scales as ~4/sqrt(d).
+  double tol() const { return 4.0 / std::sqrt(static_cast<double>(dim())); }
+};
+
+TEST_P(HdcAlgebraProperty, RandomVectorsNearlyOrthogonal) {
+  Rng rng(seed());
+  const auto a = Hypervector::random_bipolar(dim(), rng);
+  const auto b = Hypervector::random_bipolar(dim(), rng);
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, tol());
+}
+
+TEST_P(HdcAlgebraProperty, BundleContainsMembers) {
+  Rng rng(seed());
+  const auto a = Hypervector::random_bipolar(dim(), rng);
+  const auto b = Hypervector::random_bipolar(dim(), rng);
+  const auto c = Hypervector::random_bipolar(dim(), rng);
+  const auto bundled = a + b + c;
+  EXPECT_GT(cosine_similarity(bundled, a), 0.35);
+  Rng rng2(seed() ^ 0xffff);
+  const auto outsider = Hypervector::random_bipolar(dim(), rng2);
+  EXPECT_NEAR(cosine_similarity(bundled, outsider), 0.0, tol());
+}
+
+TEST_P(HdcAlgebraProperty, BindDistributesOverSimilarity) {
+  // Binding with a common key preserves similarity: δ(k*a, k*b) == δ(a, b)
+  // exactly for bipolar k.
+  Rng rng(seed());
+  const auto key = Hypervector::random_bipolar(dim(), rng);
+  const auto a = Hypervector::random_bipolar(dim(), rng);
+  auto b = a;
+  // Perturb ~25% of coordinates.
+  for (std::size_t i = 0; i < dim() / 4; ++i) b[i] = -b[i];
+  EXPECT_NEAR(cosine_similarity(bind(key, a), bind(key, b)),
+              cosine_similarity(a, b), 1e-6);
+}
+
+TEST_P(HdcAlgebraProperty, PermutationPreservesNorm) {
+  Rng rng(seed());
+  const auto h = Hypervector::random_bipolar(dim(), rng);
+  EXPECT_NEAR(permute(h, 7).norm(), h.norm(), 1e-9);
+}
+
+TEST_P(HdcAlgebraProperty, BindSelfInverse) {
+  Rng rng(seed());
+  const auto a = Hypervector::random_bipolar(dim(), rng);
+  const auto b = Hypervector::random_bipolar(dim(), rng);
+  EXPECT_NEAR(cosine_similarity(bind(bind(a, b), b), a), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, HdcAlgebraProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(512, 2048, 8192),
+                       ::testing::Values<std::uint64_t>(1, 99, 0xdead)));
+
+// ----- encoder invariants across n-gram sizes -----
+
+class EncoderNgramProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncoderNgramProperty, DeterministicAndSimilarityPreserving) {
+  EncoderConfig cfg;
+  cfg.dim = 2048;
+  cfg.ngram = GetParam();
+  cfg.seed = 3;
+  const MultiSensorEncoder enc(cfg);
+
+  Window base(2, 40);
+  Window near(2, 40);
+  Window far(2, 40);
+  for (std::size_t t = 0; t < 40; ++t) {
+    const float x = static_cast<float>(t) * 0.25f;
+    for (std::size_t c = 0; c < 2; ++c) {
+      base.set(c, t, std::sin(x + 0.3f * static_cast<float>(c)));
+      near.set(c, t, std::sin(x + 0.3f * static_cast<float>(c) + 0.1f));
+      far.set(c, t, std::sin(3.7f * x + 1.0f));
+    }
+  }
+  const auto hb = enc.encode(base);
+  EXPECT_EQ(hb, enc.encode(base));
+  EXPECT_GT(cosine_similarity(hb, enc.encode(near)),
+            cosine_similarity(hb, enc.encode(far)));
+}
+
+INSTANTIATE_TEST_SUITE_P(NgramSizes, EncoderNgramProperty,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8));
+
+// ----- SMORE invariants across δ* -----
+
+class SmoreThresholdProperty : public ::testing::TestWithParam<double> {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new HvDataset(
+        testing::separable_hv_dataset(3, 3, 20, 512, 0.4, 0.7, 0x5a5a));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static HvDataset* data_;
+};
+
+HvDataset* SmoreThresholdProperty::data_ = nullptr;
+
+TEST_P(SmoreThresholdProperty, PredictionAlwaysValidAndDeterministic) {
+  SmoreConfig cfg;
+  cfg.delta_star = GetParam();
+  SmoreModel model(3, 512, cfg);
+  model.fit(*data_);
+  for (std::size_t i = 0; i < data_->size(); i += 5) {
+    const int p1 = model.predict(data_->row(i));
+    const int p2 = model.predict(data_->row(i));
+    EXPECT_EQ(p1, p2);
+    EXPECT_GE(p1, 0);
+    EXPECT_LT(p1, 3);
+  }
+}
+
+TEST_P(SmoreThresholdProperty, OodRateIsMonotoneInThreshold) {
+  SmoreConfig cfg;
+  cfg.delta_star = GetParam();
+  SmoreModel model(3, 512, cfg);
+  model.fit(*data_);
+  const double at_param = model.ood_rate(*data_);
+  model.set_delta_star(std::min(1.0, GetParam() + 0.2));
+  EXPECT_GE(model.ood_rate(*data_), at_param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SmoreThresholdProperty,
+                         ::testing::Values(0.4, 0.5, 0.65, 0.8, 0.9));
+
+// ----- OnlineHD learning-rate sweep -----
+
+class OnlineHdLrProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(OnlineHdLrProperty, LearnsAtAnyReasonableRate) {
+  const HvDataset data =
+      testing::separable_hv_dataset(3, 1, 30, 512, 0.4, 0.0, 7);
+  OnlineHDClassifier model(3, 512);
+  OnlineHDConfig cfg;
+  cfg.learning_rate = GetParam();
+  cfg.epochs = 12;
+  model.fit(data, cfg);
+  EXPECT_GT(model.accuracy(data), 0.9) << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, OnlineHdLrProperty,
+                         ::testing::Values(0.01f, 0.035f, 0.1f, 0.5f));
+
+}  // namespace
+}  // namespace smore

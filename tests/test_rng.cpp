@@ -1,0 +1,193 @@
+// Unit tests for the seeded RNG: determinism, distribution sanity, fork
+// independence, and the shuffle/permutation helpers.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace smore {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(6);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  Rng rng(7);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, IndexIsUnbiasedOverSmallRange) {
+  Rng rng(8);
+  std::vector<int> hist(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[rng.index(5)];
+  for (const int h : hist) {
+    EXPECT_NEAR(static_cast<double>(h) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BipolarOnlyPlusMinusOne) {
+  Rng rng(11);
+  int plus = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const float b = rng.bipolar();
+    EXPECT_TRUE(b == 1.0f || b == -1.0f);
+    plus += b > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  // fork(tag) must depend only on current state, and distinct tags must give
+  // distinct streams.
+  Rng parent(13);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a(14);
+  Rng b(14);
+  Rng fa = a.fork(9);
+  Rng fb = b.fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(16);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(17);
+  const auto p = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += p[i] == i ? 1 : 0;
+  EXPECT_LT(fixed, 10u);  // overwhelmingly unlikely to keep many fixed points
+}
+
+TEST(Splitmix, KnownGolden) {
+  // Reference values from the public-domain splitmix64 specification.
+  std::uint64_t state = 0;
+  const std::uint64_t v1 = splitmix64(state);
+  EXPECT_EQ(v1, 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace smore

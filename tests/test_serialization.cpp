@@ -1,0 +1,110 @@
+// Serialization round-trip tests: OnlineHD models (covered in
+// test_onlinehd), descriptor banks, and the full SMORE model — a deployed
+// edge model must reload bit-identically without retraining.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/domain_descriptor.hpp"
+#include "core/smore.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::separable_hv_dataset;
+
+TEST(DescriptorSerialization, RoundTripPreservesEverything) {
+  const HvDataset data = separable_hv_dataset(3, 4, 8, 128);
+  const DomainDescriptorBank bank(data);
+  std::stringstream buffer;
+  bank.save(buffer);
+  const DomainDescriptorBank loaded = DomainDescriptorBank::load(buffer);
+  ASSERT_EQ(loaded.size(), bank.size());
+  for (std::size_t k = 0; k < bank.size(); ++k) {
+    EXPECT_EQ(loaded.domain_id(k), bank.domain_id(k));
+    EXPECT_EQ(loaded.sample_count(k), bank.sample_count(k));
+    EXPECT_EQ(loaded.descriptor(k), bank.descriptor(k));
+  }
+  // Similarities must be identical.
+  const auto s1 = bank.similarities(data.row(0));
+  const auto s2 = loaded.similarities(data.row(0));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(DescriptorSerialization, EmptyBankRoundTrips) {
+  DomainDescriptorBank bank;
+  std::stringstream buffer;
+  bank.save(buffer);
+  EXPECT_EQ(DomainDescriptorBank::load(buffer).size(), 0u);
+}
+
+TEST(DescriptorSerialization, CorruptStreamThrows) {
+  std::stringstream buffer;
+  buffer.write("junk", 4);
+  EXPECT_THROW(DomainDescriptorBank::load(buffer), std::runtime_error);
+}
+
+class SmoreSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = separable_hv_dataset(3, 3, 20, 256, 0.4, 0.5);
+    SmoreConfig cfg;
+    cfg.delta_star = 0.42;
+    cfg.weight_mode = WeightMode::kSoftmax;
+    model_ = std::make_unique<SmoreModel>(3, 256, cfg);
+    model_->fit(data_);
+  }
+
+  HvDataset data_{256};
+  std::unique_ptr<SmoreModel> model_;
+};
+
+TEST_F(SmoreSerializationTest, RoundTripPredictsIdentically) {
+  std::stringstream buffer;
+  model_->save(buffer);
+  const SmoreModel loaded = SmoreModel::load(buffer);
+  EXPECT_EQ(loaded.num_classes(), 3);
+  EXPECT_EQ(loaded.dim(), 256u);
+  EXPECT_EQ(loaded.num_domains(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.config().delta_star, 0.42);
+  EXPECT_EQ(loaded.config().weight_mode, WeightMode::kSoftmax);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const SmorePrediction a = model_->predict_detail(data_.row(i));
+    const SmorePrediction b = loaded.predict_detail(data_.row(i));
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.is_ood, b.is_ood);
+    EXPECT_DOUBLE_EQ(a.max_similarity, b.max_similarity);
+  }
+}
+
+TEST_F(SmoreSerializationTest, AccuracyPreserved) {
+  std::stringstream buffer;
+  model_->save(buffer);
+  const SmoreModel loaded = SmoreModel::load(buffer);
+  EXPECT_DOUBLE_EQ(loaded.accuracy(data_), model_->accuracy(data_));
+}
+
+TEST_F(SmoreSerializationTest, UntrainedSaveThrows) {
+  SmoreModel fresh(2, 64);
+  std::stringstream buffer;
+  EXPECT_THROW(fresh.save(buffer), std::logic_error);
+}
+
+TEST_F(SmoreSerializationTest, BadMagicThrows) {
+  std::stringstream buffer;
+  buffer.write("XXXXXXXXXXXXXXXX", 16);
+  EXPECT_THROW(SmoreModel::load(buffer), std::runtime_error);
+}
+
+TEST_F(SmoreSerializationTest, TruncatedPayloadThrows) {
+  std::stringstream buffer;
+  model_->save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(SmoreModel::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smore

@@ -1,0 +1,95 @@
+// Unit tests for the thread pool and parallel_for wrapper.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace smore {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleIteration) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 41; });
+  EXPECT_EQ(value, 41);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // Deterministic partitioning: out[i] depends only on i.
+  std::vector<double> out1(1000);
+  std::vector<double> out4(1000);
+  {
+    ThreadPool pool(1);
+    pool.parallel_for(out1.size(),
+                      [&](std::size_t i) { out1[i] = static_cast<double>(i) * i; });
+  }
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(out4.size(),
+                      [&](std::size_t i) { out4[i] = static_cast<double>(i) * i; });
+  }
+  EXPECT_EQ(out1, out4);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 10 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, FreeFunctionCoversRange) {
+  std::vector<int> hits(512, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 512);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) {
+                            throw std::runtime_error("injected failure");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+}  // namespace
+}  // namespace smore

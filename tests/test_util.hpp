@@ -1,0 +1,95 @@
+#pragma once
+// Shared fixtures/helpers for the test suite: tiny synthetic specs, linearly
+// separable encoded datasets, and numerical gradient checking for layers.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace smore::testing {
+
+/// Tiny synthetic spec (fast to generate/encode) with `domains` domains of
+/// one subject each.
+inline SyntheticSpec tiny_spec(int activities = 3, int domains = 3,
+                               std::size_t channels = 2,
+                               std::size_t window_steps = 24,
+                               std::size_t windows_per_domain = 30,
+                               std::uint64_t seed = 0x7e57) {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.activities = activities;
+  spec.subjects = domains;
+  spec.subject_to_domain.resize(static_cast<std::size_t>(domains));
+  for (int s = 0; s < domains; ++s) {
+    spec.subject_to_domain[static_cast<std::size_t>(s)] = s;
+  }
+  spec.channels = channels;
+  spec.window_steps = window_steps;
+  spec.overlap = 0.0;
+  spec.sample_rate_hz = 25.0;
+  spec.domain_counts.assign(static_cast<std::size_t>(domains),
+                            windows_per_domain);
+  spec.seed = seed;
+  return spec;
+}
+
+/// Linearly separable encoded dataset: class c of domain d clusters around a
+/// distinct random bipolar prototype with small perturbations. `domain_skew`
+/// rotates each domain's prototypes slightly, creating a controllable
+/// distribution shift in hyperspace without the encoder in the loop.
+inline HvDataset separable_hv_dataset(int classes, int domains,
+                                      std::size_t per_cell, std::size_t dim,
+                                      double noise = 0.4,
+                                      double domain_skew = 0.0,
+                                      std::uint64_t seed = 0xfeed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> prototypes;
+  for (int c = 0; c < classes; ++c) {
+    std::vector<float> p(dim);
+    for (auto& x : p) x = rng.bipolar();
+    prototypes.push_back(std::move(p));
+  }
+  // Per-domain skew directions.
+  std::vector<std::vector<float>> skew;
+  for (int d = 0; d < domains; ++d) {
+    std::vector<float> s(dim);
+    for (auto& x : s) x = rng.bipolar();
+    skew.push_back(std::move(s));
+  }
+
+  HvDataset data(dim);
+  std::vector<float> row(dim);
+  for (int d = 0; d < domains; ++d) {
+    for (int c = 0; c < classes; ++c) {
+      for (std::size_t i = 0; i < per_cell; ++i) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          row[j] = prototypes[static_cast<std::size_t>(c)][j] +
+                   static_cast<float>(domain_skew) *
+                       skew[static_cast<std::size_t>(d)][j] +
+                   static_cast<float>(rng.normal(0.0, noise));
+        }
+        data.add(row, c, d);
+      }
+    }
+  }
+  return data;
+}
+
+/// Central-difference numerical gradient of `f` w.r.t. `x[i]`.
+inline double numerical_grad(const std::function<double()>& f, float& x,
+                             float eps = 1e-3f) {
+  const float saved = x;
+  x = saved + eps;
+  const double hi = f();
+  x = saved - eps;
+  const double lo = f();
+  x = saved;
+  return (hi - lo) / (2.0 * static_cast<double>(eps));
+}
+
+}  // namespace smore::testing

@@ -1,0 +1,135 @@
+// Unit tests for stream segmentation (Sec 4.1.2 windowing rules).
+
+#include "data/windowing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smore {
+namespace {
+
+MultiChannelStream ramp_stream(std::size_t channels, std::size_t steps) {
+  MultiChannelStream s(channels, steps);
+  for (std::size_t c = 0; c < channels; ++c) {
+    auto ch = s.channel(c);
+    for (std::size_t t = 0; t < steps; ++t) {
+      ch[t] = static_cast<float>(c * 1000 + t);
+    }
+  }
+  s.set_label(7);
+  s.set_subject(2);
+  s.set_domain(1);
+  return s;
+}
+
+TEST(Windowing, HopNonOverlapping) {
+  EXPECT_EQ(hop_of({100, 0.0}), 100u);
+}
+
+TEST(Windowing, HopHalfOverlap) {
+  EXPECT_EQ(hop_of({100, 0.5}), 50u);
+}
+
+TEST(Windowing, HopNeverZero) {
+  EXPECT_EQ(hop_of({2, 0.9}), 1u);  // rounds to 0.2 -> clamps to 1
+}
+
+TEST(Windowing, InvalidConfigThrows) {
+  EXPECT_THROW((void)hop_of({0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)hop_of({10, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)hop_of({10, -0.1}), std::invalid_argument);
+}
+
+TEST(Windowing, WindowCountFormula) {
+  EXPECT_EQ(window_count(100, {100, 0.0}), 1u);
+  EXPECT_EQ(window_count(99, {100, 0.0}), 0u);
+  EXPECT_EQ(window_count(300, {100, 0.0}), 3u);
+  EXPECT_EQ(window_count(300, {100, 0.5}), 5u);
+}
+
+TEST(Windowing, StepsForWindowsInvertsCount) {
+  for (const double overlap : {0.0, 0.5, 0.25}) {
+    const SegmentationConfig cfg{64, overlap};
+    for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{33}}) {
+      const std::size_t steps = steps_for_windows(n, cfg);
+      EXPECT_EQ(window_count(steps, cfg), n)
+          << "overlap=" << overlap << " n=" << n;
+      // Minimality: one step fewer loses a window.
+      EXPECT_EQ(window_count(steps - 1, cfg), n - 1);
+    }
+  }
+}
+
+TEST(Windowing, SegmentCopiesValuesAndMetadata) {
+  const auto stream = ramp_stream(2, 10);
+  const auto windows = segment(stream, {4, 0.5});
+  ASSERT_EQ(windows.size(), 4u);  // hop 2: starts 0,2,4,6
+  EXPECT_FLOAT_EQ(windows[0].at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(windows[1].at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(windows[3].at(1, 3), 1009.0f);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.label(), 7);
+    EXPECT_EQ(w.subject(), 2);
+    EXPECT_EQ(w.domain(), 1);
+  }
+}
+
+TEST(Windowing, OverlappingWindowsShareSamples) {
+  const auto stream = ramp_stream(1, 12);
+  const auto windows = segment(stream, {8, 0.5});
+  ASSERT_EQ(windows.size(), 2u);
+  // Second window starts at hop=4; its first 4 values repeat window 1's tail.
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(windows[1].at(0, t), windows[0].at(0, t + 4));
+  }
+}
+
+TEST(Windowing, StreamShorterThanWindowYieldsNothing) {
+  const auto stream = ramp_stream(1, 5);
+  EXPECT_TRUE(segment(stream, {16, 0.0}).empty());
+}
+
+TEST(Windowing, StreamRejectsZeroExtents) {
+  EXPECT_THROW(MultiChannelStream(0, 5), std::invalid_argument);
+  EXPECT_THROW(MultiChannelStream(2, 0), std::invalid_argument);
+}
+
+TEST(WindowType, ShapeAndAccess) {
+  Window w(3, 4);
+  EXPECT_EQ(w.channels(), 3u);
+  EXPECT_EQ(w.steps(), 4u);
+  w.set(2, 3, 1.5f);
+  EXPECT_FLOAT_EQ(w.at(2, 3), 1.5f);
+  EXPECT_FLOAT_EQ(w.channel(2)[3], 1.5f);
+}
+
+TEST(WindowType, RejectsZeroExtents) {
+  EXPECT_THROW(Window(0, 4), std::invalid_argument);
+  EXPECT_THROW(Window(4, 0), std::invalid_argument);
+}
+
+TEST(WindowDatasetType, ShapeEnforced) {
+  WindowDataset ds("x", 2, 8);
+  ds.add(Window(2, 8));
+  EXPECT_THROW(ds.add(Window(2, 9)), std::invalid_argument);
+  EXPECT_THROW(ds.add(Window(3, 8)), std::invalid_argument);
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(WindowDatasetType, CountsClassesAndDomains) {
+  WindowDataset ds("x", 1, 4);
+  Window a(1, 4);
+  a.set_label(0);
+  a.set_domain(0);
+  Window b(1, 4);
+  b.set_label(4);
+  b.set_domain(2);
+  ds.add(a);
+  ds.add(b);
+  EXPECT_EQ(ds.num_classes(), 5);
+  EXPECT_EQ(ds.num_domains(), 3);
+  EXPECT_EQ(ds.domain_size(2), 1u);
+  EXPECT_EQ(ds.domain_size(1), 0u);
+}
+
+}  // namespace
+}  // namespace smore
