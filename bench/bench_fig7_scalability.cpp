@@ -64,10 +64,12 @@ int main(int argc, char** argv) {
   const Split base_fold = lodo_split(bundle.raw, held);
 
   CsvWriter csv(results_path("fig7_scalability"),
-                {"fraction", "algorithm", "train_seconds", "infer_seconds"});
+                {"fraction", "algorithm", "train_seconds", "infer_seconds",
+                 "queries_per_second"});
   print_banner("Figure 7: time vs data fraction (PAMAP2, domain " +
                std::to_string(held + 1) + " held out)");
-  TablePrinter table({"fraction", "algorithm", "train (s)", "inference (s)"});
+  TablePrinter table({"fraction", "algorithm", "train (s)", "inference (s)",
+                      "queries/s"});
 
   // Per-algorithm series for the growth-rate summary.
   std::map<Algo, std::pair<double, double>> first_last_train;
@@ -96,9 +98,14 @@ int main(int argc, char** argv) {
     for (const Algo algo : kAlgos) {
       const AlgoRunResult r =
           run_algorithm(algo, bundle.raw, bundle.encoded, fold, cfg);
+      const double qps =
+          r.infer_seconds > 0.0
+              ? static_cast<double>(fold.test.size()) / r.infer_seconds
+              : 0.0;
       table.row({fmt(frac, 1), algo_name(algo), fmt(r.train_seconds, 3),
-                 fmt(r.infer_seconds, 3)});
-      csv.row_values(frac, algo_name(algo), r.train_seconds, r.infer_seconds);
+                 fmt(r.infer_seconds, 3), fmt(qps, 0)});
+      csv.row_values(frac, algo_name(algo), r.train_seconds, r.infer_seconds,
+                     qps);
       auto& fl = first_last_train[algo];
       if (frac == fractions.front()) fl.first = r.train_seconds;
       fl.second = r.train_seconds;

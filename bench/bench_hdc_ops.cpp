@@ -11,6 +11,7 @@
 #include "core/smore.hpp"
 #include "data/synthetic.hpp"
 #include "hdc/encoder.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/onlinehd.hpp"
 
@@ -159,6 +160,80 @@ void BM_PredictSmoreMaterialized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictSmoreMaterialized)->Arg(2048);
+
+// --- batched similarity engine ---------------------------------------------
+
+/// The raw kernel: [queries × prototypes] cosine matrix, serial vs
+/// thread-pooled, against the equivalent per-query ops::cosine loop.
+void BM_SimilarityMatrix(benchmark::State& state) {
+  const auto nq = static_cast<std::size_t>(state.range(0));
+  const auto np = static_cast<std::size_t>(state.range(1));
+  const auto dim = static_cast<std::size_t>(state.range(2));
+  const bool parallel = state.range(3) != 0;
+  Rng rng(11);
+  HvMatrix queries(nq, dim);
+  HvMatrix protos(np, dim);
+  for (std::size_t i = 0; i < nq * dim; ++i) queries.data()[i] = rng.bipolar();
+  for (std::size_t i = 0; i < np * dim; ++i) protos.data()[i] = rng.bipolar();
+  std::vector<double> out(nq * np);
+  for (auto _ : state) {
+    ops::similarity_matrix(queries.data(), nq, protos.data(), np, dim,
+                           out.data(), nullptr, parallel);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nq));
+}
+BENCHMARK(BM_SimilarityMatrix)
+    ->Args({1024, 16, 4096, 0})
+    ->Args({1024, 16, 4096, 1});
+
+void BM_SimilarityScalarLoop(benchmark::State& state) {
+  const auto nq = static_cast<std::size_t>(state.range(0));
+  const auto np = static_cast<std::size_t>(state.range(1));
+  const auto dim = static_cast<std::size_t>(state.range(2));
+  Rng rng(11);
+  HvMatrix queries(nq, dim);
+  HvMatrix protos(np, dim);
+  for (std::size_t i = 0; i < nq * dim; ++i) queries.data()[i] = rng.bipolar();
+  for (std::size_t i = 0; i < np * dim; ++i) protos.data()[i] = rng.bipolar();
+  std::vector<double> out(nq * np);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::size_t p = 0; p < np; ++p) {
+        out[q * np + p] = ops::cosine(queries.row(q).data(),
+                                      protos.row(p).data(), dim);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nq));
+}
+BENCHMARK(BM_SimilarityScalarLoop)->Args({1024, 16, 4096});
+
+/// Whole-dataset OnlineHD prediction through the batch API vs the per-query
+/// wrapper loop.
+void BM_PredictOnlineHdBatch(benchmark::State& state) {
+  static const PredictFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.pooled->predict_batch(fx.data.view()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fx.data.size()));
+}
+BENCHMARK(BM_PredictOnlineHdBatch)->Arg(2048);
+
+/// Whole-dataset SMORE Algorithm 1 through the batched engine.
+void BM_PredictSmoreBatch(benchmark::State& state) {
+  static const PredictFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.smore->predict_batch(fx.data.view()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fx.data.size()));
+}
+BENCHMARK(BM_PredictSmoreBatch)->Arg(2048);
 
 }  // namespace
 

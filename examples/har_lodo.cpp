@@ -75,9 +75,7 @@ int main(int argc, char** argv) {
     model.fit(train);
 
     ConfusionMatrix cm(raw.num_classes());
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      cm.record(test.label(i), model.predict(test.row(i)));
-    }
+    cm.record_all(test.labels(), model.predict_batch(test.view()));
     const double acc = cm.accuracy();
     table.row({"Domain " + std::to_string(d + 1),
                fmt(100 * pooled.accuracy(test)), fmt(100 * acc),

@@ -6,6 +6,7 @@
 // compact CNNs used for wearable HAR and keeps the comparison about the
 // *adaptation algorithm*, not the backbone capacity.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

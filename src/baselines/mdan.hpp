@@ -16,6 +16,7 @@
 //     L = CE_label(C(F(x_src)), y_src) + μ · Σ_k CE_k(D_k(GRL(F(x))), d)
 // with d = 1 for domain-k source rows and d = 0 for target rows.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

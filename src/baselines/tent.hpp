@@ -10,6 +10,7 @@
 //     loss, updating ONLY the BatchNorm affine parameters (γ, β);
 //   * adaptation is online: the model keeps its adapted state across batches.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

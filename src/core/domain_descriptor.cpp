@@ -14,19 +14,42 @@ DomainDescriptorBank::DomainDescriptorBank(const HvDataset& train) {
   for (std::size_t i = 0; i < train.size(); ++i) {
     absorb(train.row(i), train.domain(i));
   }
+  // Warm the batch-path cache so a freshly built bank can serve concurrent
+  // const similarity queries without a lazy rebuild race.
+  (void)packed();
 }
 
 std::vector<double> DomainDescriptorBank::similarities(
     std::span<const float> query) const {
-  std::vector<double> sims(descriptors_.size());
-  for (std::size_t k = 0; k < descriptors_.size(); ++k) {
-    const auto& u = descriptors_[k];
-    if (query.size() != u.dim()) {
-      throw std::invalid_argument(
-          "DomainDescriptorBank::similarities: dimension mismatch");
-    }
-    sims[k] = ops::cosine(query.data(), u.data(), u.dim());
+  if (!empty() && query.size() != dim()) {
+    throw std::invalid_argument(
+        "DomainDescriptorBank::similarities: dimension mismatch");
   }
+  return similarities_batch(HvView(query));
+}
+
+const HvMatrix& DomainDescriptorBank::packed() const {
+  if (packed_stale_) {
+    packed_ = HvMatrix::pack(descriptors_);
+    packed_norms_sq_.resize(descriptors_.size());
+    ops::nrm2_sq_rows(packed_.data(), packed_.rows(), packed_.dim(),
+                      packed_norms_sq_.data());
+    packed_stale_ = false;
+  }
+  return packed_;
+}
+
+std::vector<double> DomainDescriptorBank::similarities_batch(
+    HvView queries) const {
+  if (queries.rows == 0 || empty()) return {};
+  if (queries.dim != dim()) {
+    throw std::invalid_argument(
+        "DomainDescriptorBank::similarities: dimension mismatch");
+  }
+  const HvMatrix& u = packed();
+  std::vector<double> sims(queries.rows * u.rows());
+  ops::similarity_matrix(queries.data, queries.rows, u.data(), u.rows(),
+                         u.dim(), sims.data(), packed_norms_sq_.data());
   return sims;
 }
 
@@ -51,6 +74,7 @@ void DomainDescriptorBank::absorb(std::span<const float> hv, int domain_id) {
   }
   ops::axpy(1.0f, hv.data(), u.data(), u.dim());
   ++counts_[k];
+  packed_stale_ = true;
 }
 
 void DomainDescriptorBank::save(std::ostream& out) const {
@@ -92,6 +116,7 @@ DomainDescriptorBank DomainDescriptorBank::load(std::istream& in) {
     bank.counts_.push_back(static_cast<std::size_t>(count));
     bank.descriptors_.push_back(std::move(hv));
   }
+  (void)bank.packed();  // warm the batch cache (see the HvDataset ctor)
   return bank;
 }
 

@@ -13,11 +13,18 @@
 #include <vector>
 
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 
 namespace smore {
 
 /// The bank of K domain descriptors, built once during training.
+///
+/// Concurrency: const similarity queries are safe from multiple threads on a
+/// bank produced by the HvDataset constructor or load() (the packed batch
+/// cache is warmed there). absorb() is not synchronized against readers;
+/// after streaming updates, make one similarity call before sharing the bank
+/// across threads again.
 class DomainDescriptorBank {
  public:
   DomainDescriptorBank() = default;
@@ -50,9 +57,13 @@ class DomainDescriptorBank {
     return counts_.at(k);
   }
 
-  /// δ(query, U_k) for every k.
+  /// δ(query, U_k) for every k. Thin wrapper over a batch of one.
   [[nodiscard]] std::vector<double> similarities(
       std::span<const float> query) const;
+
+  /// Row-major [queries.rows × K] matrix of δ(Q_i, U_k): one blocked matrix
+  /// kernel over the packed descriptors instead of a per-query loop.
+  [[nodiscard]] std::vector<double> similarities_batch(HvView queries) const;
 
   /// Incremental construction (streaming/adaptation use cases): bundle one
   /// more sample into the descriptor of `domain_id`, creating the descriptor
@@ -65,9 +76,16 @@ class DomainDescriptorBank {
   static DomainDescriptorBank load(std::istream& in);
 
  private:
+  /// Packed [K × dim] descriptor block plus squared norms for the batch
+  /// kernel; rebuilt lazily after absorb().
+  const HvMatrix& packed() const;
+
   std::vector<Hypervector> descriptors_;
   std::vector<int> ids_;
   std::vector<std::size_t> counts_;
+  mutable HvMatrix packed_;
+  mutable std::vector<double> packed_norms_sq_;
+  mutable bool packed_stale_ = true;
 };
 
 }  // namespace smore

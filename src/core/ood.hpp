@@ -5,6 +5,7 @@
 // threshold δ*: max_k δ(Q, U_k) < δ*. δ* is the paper's single tunable
 // hyperparameter (Figure 5 sweeps it; the best value reported is ≈ 0.65).
 
+#include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <vector>

@@ -113,24 +113,86 @@ SmorePrediction SmoreModel::predict_detail(std::span<const float> hv) const {
 }
 
 int SmoreModel::predict(std::span<const float> hv) const {
-  return predict_detail(hv).label;
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("SmoreModel::predict: dimension mismatch");
+  }
+  return predict_batch(HvView(hv)).at(0);
+}
+
+std::vector<double> SmoreModel::similarities_batch(HvView queries) const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::similarities_batch before fit");
+  }
+  return descriptors_.similarities_batch(queries);
+}
+
+std::vector<int> SmoreModel::predict_batch_impl(
+    HvView queries, std::vector<std::uint8_t>* ood_flags) const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::predict before fit");
+  }
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument("SmoreModel::predict_batch: dim mismatch");
+  }
+  // E: one matrix kernel for every δ(Q_i, U_k) (Algorithm 1 lines 1-2).
+  const std::vector<double> sims = descriptors_.similarities_batch(queries);
+  const std::size_t k = descriptors_.size();
+  if (ood_flags != nullptr) ood_flags->assign(queries.rows, 0);
+
+  // F: per-query verdicts and ensemble weights (lines 3-6) — O(K) each.
+  std::vector<double> weights(queries.rows * k);
+  for (std::size_t q = 0; q < queries.rows; ++q) {
+    const std::span<const double> row(sims.data() + q * k, k);
+    const OodVerdict verdict = detector_.evaluate(row);
+    if (ood_flags != nullptr && verdict.is_ood) (*ood_flags)[q] = 1;
+    const std::vector<double> w = ensemble_weights(
+        row, detector_.delta_star(), verdict.is_ood, config_.weight_mode);
+    std::copy(w.begin(), w.end(), weights.begin() + q * k);
+  }
+
+  // G: batched ensembled argmax (line 7).
+  if (evaluator_stale_) rebuild_evaluator();
+  return evaluator_->predict_batch(queries, weights);
+}
+
+std::vector<int> SmoreModel::predict_batch(HvView queries) const {
+  return predict_batch_impl(queries, nullptr);
+}
+
+SmoreEvaluation SmoreModel::evaluate(const HvDataset& data) const {
+  SmoreEvaluation out;
+  if (data.empty()) return out;
+  std::vector<std::uint8_t> flags;
+  const std::vector<int> labels = predict_batch_impl(data.view(), &flags);
+  std::size_t correct = 0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += labels[i] == data.label(i) ? 1 : 0;
+    flagged += flags[i];
+  }
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  out.ood_rate = static_cast<double>(flagged) / static_cast<double>(data.size());
+  return out;
 }
 
 double SmoreModel::accuracy(const HvDataset& data) const {
   if (data.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
-  }
-  return static_cast<double>(correct) / static_cast<double>(data.size());
+  return evaluate(data).accuracy;
 }
 
 double SmoreModel::ood_rate(const HvDataset& data) const {
   if (data.empty()) return 0.0;
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::ood_rate before fit");
+  }
+  // Detector-only path: skips the classifier stage entirely.
+  const std::vector<double> sims = descriptors_.similarities_batch(data.view());
+  const std::size_t k = descriptors_.size();
   std::size_t flagged = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const auto sims = descriptors_.similarities(data.row(i));
-    flagged += detector_.evaluate(sims).is_ood ? 1 : 0;
+    const std::span<const double> row(sims.data() + i * k, k);
+    flagged += detector_.evaluate(row).is_ood ? 1 : 0;
   }
   return static_cast<double>(flagged) / static_cast<double>(data.size());
 }
@@ -151,11 +213,14 @@ double SmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
   if (target_ood_rate < 0.0 || target_ood_rate > 1.0) {
     throw std::invalid_argument("calibrate_delta_star: rate outside [0, 1]");
   }
+  const std::vector<double> sims =
+      descriptors_.similarities_batch(in_distribution.view());
+  const std::size_t k = descriptors_.size();
   std::vector<double> max_sims;
   max_sims.reserve(in_distribution.size());
   for (std::size_t i = 0; i < in_distribution.size(); ++i) {
-    const auto sims = descriptors_.similarities(in_distribution.row(i));
-    max_sims.push_back(detector_.evaluate(sims).max_similarity);
+    const std::span<const double> row(sims.data() + i * k, k);
+    max_sims.push_back(detector_.evaluate(row).max_similarity);
   }
   std::sort(max_sims.begin(), max_sims.end());
   // δ* at the target quantile: samples strictly below it are flagged OOD.

@@ -16,6 +16,8 @@
 // HvDatasets, so a dataset is encoded once and shared across folds,
 // algorithms, and ablations.
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -25,6 +27,7 @@
 #include "core/ood.hpp"
 #include "core/test_time_model.hpp"
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/onlinehd.hpp"
 
 namespace smore {
@@ -44,6 +47,14 @@ struct SmorePrediction {
   double max_similarity = 0.0;            ///< δ_max
   std::vector<double> domain_similarity;  ///< δ(Q, U_k) for every k
   std::vector<double> weights;            ///< ensemble weights used
+};
+
+/// Batched evaluation summary: accuracy and OOD rate from one pass of the
+/// matrix kernels (the two metrics share the descriptor-similarity matrix,
+/// which the separate accuracy()/ood_rate() calls would compute twice).
+struct SmoreEvaluation {
+  double accuracy = 0.0;
+  double ood_rate = 0.0;
 };
 
 /// The SMORE classifier.
@@ -68,13 +79,25 @@ class SmoreModel {
   /// Algorithm 1 for one encoded query.
   [[nodiscard]] SmorePrediction predict_detail(std::span<const float> hv) const;
 
-  /// Predicted label only.
+  /// Predicted label only. Thin wrapper over a batch of one.
   [[nodiscard]] int predict(std::span<const float> hv) const;
 
-  /// Fraction of `data` classified correctly.
+  /// Algorithm 1 over a whole query block: descriptor similarities, OOD
+  /// verdicts, and the ensembled argmax each run as one batched matrix-kernel
+  /// pass instead of per-query loops.
+  [[nodiscard]] std::vector<int> predict_batch(HvView queries) const;
+
+  /// Row-major [queries.rows × K] descriptor-similarity matrix δ(Q_i, U_k)
+  /// (the input of OOD detection and ensemble weighting).
+  [[nodiscard]] std::vector<double> similarities_batch(HvView queries) const;
+
+  /// Accuracy and OOD rate of `data` in one batched pass.
+  [[nodiscard]] SmoreEvaluation evaluate(const HvDataset& data) const;
+
+  /// Fraction of `data` classified correctly (batched).
   [[nodiscard]] double accuracy(const HvDataset& data) const;
 
-  /// Fraction of `data` flagged OOD (paper's detector diagnostics).
+  /// Fraction of `data` flagged OOD (batched; paper's detector diagnostics).
   [[nodiscard]] double ood_rate(const HvDataset& data) const;
 
   /// Number of source domains K seen at fit time.
@@ -132,6 +155,10 @@ class SmoreModel {
   [[nodiscard]] std::vector<double> weights_for(
       std::span<const float> hv, const OodVerdict& verdict,
       std::span<const double> sims) const;
+  /// Batched Algorithm 1 core; fills `ood_flags` (one per query) when
+  /// non-null.
+  [[nodiscard]] std::vector<int> predict_batch_impl(
+      HvView queries, std::vector<std::uint8_t>* ood_flags) const;
   void rebuild_evaluator() const;
 
   int num_classes_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace smore {
@@ -161,6 +162,37 @@ EnsembleEvaluator::EnsembleEvaluator(
       }
     }
   }
+  // Pack every class vector of every model contiguously (row c·K + k) so the
+  // batched path computes all K·n dots of a query block with one kernel.
+  packed_ = HvMatrix(static_cast<std::size_t>(num_classes_) * k, dim_);
+  for (int c = 0; c < num_classes_; ++c) {
+    for (std::size_t i = 0; i < k; ++i) {
+      packed_.set_row(static_cast<std::size_t>(c) * k + i,
+                      models_[i]->class_vector(c).span());
+    }
+  }
+}
+
+void EnsembleEvaluator::combine_class(const double* class_dots,
+                                      std::span<const double> w, int c,
+                                      double& dot_qc, double& norm_sq) const {
+  const std::size_t k = models_.size();
+  dot_qc = 0.0;
+  norm_sq = 0.0;
+  // dot(Q, C_c^T) = Σ_k w_k <Q, C_c^k>
+  for (std::size_t i = 0; i < k; ++i) {
+    if (w[i] == 0.0) continue;
+    dot_qc += w[i] * class_dots[i];
+  }
+  // ‖C_c^T‖² = w^T G_c w
+  const auto& g = gram_[static_cast<std::size_t>(c)];
+  for (std::size_t i = 0; i < k; ++i) {
+    if (w[i] == 0.0) continue;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (w[j] == 0.0) continue;
+      norm_sq += w[i] * w[j] * g[i * k + j];
+    }
+  }
 }
 
 std::vector<double> EnsembleEvaluator::class_similarities(
@@ -173,25 +205,18 @@ std::vector<double> EnsembleEvaluator::class_similarities(
   }
   const std::size_t k = models_.size();
   const double q_norm = ops::nrm2(hv.data(), dim_);
+  std::vector<double> class_dots(k);
   std::vector<double> sims(static_cast<std::size_t>(num_classes_), 0.0);
   for (int c = 0; c < num_classes_; ++c) {
-    // dot(Q, C_c^T) = Σ_k w_k <Q, C_c^k>
+    for (std::size_t i = 0; i < k; ++i) {
+      class_dots[i] =
+          weights[i] == 0.0
+              ? 0.0
+              : ops::dot(hv.data(), models_[i]->class_vector(c).data(), dim_);
+    }
     double dot_qc = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      if (weights[i] == 0.0) continue;
-      dot_qc += weights[i] *
-                ops::dot(hv.data(), models_[i]->class_vector(c).data(), dim_);
-    }
-    // ‖C_c^T‖² = w^T G_c w
-    const auto& g = gram_[static_cast<std::size_t>(c)];
     double norm_sq = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      if (weights[i] == 0.0) continue;
-      for (std::size_t j = 0; j < k; ++j) {
-        if (weights[j] == 0.0) continue;
-        norm_sq += weights[i] * weights[j] * g[i * k + j];
-      }
-    }
+    combine_class(class_dots.data(), weights, c, dot_qc, norm_sq);
     const double denom = q_norm * std::sqrt(std::max(norm_sq, 0.0));
     sims[static_cast<std::size_t>(c)] = denom > 0.0 ? dot_qc / denom : 0.0;
   }
@@ -209,6 +234,47 @@ int EnsembleEvaluator::predict(std::span<const float> hv,
     }
   }
   return best;
+}
+
+std::vector<int> EnsembleEvaluator::predict_batch(
+    HvView queries, std::span<const double> weights) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument("EnsembleEvaluator: query dim mismatch");
+  }
+  const std::size_t k = models_.size();
+  if (weights.size() != queries.rows * k) {
+    throw std::invalid_argument("EnsembleEvaluator: weight arity mismatch");
+  }
+  const auto n = static_cast<std::size_t>(num_classes_);
+  // One blocked kernel for all <Q_q, C_c^k> dots, then the cheap per-query
+  // Gram combination. The query norm scales every class score equally, so
+  // the argmax skips it.
+  std::vector<double> dots(queries.rows * n * k);
+  ops::dot_matrix(queries.data, queries.rows, packed_.data(), n * k, dim_,
+                  dots.data());
+  std::vector<int> labels(queries.rows);
+  for (std::size_t q = 0; q < queries.rows; ++q) {
+    const double* qdots = dots.data() + q * n * k;
+    const std::span<const double> w(weights.data() + q * k, k);
+    std::size_t best = 0;
+    // Unnormalized scores are unbounded below (no division by the query
+    // norm), so a cosine-range sentinel like -2 would be wrong here.
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n; ++c) {
+      double dot_qc = 0.0;
+      double norm_sq = 0.0;
+      combine_class(qdots + c * k, w, static_cast<int>(c), dot_qc, norm_sq);
+      const double score =
+          norm_sq > 0.0 ? dot_qc / std::sqrt(norm_sq) : 0.0;
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    labels[q] = static_cast<int>(best);
+  }
+  return labels;
 }
 
 }  // namespace smore

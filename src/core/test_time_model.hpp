@@ -20,11 +20,13 @@
 //     is allocation-free and skips zero-weight domains entirely. A property
 //     test pins both paths to identical argmax.
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
-#include "hdc/onlinehd.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/onlinehd.hpp"
 
 namespace smore {
 
@@ -102,12 +104,29 @@ class EnsembleEvaluator {
   [[nodiscard]] std::vector<double> class_similarities(
       std::span<const float> hv, std::span<const double> weights) const;
 
+  /// Batched argmax with per-query weights (`weights` is row-major
+  /// [queries.rows × K]). The K·n class-vector dots of every query come from
+  /// one blocked matrix kernel over the packed class vectors; the Gram
+  /// combination per (query, class) is O(K²) on top.
+  [[nodiscard]] std::vector<int> predict_batch(
+      HvView queries, std::span<const double> weights) const;
+
  private:
+  /// Shared ensemble math of the scalar and batch paths: given the K
+  /// per-model dots of one class (`class_dots[k] = <Q, C_c^k>`), accumulate
+  /// dot(Q, C_c^T) = Σ_k w_k class_dots[k] and ‖C_c^T‖² = w^T G_c w,
+  /// skipping zero-weight models.
+  void combine_class(const double* class_dots, std::span<const double> w,
+                     int c, double& dot_qc, double& norm_sq) const;
+
   std::vector<const OnlineHDClassifier*> models_;
   int num_classes_ = 0;
   std::size_t dim_ = 0;
   // gram_[c] is a K×K matrix, row-major: <C_c^i, C_c^j>.
   std::vector<std::vector<double>> gram_;
+  // All K·n class vectors packed row-major, row index c·K + k (the K vectors
+  // of one class contiguous); feeds the batched dot kernel.
+  HvMatrix packed_;
 };
 
 }  // namespace smore

@@ -142,10 +142,13 @@ AlgoRunResult run_hdc(Algo algo, const HvDataset& encoded, const Split& fold,
       }
       {
         WallTimer t;
-        result.accuracy = model.accuracy(test);
+        // One batched pass yields both metrics (they share the
+        // descriptor-similarity matrix).
+        const SmoreEvaluation eval = model.evaluate(test);
+        result.accuracy = eval.accuracy;
+        result.ood_rate = eval.ood_rate;
         result.infer_seconds = t.seconds() + test_encode;
       }
-      result.ood_rate = model.ood_rate(test);
       break;
     }
     default:

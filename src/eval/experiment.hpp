@@ -12,6 +12,8 @@
 // `encode_seconds_per_sample` re-attributes that cost so reported train /
 // inference times include each split's fair share of encoding.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

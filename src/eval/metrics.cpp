@@ -24,6 +24,16 @@ void ConfusionMatrix::record(int truth, int predicted) {
   ++total_;
 }
 
+void ConfusionMatrix::record_all(std::span<const int> truth,
+                                 std::span<const int> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("ConfusionMatrix::record_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    record(truth[i], predicted[i]);
+  }
+}
+
 std::size_t ConfusionMatrix::at(int truth, int predicted) const {
   if (truth < 0 || truth >= classes_ || predicted < 0 ||
       predicted >= classes_) {

@@ -4,6 +4,7 @@
 // bench.
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,11 @@ class ConfusionMatrix {
 
   /// Record one (truth, prediction) pair; out-of-range labels throw.
   void record(int truth, int predicted);
+
+  /// Record a whole batch of aligned (truth, prediction) pairs — the natural
+  /// sink of the predict_batch APIs. Throws std::invalid_argument on size
+  /// mismatch; out-of-range labels throw as in record().
+  void record_all(std::span<const int> truth, std::span<const int> predicted);
 
   [[nodiscard]] int num_classes() const noexcept { return classes_; }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }

@@ -11,6 +11,7 @@
 // BinaryModel quantizes any trained OnlineHDClassifier; BinaryVector is the
 // packed bit representation of one hypervector.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

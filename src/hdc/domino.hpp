@@ -20,7 +20,9 @@
 // retraining rounds), and a compressed final model (d* dims) that infers
 // slightly faster than full-dimension HDC models.
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hdc/hv_dataset.hpp"

@@ -33,7 +33,10 @@
 // `quantization_levels = 0` selects the paper-literal linear interpolation
 // for the ablation bench; Q > 0 snaps α to a Q-point grid first.
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "data/timeseries.hpp"
 #include "hdc/hv_dataset.hpp"

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hdc/hv_matrix.hpp"
+
 namespace smore {
 
 /// Row-major [n × dim] matrix of encoded samples plus per-row label/domain.
@@ -42,6 +44,12 @@ class HvDataset {
   }
   [[nodiscard]] std::span<float> row(std::size_t i) noexcept {
     return {data_.data() + i * dim_, dim_};
+  }
+
+  /// Whole dataset as one row-major block — the input shape of the batched
+  /// similarity engine (ops::similarity_matrix and the *_batch APIs).
+  [[nodiscard]] HvView view() const noexcept {
+    return {data_.data(), size(), dim_};
   }
 
   [[nodiscard]] int label(std::size_t i) const noexcept { return labels_[i]; }

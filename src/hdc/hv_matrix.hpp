@@ -1,0 +1,108 @@
+#pragma once
+// HvView / HvMatrix: contiguous row-major blocks of hypervectors.
+//
+// The batched similarity engine (ops::similarity_matrix and the *_batch APIs
+// built on it) operates on [rows × dim] float blocks rather than individual
+// hypervectors. HvView is the non-owning currency every batch API accepts —
+// an HvDataset, an HvMatrix, or a single hypervector (batch of one) all
+// convert to it for free. HvMatrix owns such a block; classifiers use it to
+// keep their prototypes (class vectors, domain descriptors) packed
+// contiguously so one matrix kernel replaces a loop of per-vector dots.
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// Non-owning view over a row-major [rows × dim] block of floats. The
+/// pointed-to storage must outlive the view. A dimension-consistent span is a
+/// precondition, not a runtime check: views are built by the owning
+/// containers below, whose layout is an invariant.
+struct HvView {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t dim = 0;
+
+  HvView() = default;
+  HvView(const float* data_, std::size_t rows_, std::size_t dim_) noexcept
+      : data(data_), rows(rows_), dim(dim_) {}
+
+  /// Batch-of-one view over a raw hypervector span.
+  explicit HvView(std::span<const float> hv) noexcept
+      : data(hv.data()), rows(hv.empty() ? 0 : 1), dim(hv.size()) {}
+
+  [[nodiscard]] bool empty() const noexcept { return rows == 0; }
+
+  [[nodiscard]] std::span<const float> row(std::size_t i) const noexcept {
+    return {data + i * dim, dim};
+  }
+
+  /// Rows [first, first + count) as a sub-view (used for tiling).
+  [[nodiscard]] HvView slice(std::size_t first, std::size_t count) const noexcept {
+    return {data + first * dim, count, dim};
+  }
+};
+
+/// Owning contiguous row-major [rows × dim] hypervector block.
+class HvMatrix {
+ public:
+  HvMatrix() = default;
+
+  /// Zero-initialized block.
+  HvMatrix(std::size_t rows, std::size_t dim)
+      : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {}
+
+  /// Pack a set of equally-sized hypervectors into one contiguous block.
+  /// Throws std::invalid_argument on dimension disagreement.
+  static HvMatrix pack(std::span<const Hypervector> hvs) {
+    HvMatrix out;
+    if (hvs.empty()) return out;
+    out.rows_ = hvs.size();
+    out.dim_ = hvs.front().dim();
+    out.data_.resize(out.rows_ * out.dim_);
+    for (std::size_t i = 0; i < hvs.size(); ++i) {
+      if (hvs[i].dim() != out.dim_) {
+        throw std::invalid_argument("HvMatrix::pack: dimension mismatch");
+      }
+      const float* src = hvs[i].data();
+      std::copy(src, src + out.dim_, out.data_.data() + i * out.dim_);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<float> row(std::size_t i) noexcept {
+    return {data_.data() + i * dim_, dim_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t i) const noexcept {
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  /// Overwrite row i. Throws std::invalid_argument on dimension mismatch.
+  void set_row(std::size_t i, std::span<const float> hv) {
+    if (hv.size() != dim_) {
+      throw std::invalid_argument("HvMatrix::set_row: dimension mismatch");
+    }
+    std::copy(hv.begin(), hv.end(), data_.data() + i * dim_);
+  }
+
+  [[nodiscard]] HvView view() const noexcept { return {data_.data(), rows_, dim_}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace smore

@@ -32,6 +32,19 @@ double OnlineHDClassifier::cosine_to_class(std::span<const float> hv,
 void OnlineHDClassifier::refresh_norm(int c) {
   norms_[static_cast<std::size_t>(c)] =
       classes_[static_cast<std::size_t>(c)].norm();
+  packed_stale_ = true;
+}
+
+const HvMatrix& OnlineHDClassifier::packed() const {
+  if (packed_stale_) {
+    packed_ = HvMatrix::pack(classes_);
+    packed_norms_sq_.resize(norms_.size());
+    for (std::size_t c = 0; c < norms_.size(); ++c) {
+      packed_norms_sq_[c] = norms_[c] * norms_[c];
+    }
+    packed_stale_ = false;
+  }
+  return packed_;
 }
 
 void OnlineHDClassifier::bootstrap(std::span<const float> hv, int label) {
@@ -101,6 +114,9 @@ std::vector<double> OnlineHDClassifier::fit(const HvDataset& train,
                           : static_cast<double>(correct) /
                                 static_cast<double>(train.size()));
   }
+  // Warm the batch-path cache so a freshly trained model can be shared
+  // across threads for const prediction without a lazy rebuild race.
+  (void)packed();
   return history;
 }
 
@@ -108,17 +124,7 @@ int OnlineHDClassifier::predict(std::span<const float> hv) const {
   if (hv.size() != dim_) {
     throw std::invalid_argument("predict: dimension mismatch");
   }
-  const double hv_norm = ops::nrm2(hv.data(), dim_);
-  int best = 0;
-  double best_sim = -2.0;
-  for (int c = 0; c < num_classes(); ++c) {
-    const double s = cosine_to_class(hv, hv_norm, c);
-    if (s > best_sim) {
-      best_sim = s;
-      best = c;
-    }
-  }
-  return best;
+  return predict_batch(HvView(hv)).front();
 }
 
 std::vector<double> OnlineHDClassifier::similarities(
@@ -126,19 +132,62 @@ std::vector<double> OnlineHDClassifier::similarities(
   if (hv.size() != dim_) {
     throw std::invalid_argument("similarities: dimension mismatch");
   }
-  const double hv_norm = ops::nrm2(hv.data(), dim_);
-  std::vector<double> sims(static_cast<std::size_t>(num_classes()));
-  for (int c = 0; c < num_classes(); ++c) {
-    sims[static_cast<std::size_t>(c)] = cosine_to_class(hv, hv_norm, c);
+  return similarities_batch(HvView(hv));
+}
+
+std::vector<int> OnlineHDClassifier::predict_batch(HvView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument("predict_batch: dimension mismatch");
   }
+  const HvMatrix& classes = packed();
+  const auto k = static_cast<std::size_t>(num_classes());
+  // Raw dots suffice for the argmax: cosine divides every class score by the
+  // same positive query norm, so only the per-class 1/‖C_c‖ factor matters.
+  std::vector<double> dots(queries.rows * k);
+  ops::dot_matrix(queries.data, queries.rows, classes.data(), k, dim_,
+                  dots.data());
+  std::vector<double> inv_norm(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    inv_norm[c] = norms_[c] > 0.0 ? 1.0 / norms_[c] : 0.0;
+  }
+  std::vector<int> labels(queries.rows);
+  for (std::size_t q = 0; q < queries.rows; ++q) {
+    const double* row = dots.data() + q * k;
+    std::size_t best = 0;
+    double best_score = row[0] * inv_norm[0];
+    for (std::size_t c = 1; c < k; ++c) {
+      const double s = row[c] * inv_norm[c];
+      if (s > best_score) {
+        best_score = s;
+        best = c;
+      }
+    }
+    labels[q] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+std::vector<double> OnlineHDClassifier::similarities_batch(
+    HvView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument("similarities_batch: dimension mismatch");
+  }
+  const HvMatrix& classes = packed();
+  const auto k = static_cast<std::size_t>(num_classes());
+  std::vector<double> sims(queries.rows * k);
+  ops::similarity_matrix(queries.data, queries.rows, classes.data(), k, dim_,
+                         sims.data(), packed_norms_sq_.data());
   return sims;
 }
 
 double OnlineHDClassifier::accuracy(const HvDataset& data) const {
   if (data.empty()) return 0.0;
+  const std::vector<int> labels = predict_batch(data.view());
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
+    correct += labels[i] == data.label(i) ? 1 : 0;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
@@ -184,6 +233,7 @@ OnlineHDClassifier OnlineHDClassifier::load(std::istream& in) {
     }
     model.set_class_vector(static_cast<int>(c), std::move(hv));
   }
+  (void)model.packed();  // warm the batch cache (see fit)
   return model;
 }
 

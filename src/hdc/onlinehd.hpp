@@ -17,12 +17,14 @@
 // Samples that are already well represented contribute little (1 - δ ≈ 0),
 // which prevents model saturation and speeds convergence.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <vector>
 
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 
 namespace smore {
@@ -38,6 +40,12 @@ struct OnlineHDConfig {
 /// Multi-class HDC classifier: one class hypervector per class, cosine
 /// similarity argmax prediction. Class-vector norms are cached and kept
 /// in sync by every update, so predictions cost one dot product per class.
+///
+/// Concurrency: const prediction methods are safe to call from multiple
+/// threads on a model produced by fit() or load() (the packed batch cache is
+/// warmed there). Updates (bootstrap/refine/set_class_vector) are not
+/// synchronized against readers; after direct updates, make one prediction
+/// call (or refit) before sharing the model across threads again.
 class OnlineHDClassifier {
  public:
   /// Zero-initialized model. Throws std::invalid_argument when
@@ -61,13 +69,24 @@ class OnlineHDClassifier {
   /// when the sample was already classified correctly (no update applied).
   bool refine(std::span<const float> hv, int label, float learning_rate);
 
-  /// Predicted class: argmax_c δ(hv, C_c).
+  /// Predicted class: argmax_c δ(hv, C_c). Thin wrapper over a batch of one.
   [[nodiscard]] int predict(std::span<const float> hv) const;
 
-  /// Cosine similarity of `hv` to every class hypervector.
+  /// Cosine similarity of `hv` to every class hypervector. Thin wrapper over
+  /// a batch of one.
   [[nodiscard]] std::vector<double> similarities(std::span<const float> hv) const;
 
-  /// Fraction of `data` classified correctly.
+  /// Predicted class per query row: one blocked matrix kernel over the packed
+  /// class vectors instead of a per-query similarity loop.
+  [[nodiscard]] std::vector<int> predict_batch(HvView queries) const;
+
+  /// Row-major [queries.rows × num_classes] cosine similarity matrix
+  /// δ(Q_i, C_c), computed by ops::similarity_matrix against the packed class
+  /// vectors with cached norms.
+  [[nodiscard]] std::vector<double> similarities_batch(HvView queries) const;
+
+  /// Fraction of `data` classified correctly (batched: one matrix kernel over
+  /// the whole dataset).
   [[nodiscard]] double accuracy(const HvDataset& data) const;
 
   /// Class hypervector C_c (read-only).
@@ -85,10 +104,18 @@ class OnlineHDClassifier {
   [[nodiscard]] double cosine_to_class(std::span<const float> hv, double hv_norm,
                                        int c) const;
   void refresh_norm(int c);
+  /// Packed [num_classes × dim] class-vector block plus squared norms for the
+  /// batch kernels; rebuilt lazily after any class-vector update.
+  const HvMatrix& packed() const;
 
   std::size_t dim_;
   std::vector<Hypervector> classes_;
   std::vector<double> norms_;  // cached ‖C_c‖, kept in sync with classes_
+  // Batch-path caches: contiguous class matrix and squared norms, invalidated
+  // by every update and repacked on the next batch call.
+  mutable HvMatrix packed_;
+  mutable std::vector<double> packed_norms_sq_;
+  mutable bool packed_stale_ = true;
 };
 
 }  // namespace smore

@@ -14,6 +14,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace smore::ops {
 
@@ -96,13 +99,46 @@ inline void hadamard_rotated(const float* src, std::size_t n, std::size_t k,
   for (std::size_t j = k; j < n; ++j) y[j] *= src[j - k];
 }
 
+/// Fused dot product and squared norms: one pass over both arrays computing
+/// <a,b>, <a,a>, and <b,b> simultaneously. Each loaded element feeds three
+/// accumulator chains, so cosine costs one memory sweep instead of the three
+/// a naive nrm2(a) + nrm2(b) + dot(a,b) sequence would make.
+inline void dot_and_norms(const float* a, const float* b, std::size_t n,
+                          double& ab, double& aa, double& bb) noexcept {
+  assert(a != nullptr && b != nullptr);
+  double ab0 = 0.0, ab1 = 0.0;
+  double aa0 = 0.0, aa1 = 0.0;
+  double bb0 = 0.0, bb1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double a0 = a[i], a1 = a[i + 1];
+    const double b0 = b[i], b1 = b[i + 1];
+    ab0 += a0 * b0;
+    ab1 += a1 * b1;
+    aa0 += a0 * a0;
+    aa1 += a1 * a1;
+    bb0 += b0 * b0;
+    bb1 += b1 * b1;
+  }
+  for (; i < n; ++i) {
+    const double ai = a[i], bi = b[i];
+    ab0 += ai * bi;
+    aa0 += ai * ai;
+    bb0 += bi * bi;
+  }
+  ab = ab0 + ab1;
+  aa = aa0 + aa1;
+  bb = bb0 + bb1;
+}
+
 /// Cosine similarity; returns 0 when either vector is all-zero (the HDC
-/// convention: the zero vector is "similar to nothing").
+/// convention: the zero vector is "similar to nothing"). Single-pass: the
+/// dot and both norms come from one fused sweep (see dot_and_norms).
 inline double cosine(const float* a, const float* b, std::size_t n) noexcept {
-  const double na = nrm2(a, n);
-  const double nb = nrm2(b, n);
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot(a, b, n) / (na * nb);
+  double ab = 0.0, aa = 0.0, bb = 0.0;
+  dot_and_norms(a, b, n, ab, aa, bb);
+  if (aa == 0.0 || bb == 0.0) return 0.0;
+  return ab / std::sqrt(aa * bb);
 }
 
 /// out = (1-t)*a + t*b  (linear interpolation: the paper's value quantization)
@@ -111,6 +147,175 @@ inline void lerp(const float* a, const float* b, float t, float* out,
   assert(a != nullptr && b != nullptr && out != nullptr);
   const float s = 1.0f - t;
   for (std::size_t i = 0; i < n; ++i) out[i] = s * a[i] + t * b[i];
+}
+
+// ---------------------------------------------------------------------------
+// Batched similarity kernels.
+//
+// SMORE inference is one dot product per (query, prototype) pair — per class,
+// per domain descriptor, per ensembled class vector. Computed one query at a
+// time, every pair re-streams the query row and pays a call + allocation per
+// query. The kernels below treat the whole problem as a
+// [n_queries × n_prototypes] matrix product over row-major blocks:
+//   * register blocking: dot_batch computes four prototype dots per sweep of
+//     the query row, so each loaded query element feeds four FMA chains;
+//   * cache blocking: the matrix drivers walk prototypes in panels small
+//     enough to stay L2-resident across a whole tile of queries;
+//   * thread blocking: query row tiles are distributed over the global
+//     ThreadPool; outputs land in disjoint pre-sized slots, so the result is
+//     bit-identical for any thread count.
+
+/// Number of prototype rows per register block in dot_batch.
+inline constexpr std::size_t kDotBlock = 4;
+/// Prototype rows per cache panel in the matrix drivers. At d = 4096 floats a
+/// panel is 8 × 16 KiB = 128 KiB — comfortably L2-resident while a tile of
+/// queries streams against it.
+inline constexpr std::size_t kPanelRows = 8;
+/// Query rows per parallel work item (grain of the ThreadPool split).
+inline constexpr std::size_t kRowTile = 64;
+
+/// out[p] = <q, P_p> for the np row-major rows of P. Prototypes are processed
+/// four at a time so one sweep of the query row feeds four independent
+/// accumulator chains (the register-blocking step of the matrix kernels).
+inline void dot_batch(const float* q, const float* prototypes, std::size_t np,
+                      std::size_t dim, double* out) noexcept {
+  assert(q != nullptr && out != nullptr);
+  assert(np == 0 || prototypes != nullptr);
+  std::size_t p = 0;
+  for (; p + kDotBlock <= np; p += kDotBlock) {
+    const float* p0 = prototypes + (p + 0) * dim;
+    const float* p1 = prototypes + (p + 1) * dim;
+    const float* p2 = prototypes + (p + 2) * dim;
+    const float* p3 = prototypes + (p + 3) * dim;
+    // Two accumulators per prototype (even/odd elements): eight independent
+    // FMA chains, enough to hide the fused-multiply-add latency.
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 2 <= dim; j += 2) {
+      const double qe = q[j];
+      const double qo = q[j + 1];
+      a0 += qe * p0[j];
+      b0 += qo * p0[j + 1];
+      a1 += qe * p1[j];
+      b1 += qo * p1[j + 1];
+      a2 += qe * p2[j];
+      b2 += qo * p2[j + 1];
+      a3 += qe * p3[j];
+      b3 += qo * p3[j + 1];
+    }
+    for (; j < dim; ++j) {
+      const double qj = q[j];
+      a0 += qj * p0[j];
+      a1 += qj * p1[j];
+      a2 += qj * p2[j];
+      a3 += qj * p3[j];
+    }
+    out[p + 0] = a0 + b0;
+    out[p + 1] = a1 + b1;
+    out[p + 2] = a2 + b2;
+    out[p + 3] = a3 + b3;
+  }
+  for (; p < np; ++p) out[p] = dot(q, prototypes + p * dim, dim);
+}
+
+/// Squared Euclidean norm of each of the np row-major rows.
+inline void nrm2_sq_rows(const float* rows, std::size_t np, std::size_t dim,
+                         double* out) noexcept {
+  assert(np == 0 || (rows != nullptr && out != nullptr));
+  for (std::size_t p = 0; p < np; ++p) {
+    const float* r = rows + p * dim;
+    out[p] = dot(r, r, dim);
+  }
+}
+
+namespace detail {
+
+/// Serial core shared by the matrix drivers: dots of queries [q_begin, q_end)
+/// against all np prototypes, written to out (row-major [nq × np], absolute
+/// row indexing). Prototypes are walked in L2-resident panels in the outer
+/// loop so each panel is re-used by every query of the tile.
+inline void dot_matrix_tile(const float* queries, std::size_t q_begin,
+                            std::size_t q_end, const float* prototypes,
+                            std::size_t np, std::size_t dim,
+                            double* out) noexcept {
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      dot_batch(queries + q * dim, panel_rows, panel, dim, out + q * np + p);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Row-major [nq × np] matrix of raw dot products <Q_q, P_p>. `parallel`
+/// splits the query rows into kRowTile-sized tiles over the global
+/// ThreadPool; the tiles write disjoint output ranges, so results are
+/// bit-identical for any thread count.
+inline void dot_matrix(const float* queries, std::size_t nq,
+                       const float* prototypes, std::size_t np,
+                       std::size_t dim, double* out, bool parallel = true) {
+  if (nq == 0 || np == 0) return;
+  if (!parallel || nq <= kRowTile) {
+    detail::dot_matrix_tile(queries, 0, nq, prototypes, np, dim, out);
+    return;
+  }
+  const std::size_t tiles = (nq + kRowTile - 1) / kRowTile;
+  parallel_for(tiles, [&](std::size_t t) {
+    const std::size_t begin = t * kRowTile;
+    const std::size_t end = begin + kRowTile < nq ? begin + kRowTile : nq;
+    detail::dot_matrix_tile(queries, begin, end, prototypes, np, dim, out);
+  });
+}
+
+/// Row-major [nq × np] matrix of cosine similarities δ(Q_q, P_p), the batched
+/// form of `cosine`: a cache-blocked GEMM-style kernel with a fused
+/// single-pass norm per query row. Pairs involving a zero vector get
+/// similarity 0 (the HDC convention). `p_norms_sq`, when non-null, must hold
+/// the np squared prototype norms (classifiers cache these); pass nullptr to
+/// have them computed here. Parallelized over query row tiles.
+inline void similarity_matrix(const float* queries, std::size_t nq,
+                              const float* prototypes, std::size_t np,
+                              std::size_t dim, double* out,
+                              const double* p_norms_sq = nullptr,
+                              bool parallel = true) {
+  if (nq == 0 || np == 0) return;
+  std::vector<double> scratch;
+  if (p_norms_sq == nullptr) {
+    scratch.resize(np);
+    nrm2_sq_rows(prototypes, np, dim, scratch.data());
+    p_norms_sq = scratch.data();
+  }
+
+  const auto tile = [&](std::size_t q_begin, std::size_t q_end) {
+    detail::dot_matrix_tile(queries, q_begin, q_end, prototypes, np, dim, out);
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      const float* qrow = queries + q * dim;
+      const double q_norm_sq = dot(qrow, qrow, dim);
+      double* row = out + q * np;
+      if (q_norm_sq == 0.0) {
+        for (std::size_t p = 0; p < np; ++p) row[p] = 0.0;
+        continue;
+      }
+      for (std::size_t p = 0; p < np; ++p) {
+        const double denom_sq = q_norm_sq * p_norms_sq[p];
+        row[p] = denom_sq > 0.0 ? row[p] / std::sqrt(denom_sq) : 0.0;
+      }
+    }
+  };
+
+  if (!parallel || nq <= kRowTile) {
+    tile(0, nq);
+    return;
+  }
+  const std::size_t tiles = (nq + kRowTile - 1) / kRowTile;
+  parallel_for(tiles, [&](std::size_t t) {
+    const std::size_t begin = t * kRowTile;
+    const std::size_t end = begin + kRowTile < nq ? begin + kRowTile : nq;
+    tile(begin, end);
+  });
 }
 
 }  // namespace smore::ops

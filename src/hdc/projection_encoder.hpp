@@ -12,6 +12,7 @@
 // degrades under distribution shift in the paper's Figures 1(b) and 4 while
 // SMORE's window-anchored value quantization does not.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

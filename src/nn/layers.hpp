@@ -7,6 +7,7 @@
 // adapts at test time), ReLU, pooling, Dense, and the gradient-reversal
 // layer that MDANs' adversarial training relies on.
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

@@ -3,6 +3,7 @@
 // backward passes and parameter collection. TENT and MDAN compose their
 // models from these.
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

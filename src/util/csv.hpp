@@ -2,6 +2,7 @@
 // Small CSV writer used by the benchmark harnesses to dump every table/figure
 // series into results/*.csv so plots can be regenerated outside the binary.
 
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>

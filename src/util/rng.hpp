@@ -11,8 +11,9 @@
 //  * `Rng::fork(tag)` derives an independent stream from a parent seed, which
 //    lets parallel per-sample work stay deterministic regardless of scheduling.
 
-#include <cstdint>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <numbers>
 #include <utility>

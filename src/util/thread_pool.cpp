@@ -64,7 +64,18 @@ void ThreadPool::parallel_for(std::size_t n,
     }
     cv_.notify_one();
   }
-  for (auto& f : pending) f.get();
+  // Drain every future before surfacing a failure: tasks reference `body`,
+  // which lives in the caller's frame, so returning (or throwing) while any
+  // task is still queued or running would leave it with a dangling reference.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {
