@@ -51,6 +51,8 @@ struct EncodedBundle {
   double generate_seconds = 0.0;
   double encode_seconds = 0.0;
   double encode_seconds_per_sample = 0.0;
+  /// Batched-encode throughput (the whole dataset through encode_batch).
+  double encode_windows_per_second = 0.0;
 };
 
 /// Generate and encode one dataset, reporting progress to stdout.
@@ -77,12 +79,17 @@ inline EncodedBundle prepare(const SyntheticSpec& spec, std::size_t dim,
       bundle.raw.empty() ? 0.0
                          : bundle.encode_seconds /
                                static_cast<double>(bundle.raw.size());
+  bundle.encode_windows_per_second =
+      bundle.encode_seconds > 0.0
+          ? static_cast<double>(bundle.raw.size()) / bundle.encode_seconds
+          : 0.0;
   std::printf("[prepare] %-8s N=%zu channels=%zu steps=%zu domains=%d "
-              "classes=%d | generate %.2fs encode %.2fs (d=%zu)\n",
+              "classes=%d | generate %.2fs encode %.2fs = %.0f windows/s "
+              "(batched, d=%zu)\n",
               spec.name.c_str(), bundle.raw.size(), bundle.raw.channels(),
               bundle.raw.steps(), bundle.raw.num_domains(),
               bundle.raw.num_classes(), bundle.generate_seconds,
-              bundle.encode_seconds, dim);
+              bundle.encode_seconds, bundle.encode_windows_per_second, dim);
   std::fflush(stdout);
   return bundle;
 }

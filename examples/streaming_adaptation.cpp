@@ -11,7 +11,10 @@
 //
 //   ./build/examples/streaming_adaptation
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "core/smore.hpp"
 #include "data/dataset.hpp"
@@ -71,18 +74,16 @@ int main() {
   }
   const HvDataset outsider = encoder.encode_dataset(outsider_windows);
 
+  // Each phase is one adaptation batch through the batched engine: evaluate()
+  // computes accuracy and OOD rate in a single matrix-kernel pass (per-window
+  // predict_detail loops are for introspection, not serving).
   auto run_phase = [&](const char* label, const HvDataset& phase,
                        std::size_t n) {
-    std::size_t correct = 0;
-    std::size_t ood = 0;
-    for (std::size_t i = 0; i < n && i < phase.size(); ++i) {
-      const SmorePrediction p = model.predict_detail(phase.row(i));
-      correct += p.label == phase.label(i) ? 1 : 0;
-      ood += p.is_ood ? 1 : 0;
-    }
+    std::vector<std::size_t> head(std::min(n, phase.size()));
+    for (std::size_t i = 0; i < head.size(); ++i) head[i] = i;
+    const SmoreEvaluation ev = model.evaluate(phase.select(head));
     std::printf("%-34s accuracy %5.1f%%  OOD flagged %5.1f%%\n", label,
-                100.0 * static_cast<double>(correct) / static_cast<double>(n),
-                100.0 * static_cast<double>(ood) / static_cast<double>(n));
+                100.0 * ev.accuracy, 100.0 * ev.ood_rate);
   };
 
   const std::size_t probe = 120;
@@ -92,18 +93,25 @@ int main() {
   run_phase("OUT-OF-POPULATION subject:", outsider, probe);
 
   // Enrollment: absorb the outsider's windows into a fresh descriptor so the
-  // detector learns the new domain online (labels are never needed).
+  // detector learns the new domain online (labels are never needed). The
+  // enrollment batch is bundled in one absorb_batch pass, and the follow-up
+  // windows are scored through the batched similarity engine.
   DomainDescriptorBank extended = model.descriptors();
-  for (std::size_t i = 0; i < probe && i < outsider.size(); ++i) {
-    extended.absorb(outsider.row(i), /*domain_id=*/99);
-  }
+  const std::size_t enroll = std::min<std::size_t>(probe, outsider.size());
+  extended.absorb_batch(outsider.view().slice(0, enroll), /*domain_id=*/99);
   std::size_t still_ood = 0;
   std::size_t scored = 0;
   const OodDetector detector(model.config().delta_star);
-  for (std::size_t i = probe; i < 2 * probe && i < outsider.size(); ++i) {
-    const auto sims = extended.similarities(outsider.row(i));
-    still_ood += detector.evaluate(sims).is_ood ? 1 : 0;
-    ++scored;
+  const std::size_t score_end = std::min<std::size_t>(2 * probe, outsider.size());
+  if (score_end > enroll) {
+    const HvView rest = outsider.view().slice(enroll, score_end - enroll);
+    const std::vector<double> sims = extended.similarities_batch(rest);
+    const std::size_t k = extended.size();
+    for (std::size_t i = 0; i < rest.rows; ++i) {
+      const std::span<const double> row(sims.data() + i * k, k);
+      still_ood += detector.evaluate(row).is_ood ? 1 : 0;
+      ++scored;
+    }
   }
   std::printf("after enrolling %zu unlabeled outsider windows: OOD flagged "
               "%5.1f%% (new domain recognized)\n",

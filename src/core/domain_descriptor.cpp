@@ -77,6 +77,23 @@ void DomainDescriptorBank::absorb(std::span<const float> hv, int domain_id) {
   packed_stale_ = true;
 }
 
+void DomainDescriptorBank::absorb_batch(HvView block, int domain_id) {
+  if (block.empty()) return;
+  // First row through absorb() (creates/locates the descriptor, keeps the
+  // sorted-id invariant), the rest accumulate straight into it.
+  absorb(block.row(0), domain_id);
+  const auto it = std::find(ids_.begin(), ids_.end(), domain_id);
+  Hypervector& u = descriptors_[static_cast<std::size_t>(it - ids_.begin())];
+  if (u.dim() != block.dim) {
+    throw std::invalid_argument("DomainDescriptorBank::absorb_batch: dim mismatch");
+  }
+  for (std::size_t i = 1; i < block.rows; ++i) {
+    ops::axpy(1.0f, block.row(i).data(), u.data(), u.dim());
+  }
+  counts_[static_cast<std::size_t>(it - ids_.begin())] += block.rows - 1;
+  packed_stale_ = true;
+}
+
 void DomainDescriptorBank::save(std::ostream& out) const {
   const std::uint64_t k = descriptors_.size();
   const std::uint64_t d = dim();

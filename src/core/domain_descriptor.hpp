@@ -70,6 +70,11 @@ class DomainDescriptorBank {
   /// when the id is new. `dim` fixes the dimension on first use.
   void absorb(std::span<const float> hv, int domain_id);
 
+  /// Bundle a whole block of samples into the descriptor of `domain_id` in
+  /// one pass (the batch form of absorb: streaming enrollment hands over an
+  /// adaptation batch, the packed cache goes stale once instead of per row).
+  void absorb_batch(HvView block, int domain_id);
+
   /// Binary serialization (descriptor count, ids, sample counts, raw
   /// vectors). Format is stable within a library version.
   void save(std::ostream& out) const;

@@ -70,18 +70,30 @@ AlgoRunResult run_baseline_hd(const WindowDataset& raw, const Split& fold,
   hd.seed = config.seed;
 
   OnlineHDClassifier model(classes, config.dim);
+  double encode_s = 0.0;
+  std::size_t encoded_windows = 0;
   {
     WallTimer t;
+    WallTimer te;
     const HvDataset train =
         encoder.encode_dataset(take(normalized, fold.train));
+    encode_s += te.seconds();
+    encoded_windows += train.size();
     model.fit(train, hd);
     result.train_seconds = t.seconds();
   }
   {
     WallTimer t;
+    WallTimer te;
     const HvDataset test = encoder.encode_dataset(take(normalized, fold.test));
+    encode_s += te.seconds();
+    encoded_windows += test.size();
     result.accuracy = model.accuracy(test);
     result.infer_seconds = t.seconds();
+  }
+  if (encode_s > 0.0) {
+    result.encode_windows_per_second =
+        static_cast<double>(encoded_windows) / encode_s;
   }
   return result;
 }
@@ -106,6 +118,9 @@ AlgoRunResult run_hdc(Algo algo, const HvDataset& encoded, const Split& fold,
       config.encode_seconds_per_sample * static_cast<double>(fold.train.size());
   const double test_encode =
       config.encode_seconds_per_sample * static_cast<double>(fold.test.size());
+  if (config.encode_seconds_per_sample > 0.0) {
+    result.encode_windows_per_second = 1.0 / config.encode_seconds_per_sample;
+  }
 
   switch (algo) {
     case Algo::kDomino: {

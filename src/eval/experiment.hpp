@@ -71,6 +71,11 @@ struct AlgoRunResult {
   double train_seconds = 0.0;
   double infer_seconds = 0.0;
   double ood_rate = 0.0;  ///< SMORE only; 0 elsewhere
+  /// Batched-encode throughput feeding this run (HDC algorithms only; CNNs
+  /// consume raw windows and report 0). For the shared multi-sensor encoding
+  /// this is 1 / encode_seconds_per_sample; BaselineHD measures its own
+  /// projection encode.
+  double encode_windows_per_second = 0.0;
 };
 
 /// Execute `algo` on the given fold. `raw` and `encoded` must be aligned

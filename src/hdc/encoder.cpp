@@ -8,6 +8,22 @@
 
 namespace smore {
 
+namespace {
+
+/// Clamp (n, δ) so one gram always fits the window: (n-1)·δ + 1 <= steps.
+/// Shared by the reference and banked kernels so both resolve identically.
+void clamp_gram(std::size_t steps, std::size_t& n, std::size_t& dilation) {
+  while (n > 1 && (n - 1) * dilation + 1 > steps) {
+    if (dilation > 1) {
+      --dilation;
+    } else {
+      --n;
+    }
+  }
+}
+
+}  // namespace
+
 MultiSensorEncoder::MultiSensorEncoder(const EncoderConfig& config)
     : config_(config), memory_(config.dim, config.seed) {
   if (config.dim == 0) {
@@ -18,8 +34,70 @@ MultiSensorEncoder::MultiSensorEncoder(const EncoderConfig& config)
   }
 }
 
-void MultiSensorEncoder::prepare(std::size_t channels) {
+bool MultiSensorEncoder::bank_eligible() const noexcept {
+  // The bank enumerates the level spectrum, which only exists for the
+  // thresholded quantization (Q >= 2) with a fixed basis; the fused gram
+  // kernel additionally caps the factor count.
+  return !config_.per_window_random_base && config_.quantization_levels >= 2 &&
+         config_.ngram <= ops::kNgramFusedMaxFactors;
+}
+
+std::vector<std::size_t> MultiSensorEncoder::resolve_dilations(
+    std::size_t steps) const {
+  // Explicit multi-scale list, explicit single dilation, or auto
+  // (max(1, steps/16) capped at 8).
+  std::vector<std::size_t> dilations = config_.ngram_dilations;
+  if (dilations.empty()) {
+    dilations.push_back(config_.ngram_dilation != 0
+                            ? config_.ngram_dilation
+                            : std::min<std::size_t>(
+                                  8, std::max<std::size_t>(1, steps / 16)));
+  }
+  return dilations;
+}
+
+void MultiSensorEncoder::ensure_basis(std::size_t channels) const {
+  const std::scoped_lock lock(basis_mutex_);
   memory_.prefetch(channels);
+  if (!bank_eligible() || bank_channels_ >= channels) return;
+
+  // Grow the level bank to `channels` sensors. Row s*Q + q is the level
+  // hypervector of sensor s at grid point α_q = q/(Q-1): coordinate i takes
+  // base_high[i] when α_q >= θ_i, else base_low[i] — exactly the comparison
+  // the reference kernel makes against the snapped α, so bank rows and
+  // reference levels are bit-identical.
+  const std::size_t d = config_.dim;
+  const std::size_t q_levels = config_.quantization_levels;
+  HvMatrix grown(channels * q_levels, d);
+  std::copy(level_bank_.data(),
+            level_bank_.data() + bank_channels_ * q_levels * d, grown.data());
+  std::vector<float> hi_store;
+  for (std::size_t s = bank_channels_; s < channels; ++s) {
+    const float* lo = memory_.base_low(s).data();
+    const float* hi = nullptr;
+    if (config_.antipodal_base) {
+      hi_store.resize(d);
+      for (std::size_t j = 0; j < d; ++j) hi_store[j] = -lo[j];
+      hi = hi_store.data();
+    } else {
+      hi = memory_.base_high(s).data();
+    }
+    const float* thresholds = memory_.thresholds(s).data();
+    for (std::size_t q = 0; q < q_levels; ++q) {
+      const float alpha =
+          static_cast<float>(q) / static_cast<float>(q_levels - 1);
+      float* row = grown.data() + (s * q_levels + q) * d;
+      for (std::size_t i = 0; i < d; ++i) {
+        row[i] = alpha >= thresholds[i] ? hi[i] : lo[i];
+      }
+    }
+  }
+  level_bank_ = std::move(grown);
+  bank_channels_ = channels;
+}
+
+void MultiSensorEncoder::prepare(std::size_t channels) const {
+  ensure_basis(channels);
 }
 
 // Computes the sensor hypervector for one channel into scratch.sensor_acc:
@@ -31,19 +109,11 @@ void MultiSensorEncoder::encode_sensor(std::span<const float> signal,
                                        const float* base_lo,
                                        const float* base_hi,
                                        const float* thresholds,
+                                       std::span<const std::size_t> dilations,
                                        EncodeScratch& scratch) const {
   const std::size_t d = config_.dim;
   const std::size_t steps = signal.size();
   const std::size_t q = config_.quantization_levels;
-  // Resolve the temporal dilation set: explicit multi-scale list, explicit
-  // single dilation, or auto (max(1, steps/16) capped at 8).
-  std::vector<std::size_t> dilations = config_.ngram_dilations;
-  if (dilations.empty()) {
-    dilations.push_back(config_.ngram_dilation != 0
-                            ? config_.ngram_dilation
-                            : std::min<std::size_t>(
-                                  8, std::max<std::size_t>(1, steps / 16)));
-  }
 
   // 1. Value quantization: window min/max anchor the level spectrum.
   const auto [min_it, max_it] = std::minmax_element(signal.begin(), signal.end());
@@ -76,15 +146,8 @@ void MultiSensorEncoder::encode_sensor(std::span<const float> signal,
   scratch.gram.resize(d);
   scratch.sensor_acc.assign(d, 0.0f);
   for (std::size_t dilation : dilations) {
-    // Clamp (n, δ) so one gram always fits: (n-1)·δ + 1 <= steps.
     std::size_t n = config_.ngram;
-    while (n > 1 && (n - 1) * dilation + 1 > steps) {
-      if (dilation > 1) {
-        --dilation;
-      } else {
-        --n;
-      }
-    }
+    clamp_gram(steps, n, dilation);
     const std::size_t span = (n - 1) * dilation;
     const std::size_t n_grams = steps - span;
     const float scale_w = 1.0f / static_cast<float>(n_grams);
@@ -101,6 +164,109 @@ void MultiSensorEncoder::encode_sensor(std::span<const float> signal,
   }
 }
 
+void MultiSensorEncoder::encode_window_into(const Window& window,
+                                            std::span<const std::size_t> dilations,
+                                            float* out, EncodeScratch& scratch,
+                                            std::uint64_t salt) const {
+  const std::size_t d = config_.dim;
+
+  // Paper-literal mode: fresh extremum hypervectors per (window, sensor).
+  Rng window_rng(Rng(config_.seed).fork(0x77a11d00 + salt)());
+
+  for (std::size_t s = 0; s < window.channels(); ++s) {
+    const float* lo = nullptr;
+    const float* hi = nullptr;
+    if (config_.per_window_random_base) {
+      scratch.lo_buf.resize(d);
+      scratch.hi_buf.resize(d);
+      for (auto& x : scratch.lo_buf) x = window_rng.bipolar();
+      if (config_.antipodal_base) {
+        for (std::size_t j = 0; j < d; ++j) {
+          scratch.hi_buf[j] = -scratch.lo_buf[j];
+        }
+      } else {
+        for (auto& x : scratch.hi_buf) x = window_rng.bipolar();
+      }
+      lo = scratch.lo_buf.data();
+      hi = scratch.hi_buf.data();
+    } else {
+      lo = memory_.base_low(s).data();
+      if (config_.antipodal_base) {
+        scratch.hi_buf.resize(d);
+        for (std::size_t j = 0; j < d; ++j) scratch.hi_buf[j] = -lo[j];
+        hi = scratch.hi_buf.data();
+      } else {
+        hi = memory_.base_high(s).data();
+      }
+    }
+    const float* thresholds = memory_.thresholds(s).data();
+
+    encode_sensor(window.channel(s), lo, hi, thresholds, dilations, scratch);
+
+    // 3. Spatial integration: out += G_s * H_s.
+    const float* sig = memory_.signature(s).data();
+    const float* sens = scratch.sensor_acc.data();
+    for (std::size_t j = 0; j < d; ++j) out[j] += sig[j] * sens[j];
+  }
+}
+
+// The banked fast path: per sensor, quantization reduces to T bank-row
+// lookups (one round per timestep instead of d threshold comparisons) and
+// each n-gram is one fused ngram_axpy sweep — no level materialization, no
+// gram temporary. Arithmetic per coordinate is the exact sequence of the
+// reference kernel, so rows are bit-identical to encode_window_into.
+void MultiSensorEncoder::encode_window_banked(
+    const Window& window, std::span<const std::size_t> dilations, float* out,
+    EncodeScratch& scratch) const {
+  const std::size_t d = config_.dim;
+  const std::size_t steps = window.steps();
+  const std::size_t q_levels = config_.quantization_levels;
+
+  scratch.level_rows.resize(steps);
+  for (std::size_t s = 0; s < window.channels(); ++s) {
+    const std::span<const float> signal = window.channel(s);
+    const float* bank = level_bank_.data() + s * q_levels * d;
+
+    // 1. Value quantization → bank-row indices.
+    const auto [min_it, max_it] =
+        std::minmax_element(signal.begin(), signal.end());
+    const float vmin = *min_it;
+    const float vmax = *max_it;
+    const float inv_range = (vmax > vmin) ? 1.0f / (vmax - vmin) : 0.0f;
+    const float grid = static_cast<float>(q_levels - 1);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const float alpha = (signal[t] - vmin) * inv_range;
+      const auto idx = static_cast<std::size_t>(std::round(alpha * grid));
+      scratch.level_rows[t] = bank + std::min(idx, q_levels - 1) * d;
+    }
+
+    // 2. Fused temporal n-gram binding.
+    scratch.sensor_acc.assign(d, 0.0f);
+    for (std::size_t dilation : dilations) {
+      std::size_t n = config_.ngram;
+      clamp_gram(steps, n, dilation);
+      const std::size_t span = (n - 1) * dilation;
+      const std::size_t n_grams = steps - span;
+      const float scale_w = 1.0f / static_cast<float>(n_grams);
+      const float* factors[ops::kNgramFusedMaxFactors];
+      std::size_t shifts[ops::kNgramFusedMaxFactors];
+      for (std::size_t p = 0; p < n; ++p) shifts[p] = (n - 1 - p) % d;
+      for (std::size_t t = 0; t < n_grams; ++t) {
+        for (std::size_t p = 0; p < n; ++p) {
+          factors[p] = scratch.level_rows[t + p * dilation];
+        }
+        ops::ngram_axpy(factors, shifts, n, d, scale_w,
+                        scratch.sensor_acc.data());
+      }
+    }
+
+    // 3. Spatial integration: out += G_s * H_s.
+    const float* sig = memory_.signature(s).data();
+    const float* sens = scratch.sensor_acc.data();
+    for (std::size_t j = 0; j < d; ++j) out[j] += sig[j] * sens[j];
+  }
+}
+
 Hypervector MultiSensorEncoder::encode(const Window& window,
                                        std::uint64_t salt) const {
   EncodeScratch scratch;
@@ -113,62 +279,46 @@ Hypervector MultiSensorEncoder::encode(const Window& window,
   if (window.channels() == 0 || window.steps() == 0) {
     throw std::invalid_argument("encode: empty window");
   }
-  const std::size_t d = config_.dim;
-  Hypervector out(d);
-
-  // Paper-literal mode: fresh extremum hypervectors per (window, sensor).
-  std::vector<float> lo_buf;
-  std::vector<float> hi_buf;
-  Rng window_rng(Rng(config_.seed).fork(0x77a11d00 + salt)());
-
-  for (std::size_t s = 0; s < window.channels(); ++s) {
-    const float* lo = nullptr;
-    const float* hi = nullptr;
-    if (config_.per_window_random_base) {
-      lo_buf.resize(d);
-      hi_buf.resize(d);
-      for (auto& x : lo_buf) x = window_rng.bipolar();
-      if (config_.antipodal_base) {
-        for (std::size_t j = 0; j < d; ++j) hi_buf[j] = -lo_buf[j];
-      } else {
-        for (auto& x : hi_buf) x = window_rng.bipolar();
-      }
-      lo = lo_buf.data();
-      hi = hi_buf.data();
-    } else {
-      lo = memory_.base_low(s).data();
-      if (config_.antipodal_base) {
-        hi_buf.resize(d);
-        for (std::size_t j = 0; j < d; ++j) hi_buf[j] = -lo[j];
-        hi = hi_buf.data();
-      } else {
-        hi = memory_.base_high(s).data();
-      }
-    }
-    const float* thresholds = memory_.thresholds(s).data();
-
-    encode_sensor(window.channel(s), lo, hi, thresholds, scratch);
-
-    // 3. Spatial integration: out += G_s * H_s.
-    const float* sig = memory_.signature(s).data();
-    float* acc = out.data();
-    const float* sens = scratch.sensor_acc.data();
-    for (std::size_t j = 0; j < d; ++j) acc[j] += sig[j] * sens[j];
-  }
+  Hypervector out(config_.dim);
+  const std::vector<std::size_t> dilations = resolve_dilations(window.steps());
+  encode_window_into(window, dilations, out.data(), scratch, salt);
   return out;
 }
 
-HvDataset MultiSensorEncoder::encode_dataset(const WindowDataset& dataset) const {
-  memory_.prefetch(dataset.channels());
-  HvDataset out(dataset.size(), config_.dim);
-  parallel_for(dataset.size(), [&](std::size_t i) {
-    thread_local EncodeScratch scratch;
-    const Hypervector hv = encode(dataset[i], scratch, i);
-    std::copy(hv.data(), hv.data() + config_.dim, out.row(i).begin());
-    out.set_label(i, dataset[i].label());
-    out.set_domain(i, dataset[i].domain());
-  });
-  return out;
+void MultiSensorEncoder::encode_batch(const WindowDataset& dataset,
+                                      HvMatrix& out, bool parallel) const {
+  out.resize(dataset.size(), config_.dim);
+  if (dataset.empty()) return;
+  ensure_basis(dataset.channels());
+
+  const bool banked = bank_eligible();
+  const std::vector<std::size_t> dilations = resolve_dilations(dataset.steps());
+  const auto encode_rows = [&](std::size_t lo, std::size_t hi,
+                               EncodeScratch& scratch) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* row = out.row(i).data();
+      if (banked) {
+        encode_window_banked(dataset[i], dilations, row, scratch);
+      } else {
+        encode_window_into(dataset[i], dilations, row, scratch, i);
+      }
+    }
+  };
+
+  if (!parallel) {
+    EncodeScratch scratch;
+    encode_rows(0, dataset.size(), scratch);
+    return;
+  }
+  // One scratch per worker block, pooled through the thread pool: workers
+  // never allocate after their first window, and since every row is an
+  // independent deterministic function of (window, i), the output is
+  // bit-identical for any thread count.
+  std::vector<EncodeScratch> pool(parallel_block_count(dataset.size()));
+  parallel_for_blocks(dataset.size(),
+                      [&](std::size_t block, std::size_t lo, std::size_t hi) {
+                        encode_rows(lo, hi, pool[block]);
+                      });
 }
 
 }  // namespace smore

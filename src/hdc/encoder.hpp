@@ -35,11 +35,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "data/timeseries.hpp"
+#include "hdc/encoder_base.hpp"
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/item_memory.hpp"
 
@@ -79,28 +82,53 @@ struct EncoderConfig {
   std::vector<std::size_t> ngram_dilations = {};
 };
 
-/// Reusable scratch buffers for encode(); pass one per thread when encoding
-/// in parallel to avoid per-call allocation.
+/// Reusable scratch buffers for the per-window encode paths. The batch path
+/// pools one per worker block through ThreadPool::parallel_for_blocks, so no
+/// worker allocates after warm-up; scalar callers pass their own.
 struct EncodeScratch {
-  std::vector<float> levels;      // T × d level hypervectors
-  std::vector<float> gram;        // d
+  std::vector<float> levels;      // T × d level hypervectors (reference path)
+  std::vector<float> gram;        // d (reference path gram temporary)
   std::vector<float> sensor_acc;  // d
+  // Per-window extremum bases, hoisted out of encode(): the paper-literal
+  // per_window_random_base mode redraws them per (window, sensor) and the
+  // antipodal fixed-base mode materializes H_max = -H_min — neither should
+  // allocate per window.
+  std::vector<float> lo_buf;  // d
+  std::vector<float> hi_buf;  // d
+  // Banked batch path: per-timestep pointers into the level bank.
+  std::vector<const float*> level_rows;  // T
 };
 
 /// Encoder from raw multi-sensor windows to hypervectors. Immutable after
-/// construction (thread-safe for concurrent encode calls once `prepare()` has
-/// been invoked for the channel count in use).
-class MultiSensorEncoder {
+/// construction. Concurrency: encode calls are thread-safe once `prepare()`
+/// has been invoked for the channel count in use. A single encode_batch call
+/// prepares itself (serially, before its parallel region); CONCURRENT
+/// encode_batch calls are safe only for channel counts already prepared —
+/// growing the basis/level bank while another batch's workers read it would
+/// invalidate their pointers, so call prepare(max_channels) first.
+///
+/// Batch path (encode_batch): for the default thresholded quantization with a
+/// fixed basis, the Q distinct level hypervectors of every sensor are
+/// precomputed once into a level bank, so per window the quantize step
+/// reduces to T bank-row lookups and each n-gram runs as one fused
+/// ops::ngram_axpy sweep (no level materialization, no gram temporary). The
+/// ablation modes (per_window_random_base, quantization_levels < 2, grams
+/// longer than ops::kNgramFusedMaxFactors) batch through the reference
+/// per-window kernel instead. Both routes are bit-identical to encode().
+class MultiSensorEncoder : public Encoder {
  public:
   /// Throws std::invalid_argument for dim == 0, ngram == 0.
   explicit MultiSensorEncoder(const EncoderConfig& config);
 
   [[nodiscard]] const EncoderConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+  [[nodiscard]] std::size_t dim() const noexcept override {
+    return config_.dim;
+  }
 
-  /// Pre-generate the basis for `channels` sensors (required before encoding
-  /// from multiple threads).
-  void prepare(std::size_t channels);
+  /// Pre-generate the basis (and, in the default mode, the level bank) for
+  /// `channels` sensors — required before encoding from multiple threads
+  /// (see the class concurrency note). Const: only warms caches.
+  void prepare(std::size_t channels) const;
 
   /// Encode one window. `salt` perturbs the per-window random basis in
   /// per_window_random_base mode (pass the sample index); it is ignored in
@@ -108,21 +136,44 @@ class MultiSensorEncoder {
   [[nodiscard]] Hypervector encode(const Window& window,
                                    std::uint64_t salt = 0) const;
 
-  /// Encode with caller-provided scratch (hot path).
+  /// Encode with caller-provided scratch. This is the reference per-window
+  /// kernel: the batch path is pinned bit-identical to it (tests) and the
+  /// encode benches use it as the pre-batching baseline.
   [[nodiscard]] Hypervector encode(const Window& window, EncodeScratch& scratch,
                                    std::uint64_t salt = 0) const;
 
-  /// Encode every window of `dataset` (in parallel when a thread pool is
-  /// available), carrying labels and domains into the result.
-  [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+  using Encoder::encode_batch;
+  void encode_batch(const WindowDataset& dataset, HvMatrix& out,
+                    bool parallel) const override;
 
  private:
   void encode_sensor(std::span<const float> signal, const float* base_lo,
                      const float* base_hi, const float* thresholds,
+                     std::span<const std::size_t> dilations,
                      EncodeScratch& scratch) const;
+  /// Reference per-window kernel writing into a zeroed d-float row.
+  void encode_window_into(const Window& window,
+                          std::span<const std::size_t> dilations, float* out,
+                          EncodeScratch& scratch, std::uint64_t salt) const;
+  /// Fast banked kernel (fixed basis, thresholded quantization) writing into
+  /// a zeroed d-float row.
+  void encode_window_banked(const Window& window,
+                            std::span<const std::size_t> dilations, float* out,
+                            EncodeScratch& scratch) const;
+  /// Serialize lazy basis/bank growth (encode_batch calls this up front so
+  /// the parallel region only reads).
+  void ensure_basis(std::size_t channels) const;
+  [[nodiscard]] bool bank_eligible() const noexcept;
+  /// Temporal dilation set for a window of `steps` samples (config policy).
+  [[nodiscard]] std::vector<std::size_t> resolve_dilations(
+      std::size_t steps) const;
 
   EncoderConfig config_;
   mutable ItemMemory memory_;  // lazily populated cache of basis vectors
+  // Level bank: row s*Q + q holds level q of sensor s (see the class note).
+  mutable HvMatrix level_bank_;
+  mutable std::size_t bank_channels_ = 0;
+  mutable std::mutex basis_mutex_;  // guards lazy basis/bank growth
 };
 
 }  // namespace smore

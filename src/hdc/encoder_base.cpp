@@ -1,0 +1,37 @@
+#include "hdc/encoder_base.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace smore {
+
+Hypervector Encoder::encode_one(const Window& window) const {
+  if (window.channels() == 0 || window.steps() == 0) {
+    throw std::invalid_argument("Encoder::encode_one: empty window");
+  }
+  WindowDataset one("encode_one", window.channels(), window.steps());
+  one.add(window);
+  HvMatrix block;
+  encode_batch(one, block, /*parallel=*/false);
+  Hypervector out(dim());
+  const auto row = block.row(0);
+  std::copy(row.begin(), row.end(), out.data());
+  return out;
+}
+
+HvDataset Encoder::encode_dataset(const WindowDataset& dataset) const {
+  HvMatrix block;
+  encode_batch(dataset, block, /*parallel=*/true);
+  std::vector<int> labels(dataset.size());
+  std::vector<int> domains(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    labels[i] = dataset[i].label();
+    domains[i] = dataset[i].domain();
+  }
+  return HvDataset::adopt(std::move(block), std::move(labels),
+                          std::move(domains));
+}
+
+}  // namespace smore

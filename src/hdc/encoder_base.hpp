@@ -1,0 +1,55 @@
+#pragma once
+// Encoder: the common interface of every window→hypervector encoder.
+//
+// The encode layer is batch-first: the primitive operation is "encode this
+// whole WindowDataset into one packed [n × dim] block", and the scalar calls
+// are batches of one. This mirrors the batched similarity engine on the
+// inference side — together they make the full train/adapt/infer pipeline run
+// through blocked, multi-threaded matrix kernels with no per-window loops in
+// any consumer layer.
+//
+// Contract for implementations of encode_batch:
+//   * `out` is resized to [dataset.size() × dim()] and row i is the encoding
+//     of window i. Encoders with per-window randomness use the row index as
+//     the salt (matching the scalar `encode(window, salt = i)` convention).
+//   * `parallel = false` must produce bit-identical rows to `parallel = true`
+//     (benches time the single-thread kernels; tests pin the equivalence).
+//   * Results are bit-identical for any thread count: rows are computed
+//     independently and land in disjoint pre-sized slots.
+
+#include <cstddef>
+
+#include "data/timeseries.hpp"
+#include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace smore {
+
+/// Abstract window→hypervector encoder (batch-first; see the header note).
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Hyperdimensional output size d.
+  [[nodiscard]] virtual std::size_t dim() const noexcept = 0;
+
+  /// Encode every window of `dataset` into the rows of `out` (see the
+  /// contract above). `parallel` gates the thread pool.
+  virtual void encode_batch(const WindowDataset& dataset, HvMatrix& out,
+                            bool parallel) const = 0;
+
+  /// Parallel-by-default convenience overload.
+  void encode_batch(const WindowDataset& dataset, HvMatrix& out) const {
+    encode_batch(dataset, out, /*parallel=*/true);
+  }
+
+  /// Encode one window: a batch of one through encode_batch (salt 0).
+  /// Throws std::invalid_argument for an empty window.
+  [[nodiscard]] Hypervector encode_one(const Window& window) const;
+
+  /// Encode a whole dataset, carrying labels and domains into the result.
+  [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+};
+
+}  // namespace smore

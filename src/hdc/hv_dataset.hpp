@@ -25,6 +25,22 @@ class HvDataset {
   HvDataset(std::size_t n, std::size_t dim)
       : dim_(dim), data_(n * dim, 0.0f), labels_(n, 0), domains_(n, 0) {}
 
+  /// Take ownership of a packed [n × dim] block plus aligned per-row
+  /// metadata — the zero-copy handoff from Encoder::encode_batch. Throws
+  /// std::invalid_argument when the metadata arity disagrees with the
+  /// block's row count.
+  static HvDataset adopt(HvMatrix&& block, std::vector<int> labels,
+                         std::vector<int> domains) {
+    if (labels.size() != block.rows() || domains.size() != block.rows()) {
+      throw std::invalid_argument("HvDataset::adopt: metadata arity mismatch");
+    }
+    HvDataset out(block.dim());
+    out.data_ = block.release();
+    out.labels_ = std::move(labels);
+    out.domains_ = std::move(domains);
+    return out;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
   [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }

@@ -79,6 +79,22 @@ class HvMatrix {
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
 
+  /// Re-shape to a zero-filled [rows × dim] block (the batch-encode output
+  /// contract: encoders accumulate into freshly zeroed rows).
+  void resize(std::size_t rows, std::size_t dim) {
+    rows_ = rows;
+    dim_ = dim;
+    data_.assign(rows * dim, 0.0f);
+  }
+
+  /// Move the backing storage out (the matrix becomes empty). Lets HvDataset
+  /// adopt a batch-encode result without copying rows.
+  [[nodiscard]] std::vector<float> release() noexcept {
+    rows_ = 0;
+    dim_ = 0;
+    return std::move(data_);
+  }
+
   [[nodiscard]] float* data() noexcept { return data_.data(); }
   [[nodiscard]] const float* data() const noexcept { return data_.data(); }
 

@@ -11,6 +11,7 @@
 // invariant of the callers (see Hypervector), so violations are programming
 // errors, not runtime conditions.
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
@@ -316,6 +317,215 @@ inline void similarity_matrix(const float* queries, std::size_t nq,
     const std::size_t end = begin + kRowTile < nq ? begin + kRowTile : nq;
     tile(begin, end);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Batched encoding kernels.
+//
+// Window→hypervector encoding reduces to two dense shapes:
+//   * the multi-sensor n-gram encoder binds rotated level hypervectors and
+//     bundles the grams — per gram, the scalar pipeline is
+//     rotate + (n-1)×hadamard_rotated + axpy: n+1 sweeps over d plus a gram
+//     temporary. ngram_axpy fuses the whole gram into ONE sweep;
+//   * the random-projection encoder is a [windows × features]·[features × D]
+//     matrix product with a cos epilogue. project_cos_matrix reuses the
+//     similarity engine's cache-blocked tile driver so the projection rows
+//     stay L2-resident across a whole tile of windows.
+// Both keep the exact arithmetic order of their scalar counterparts, so
+// batched results are bit-identical to the per-window paths.
+
+/// Maximum factor count the fused n-gram kernel accepts (the encoder falls
+/// back to the multi-pass pipeline for longer grams; real configs use 2-5).
+inline constexpr std::size_t kNgramFusedMaxFactors = 8;
+
+/// acc[j] += weight * Π_p (ρ^{shifts[p]} levels[p])[j]  — the fused n-gram
+/// bind-and-bundle. `levels[p]` is a d-float level hypervector and
+/// `shifts[p]` its graded-permutation rotation (shifts[p] < d). The rotated
+/// reads are resolved by splitting [0, d) at every wrap point, so each
+/// segment is a straight multiply chain over n_factors fixed-offset streams —
+/// vectorizable, no index arithmetic, no gram temporary. Products are formed
+/// in ascending factor order, matching the rotate→hadamard→axpy pipeline
+/// bit for bit.
+inline void ngram_axpy(const float* const* levels, const std::size_t* shifts,
+                       std::size_t n_factors, std::size_t d, float weight,
+                       float* acc) noexcept {
+  assert(levels != nullptr && shifts != nullptr && acc != nullptr);
+  assert(n_factors >= 1 && n_factors <= kNgramFusedMaxFactors);
+
+  // Segment boundaries: 0, every non-zero shift (its wrap point), d.
+  std::size_t bounds[kNgramFusedMaxFactors + 2];
+  std::size_t nb = 0;
+  bounds[nb++] = 0;
+  for (std::size_t p = 0; p < n_factors; ++p) {
+    assert(shifts[p] < d);
+    if (shifts[p] != 0) bounds[nb++] = shifts[p];
+  }
+  bounds[nb++] = d;
+  // Insertion sort: nb <= n_factors + 2 <= 10, cheaper than std::sort here.
+  for (std::size_t i = 1; i < nb; ++i) {
+    const std::size_t v = bounds[i];
+    std::size_t j = i;
+    for (; j > 0 && bounds[j - 1] > v; --j) bounds[j] = bounds[j - 1];
+    bounds[j] = v;
+  }
+
+  const float* ptr[kNgramFusedMaxFactors];
+  for (std::size_t seg = 0; seg + 1 < nb; ++seg) {
+    const std::size_t a = bounds[seg];
+    const std::size_t b = bounds[seg + 1];
+    if (a == b) continue;
+    // Within [a, b) each factor reads from one fixed offset:
+    // (ρ^k L)[j] = L[j - k] for j >= k, L[j + d - k] for j < k.
+    for (std::size_t p = 0; p < n_factors; ++p) {
+      ptr[p] = a >= shifts[p] ? levels[p] - shifts[p]
+                              : levels[p] + (d - shifts[p]);
+    }
+    float* __restrict y = acc;
+    switch (n_factors) {
+      case 1: {
+        const float* __restrict l0 = ptr[0];
+        for (std::size_t j = a; j < b; ++j) y[j] += weight * l0[j];
+        break;
+      }
+      case 2: {
+        const float* __restrict l0 = ptr[0];
+        const float* __restrict l1 = ptr[1];
+        for (std::size_t j = a; j < b; ++j) y[j] += weight * (l0[j] * l1[j]);
+        break;
+      }
+      case 3: {
+        const float* __restrict l0 = ptr[0];
+        const float* __restrict l1 = ptr[1];
+        const float* __restrict l2 = ptr[2];
+        for (std::size_t j = a; j < b; ++j) {
+          y[j] += weight * ((l0[j] * l1[j]) * l2[j]);
+        }
+        break;
+      }
+      default: {
+        for (std::size_t j = a; j < b; ++j) {
+          float prod = ptr[0][j];
+          for (std::size_t p = 1; p < n_factors; ++p) prod *= ptr[p][j];
+          y[j] += weight * prod;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Fast double-precision cosine for the projection epilogue: Cody-Waite
+/// range reduction to [-π/4, π/4] plus Taylor kernels evaluated by Horner.
+/// Max absolute error ≈ 2e-14 — four orders of magnitude below the float
+/// output resolution, so the encodings are unchanged at float precision —
+/// and, unlike the libm call, it is branch-light and inlines, so the
+/// epilogue loop pipelines instead of serializing on 41M function calls.
+/// Precondition: |x| < ~1e9 (the projections are O(‖x‖·‖w‖), far smaller).
+inline float cos_fast(double x) noexcept {
+  constexpr double kTwoOverPi = 0.63661977236758134308;
+  constexpr double kPio2Hi = 1.57079632679489655800e+00;
+  constexpr double kPio2Lo = 6.12323399573676603587e-17;
+  const double kd = std::round(x * kTwoOverPi);
+  double r = x - kd * kPio2Hi;
+  r -= kd * kPio2Lo;
+  const double r2 = r * r;
+  // Taylor to r^14 (cos) / r^13 (sin): next-term error < 1.1e-15 on the
+  // reduced range.
+  const double c =
+      1.0 +
+      r2 * (-1.0 / 2 +
+            r2 * (1.0 / 24 +
+                  r2 * (-1.0 / 720 +
+                        r2 * (1.0 / 40320 +
+                              r2 * (-1.0 / 3628800 +
+                                    r2 * (1.0 / 479001600 +
+                                          r2 * (-1.0 / 87178291200.0)))))));
+  const double s =
+      r * (1.0 +
+           r2 * (-1.0 / 6 +
+                 r2 * (1.0 / 120 +
+                       r2 * (-1.0 / 5040 +
+                             r2 * (1.0 / 362880 +
+                                   r2 * (-1.0 / 39916800 +
+                                         r2 * (1.0 / 6227020800.0)))))));
+  switch (static_cast<long long>(kd) & 3) {
+    case 0:
+      return static_cast<float>(c);
+    case 1:
+      return static_cast<float>(-s);
+    case 2:
+      return static_cast<float>(-c);
+    default:
+      return static_cast<float>(s);
+  }
+}
+
+/// Queries per tile of the projection kernel (bounds the accumulator block:
+/// kProjQueryTile × kProjColBlock doubles = 32 KiB, L1-resident).
+inline constexpr std::size_t kProjQueryTile = 8;
+/// Output columns per block of the projection kernel (one W^T row segment of
+/// 2 KiB streams against the whole query tile).
+inline constexpr std::size_t kProjColBlock = 512;
+
+/// out[q][j] = cos(bias[j] + <X_q, W_j>), row-major [nq × dp]: the batched
+/// random-projection encode (flatten → project → cos). X is [nq × features]
+/// row-major (flattened windows); `wt` is the TRANSPOSED projection, row-major
+/// [features × dp], so the kernel runs feature-major: for each output-column
+/// block, acc_q[j] starts at bias[j] and accumulates x_q[f] · W^T[f][j] over
+/// f — broadcast-scalar FMA streams with no reduction dependency, exactly the
+/// orientation this shape wants (many windows × small F × large D; the
+/// row-dot orientation re-streams the whole projection per window). Blocking:
+/// queries in tiles of kProjQueryTile share each streamed W^T row segment,
+/// accumulators stay L1-resident, and the cos epilogue runs per block while
+/// the accumulators are hot. Per-output summation order is fixed (bias, then
+/// f ascending, in double), independent of all blocking — results are
+/// bit-identical for any thread count and for the parallel flag.
+inline void project_cos_matrix(const float* x, std::size_t nq, const float* wt,
+                               std::size_t dp, std::size_t features,
+                               const float* bias, float* out,
+                               bool parallel = true) {
+  if (nq == 0 || dp == 0) return;
+  assert(x != nullptr && wt != nullptr && bias != nullptr && out != nullptr);
+  const auto tile = [&](std::size_t q_begin, std::size_t q_end) {
+    const std::size_t rows = q_end - q_begin;
+    double acc[kProjQueryTile][kProjColBlock];
+    for (std::size_t j0 = 0; j0 < dp; j0 += kProjColBlock) {
+      const std::size_t jb = std::min(kProjColBlock, dp - j0);
+      for (std::size_t q = 0; q < rows; ++q) {
+        for (std::size_t j = 0; j < jb; ++j) {
+          acc[q][j] = static_cast<double>(bias[j0 + j]);
+        }
+      }
+      for (std::size_t f = 0; f < features; ++f) {
+        const float* __restrict w_row = wt + f * dp + j0;
+        for (std::size_t q = 0; q < rows; ++q) {
+          const double xf = x[(q_begin + q) * features + f];
+          double* __restrict a = acc[q];
+          for (std::size_t j = 0; j < jb; ++j) {
+            a[j] += xf * static_cast<double>(w_row[j]);
+          }
+        }
+      }
+      for (std::size_t q = 0; q < rows; ++q) {
+        float* orow = out + (q_begin + q) * dp + j0;
+        for (std::size_t j = 0; j < jb; ++j) {
+          orow[j] = cos_fast(acc[q][j]);
+        }
+      }
+    }
+  };
+  const std::size_t tiles = (nq + kProjQueryTile - 1) / kProjQueryTile;
+  const auto run_tile = [&](std::size_t t) {
+    const std::size_t begin = t * kProjQueryTile;
+    const std::size_t end =
+        begin + kProjQueryTile < nq ? begin + kProjQueryTile : nq;
+    tile(begin, end);
+  };
+  if (!parallel || tiles == 1) {
+    for (std::size_t t = 0; t < tiles; ++t) run_tile(t);
+    return;
+  }
+  parallel_for(tiles, run_tile);
 }
 
 }  // namespace smore::ops

@@ -1,9 +1,11 @@
 #include "hdc/projection_encoder.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
+#include "hdc/ops.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,23 +19,35 @@ ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
 }
 
 void ProjectionEncoder::ensure_projection(std::size_t features) const {
-  if (features_ != 0) {
-    if (features != features_) {
-      throw std::invalid_argument(
-          "ProjectionEncoder: window shape changed after first encode");
+  // call_once makes the lazy materialization safe when the first encode
+  // arrives from worker threads (the pre-refactor code raced on
+  // features_/weights_/bias_ there); losers of the race block until the
+  // winner has fully initialized, then only read.
+  std::call_once(init_once_, [&] {
+    Rng rng(config_.seed);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(features));
+    // Draw in the documented [d × F] row order (keeps the projection matrix
+    // identical across versions), then store transposed [F × d] — the layout
+    // the feature-major batch kernel streams.
+    std::vector<float> row_major(config_.dim * features);
+    for (auto& w : row_major) {
+      w = static_cast<float>(rng.normal(0.0, scale));
     }
-    return;
-  }
-  features_ = features;
-  Rng rng(config_.seed);
-  const double scale = 1.0 / std::sqrt(static_cast<double>(features));
-  weights_.resize(config_.dim * features);
-  for (auto& w : weights_) {
-    w = static_cast<float>(rng.normal(0.0, scale));
-  }
-  bias_.resize(config_.dim);
-  for (auto& b : bias_) {
-    b = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    weights_t_.resize(features * config_.dim);
+    for (std::size_t j = 0; j < config_.dim; ++j) {
+      for (std::size_t f = 0; f < features; ++f) {
+        weights_t_[f * config_.dim + j] = row_major[j * features + f];
+      }
+    }
+    bias_.resize(config_.dim);
+    for (auto& b : bias_) {
+      b = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    }
+    features_ = features;  // last: signals fully-built to mismatch checks
+  });
+  if (features != features_) {
+    throw std::invalid_argument(
+        "ProjectionEncoder: window shape changed after first encode");
   }
 }
 
@@ -44,28 +58,38 @@ Hypervector ProjectionEncoder::encode(const Window& window) const {
   const std::size_t features = window.channels() * window.steps();
   ensure_projection(features);
 
-  // The window's values() buffer is already the flattened [channel][t] row.
-  const float* x = window.values().data();
+  // The window's values() buffer is already the flattened [channel][t] row:
+  // a batch of one through the blocked kernel.
   Hypervector out(config_.dim);
-  for (std::size_t j = 0; j < config_.dim; ++j) {
-    const double acc =
-        bias_[j] + ops::dot(weights_.data() + j * features, x, features);
-    out[j] = static_cast<float>(std::cos(acc));
-  }
+  ops::project_cos_matrix(window.values().data(), 1, weights_t_.data(),
+                          config_.dim, features, bias_.data(), out.data(),
+                          /*parallel=*/false);
   return out;
 }
 
-HvDataset ProjectionEncoder::encode_dataset(const WindowDataset& dataset) const {
-  if (dataset.empty()) return HvDataset(config_.dim);
-  ensure_projection(dataset.channels() * dataset.steps());
-  HvDataset out(dataset.size(), config_.dim);
-  parallel_for(dataset.size(), [&](std::size_t i) {
-    const Hypervector hv = encode(dataset[i]);
-    std::copy(hv.data(), hv.data() + config_.dim, out.row(i).begin());
-    out.set_label(i, dataset[i].label());
-    out.set_domain(i, dataset[i].domain());
-  });
-  return out;
+void ProjectionEncoder::encode_batch(const WindowDataset& dataset,
+                                     HvMatrix& out, bool parallel) const {
+  out.resize(dataset.size(), config_.dim);
+  if (dataset.empty()) return;
+  const std::size_t features = dataset.channels() * dataset.steps();
+  ensure_projection(features);
+
+  // Pack the flattened windows into one contiguous [windows × F] block (the
+  // kernel's query matrix); windows own their storage individually.
+  std::vector<float> x(dataset.size() * features);
+  const auto pack = [&](std::size_t i) {
+    const std::vector<float>& values = dataset[i].values();
+    std::copy(values.begin(), values.end(), x.begin() + i * features);
+  };
+  if (parallel) {
+    parallel_for(dataset.size(), pack);
+  } else {
+    for (std::size_t i = 0; i < dataset.size(); ++i) pack(i);
+  }
+
+  ops::project_cos_matrix(x.data(), dataset.size(), weights_t_.data(),
+                          config_.dim, features, bias_.data(), out.data(),
+                          parallel);
 }
 
 }  // namespace smore

@@ -11,13 +11,22 @@
 // against per-subject offset/gain drift, which is precisely why BaselineHD
 // degrades under distribution shift in the paper's Figures 1(b) and 4 while
 // SMORE's window-anchored value quantization does not.
+//
+// Batch path: encode_batch packs the flattened windows into one
+// [windows × F] block and runs ops::project_cos_matrix — the cache-blocked
+// feature-major [windows × F]·[F × D] kernel over the transposed projection,
+// with the cos epilogue fused per output block. The scalar encode() is the
+// same kernel on a batch of one, so scalar and batch are bit-identical.
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "data/timeseries.hpp"
+#include "hdc/encoder_base.hpp"
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 
 namespace smore {
@@ -29,29 +38,34 @@ struct ProjectionEncoderConfig {
 };
 
 /// Fixed random projection from flattened windows to hyperspace.
-/// The projection matrix is lazily materialized on the first encode for the
-/// observed input size and is immutable afterwards (same-shape windows only).
-class ProjectionEncoder {
+/// The projection matrix is materialized on the first encode for the observed
+/// input size (thread-safe via std::call_once) and is immutable afterwards
+/// (same-shape windows only).
+class ProjectionEncoder : public Encoder {
  public:
   /// Throws std::invalid_argument when dim == 0.
   explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
 
-  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+  [[nodiscard]] std::size_t dim() const noexcept override {
+    return config_.dim;
+  }
 
-  /// Encode one window (flatten -> project -> cos). Throws
-  /// std::invalid_argument when the window shape differs from the first one
-  /// encoded.
+  /// Encode one window (flatten -> project -> cos): a batch of one through
+  /// the blocked kernel. Throws std::invalid_argument when the window shape
+  /// differs from the first one encoded.
   [[nodiscard]] Hypervector encode(const Window& window) const;
 
-  /// Encode a whole dataset, carrying labels/domains.
-  [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+  using Encoder::encode_batch;
+  void encode_batch(const WindowDataset& dataset, HvMatrix& out,
+                    bool parallel) const override;
 
  private:
   void ensure_projection(std::size_t features) const;
 
   ProjectionEncoderConfig config_;
+  mutable std::once_flag init_once_;          // guards first materialization
   mutable std::size_t features_ = 0;          // flattened input size F
-  mutable std::vector<float> weights_;        // d × F row-major
+  mutable std::vector<float> weights_t_;      // F × d row-major (transposed W)
   mutable std::vector<float> bias_;           // d
 };
 

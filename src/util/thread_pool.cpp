@@ -40,10 +40,24 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_blocks(
+      n, [&body](std::size_t /*block*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+}
+
+std::size_t ThreadPool::block_count(std::size_t n) const noexcept {
+  const std::size_t threads = std::max<std::size_t>(1, workers_.size());
+  return std::min<std::size_t>(std::max<std::size_t>(1, threads), n);
+}
+
+void ThreadPool::parallel_for_blocks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t threads = std::max<std::size_t>(1, workers_.size());
   if (threads == 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    body(0, 0, n);
     return;
   }
   const std::size_t blocks = std::min(threads, n);
@@ -54,8 +68,8 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::size_t lo = b * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     if (lo >= hi) break;
-    auto task = std::make_shared<std::packaged_task<void()>>([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    auto task = std::make_shared<std::packaged_task<void()>>([b, lo, hi, &body] {
+      body(b, lo, hi);
     });
     pending.push_back(task->get_future());
     {
@@ -85,6 +99,16 @@ ThreadPool& ThreadPool::global() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   ThreadPool::global().parallel_for(n, body);
+}
+
+void parallel_for_blocks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for_blocks(n, body);
+}
+
+std::size_t parallel_block_count(std::size_t n) {
+  return ThreadPool::global().block_count(n);
 }
 
 }  // namespace smore

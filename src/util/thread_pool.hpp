@@ -34,6 +34,21 @@ class ThreadPool {
   /// `body` must be safe to call concurrently for distinct indices.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Block-granular variant: run `body(block, lo, hi)` once per contiguous
+  /// index block [lo, hi) covering [0, n), with `block` < block_count(n).
+  /// This is the scratch-pooling primitive: a caller that pre-sizes one
+  /// scratch buffer per block index gets allocation-free workers without
+  /// thread_local state (see the batched encoders). Blocks are a pure
+  /// function of (n, pool size), never of scheduling, so any result written
+  /// to disjoint per-index slots stays bit-identical for any thread count.
+  void parallel_for_blocks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Upper bound on the block index parallel_for_blocks(n, ...) will use
+  /// (callers size scratch pools with this).
+  [[nodiscard]] std::size_t block_count(std::size_t n) const noexcept;
+
   /// Process-wide pool sized to the hardware; lazily constructed.
   static ThreadPool& global();
 
@@ -51,5 +66,13 @@ class ThreadPool {
 /// serial loop when the pool has a single worker (avoids sync overhead on
 /// single-core hosts).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Convenience wrapper over ThreadPool::global().parallel_for_blocks.
+void parallel_for_blocks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Convenience wrapper over ThreadPool::global().block_count.
+[[nodiscard]] std::size_t parallel_block_count(std::size_t n);
 
 }  // namespace smore

@@ -1,0 +1,308 @@
+// Equivalence tests for the batched encoding engine: encode_batch must agree
+// with the per-window scalar paths BIT FOR BIT for both encoders, for any
+// thread count, in every encoder mode (banked fast path, paper-literal
+// per-window random basis, continuous interpolation, multi-scale dilations),
+// plus the empty-dataset / single-window edges and the Encoder interface
+// plumbing (encode_one, encode_dataset metadata, HvDataset::adopt). Mirrors
+// tests/test_batch_similarity.cpp on the encode side.
+
+#include "hdc/encoder.hpp"
+#include "hdc/encoder_base.hpp"
+#include "hdc/hv_matrix.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/projection_encoder.hpp"
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace smore {
+namespace {
+
+WindowDataset random_windows(std::size_t n, std::size_t channels,
+                             std::size_t steps, std::uint64_t seed = 0xda7a) {
+  Rng rng(seed);
+  WindowDataset ds("batch-encode", channels, steps);
+  for (std::size_t i = 0; i < n; ++i) {
+    Window w(channels, steps);
+    for (float& v : w.values()) v = rng.uniform_f(-2.0f, 2.0f);
+    w.set_label(static_cast<int>(i % 3));
+    w.set_domain(static_cast<int>(i % 2));
+    ds.add(w);
+  }
+  return ds;
+}
+
+/// Batch rows must equal the scalar reference encode(window, scratch, i)
+/// exactly (no tolerance), with and without the thread pool.
+void expect_batch_matches_scalar(const MultiSensorEncoder& enc,
+                                 const WindowDataset& ds) {
+  HvMatrix serial;
+  HvMatrix pooled;
+  enc.encode_batch(ds, serial, /*parallel=*/false);
+  enc.encode_batch(ds, pooled, /*parallel=*/true);
+  ASSERT_EQ(serial.rows(), ds.size());
+  ASSERT_EQ(serial.dim(), enc.dim());
+  EncodeScratch scratch;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Hypervector ref = enc.encode(ds[i], scratch, i);
+    EXPECT_EQ(std::memcmp(ref.data(), serial.row(i).data(),
+                          enc.dim() * sizeof(float)),
+              0)
+        << "serial row " << i;
+    EXPECT_EQ(std::memcmp(ref.data(), pooled.row(i).data(),
+                          enc.dim() * sizeof(float)),
+              0)
+        << "pooled row " << i;
+  }
+}
+
+TEST(BatchEncode, BankedPathMatchesScalarBitwise) {
+  EncoderConfig cfg;
+  cfg.dim = 1024;
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(67, 3, 32));
+}
+
+TEST(BatchEncode, MultiScaleDilationsMatchScalarBitwise) {
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  cfg.ngram_dilations = {2, 4, 8};
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(33, 2, 48));
+}
+
+TEST(BatchEncode, PerWindowRandomBaseMatchesScalarBitwise) {
+  // Ablation mode: no bank (fresh bases per window); the batch path must
+  // still match, including the salt = row index convention.
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  cfg.per_window_random_base = true;
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(20, 2, 24));
+}
+
+TEST(BatchEncode, ContinuousInterpolationMatchesScalarBitwise) {
+  // Q = 0 (paper-literal lerp levels): not bankable, reference fallback.
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  cfg.quantization_levels = 0;
+  cfg.antipodal_base = false;
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(20, 2, 24));
+}
+
+TEST(BatchEncode, LongGramFallsBackAndMatches) {
+  // ngram beyond the fused kernel's factor cap: reference fallback.
+  EncoderConfig cfg;
+  cfg.dim = 256;
+  cfg.ngram = ops::kNgramFusedMaxFactors + 2;
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(8, 1, 40));
+}
+
+TEST(BatchEncode, ConstantAndShortWindows) {
+  // Flat signal (inv_range = 0) and steps < ngram span: the banked kernel
+  // must clamp exactly like the scalar path.
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  cfg.ngram = 8;
+  const MultiSensorEncoder enc(cfg);
+  WindowDataset ds("edge", 2, 4);
+  Window flat(2, 4);
+  for (float& v : flat.values()) v = 3.5f;
+  ds.add(flat);
+  Window ramp(2, 4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    ramp.set(0, t, static_cast<float>(t));
+    ramp.set(1, t, -static_cast<float>(t));
+  }
+  ds.add(ramp);
+  expect_batch_matches_scalar(enc, ds);
+}
+
+TEST(BatchEncode, SingleWindowBatch) {
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  const MultiSensorEncoder enc(cfg);
+  expect_batch_matches_scalar(enc, random_windows(1, 2, 32));
+}
+
+TEST(BatchEncode, EmptyDataset) {
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  const MultiSensorEncoder enc(cfg);
+  HvMatrix out(3, 7);  // stale shape: must be reset
+  enc.encode_batch(random_windows(0, 2, 32), out);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.dim(), 512u);
+  const HvDataset encoded = enc.encode_dataset(random_windows(0, 2, 32));
+  EXPECT_TRUE(encoded.empty());
+  EXPECT_EQ(encoded.dim(), 512u);
+}
+
+TEST(BatchEncode, EncodeOneMatchesSaltZeroScalar) {
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  const MultiSensorEncoder enc(cfg);
+  const WindowDataset ds = random_windows(1, 2, 32);
+  const Hypervector via_iface = enc.encode_one(ds[0]);
+  const Hypervector via_scalar = enc.encode(ds[0], /*salt=*/0);
+  EXPECT_EQ(via_iface, via_scalar);
+  const Encoder& base = enc;
+  EXPECT_THROW((void)base.encode_one(Window{}), std::invalid_argument);
+}
+
+TEST(BatchEncode, EncodeDatasetCarriesMetadataAndRows) {
+  EncoderConfig cfg;
+  cfg.dim = 512;
+  const MultiSensorEncoder enc(cfg);
+  const WindowDataset ds = random_windows(9, 2, 24);
+  const HvDataset encoded = enc.encode_dataset(ds);
+  HvMatrix block;
+  enc.encode_batch(ds, block);
+  ASSERT_EQ(encoded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(encoded.label(i), ds[i].label());
+    EXPECT_EQ(encoded.domain(i), ds[i].domain());
+    EXPECT_EQ(std::memcmp(encoded.row(i).data(), block.row(i).data(),
+                          cfg.dim * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST(BatchEncode, AdoptRejectsMisalignedMetadata) {
+  HvMatrix block(3, 8);
+  EXPECT_THROW(HvDataset::adopt(std::move(block), std::vector<int>(2, 0),
+                                std::vector<int>(3, 0)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- projection side
+
+TEST(BatchEncodeProjection, CosFastMatchesLibm) {
+  // The epilogue cosine: Cody-Waite + Taylor must track libm far below the
+  // float output resolution over the whole plausible projection range.
+  double max_err = 0.0;
+  for (double x = -50.0; x <= 50.0; x += 1e-3) {
+    const double err =
+        std::fabs(static_cast<double>(ops::cos_fast(x)) - std::cos(x));
+    if (err > max_err) max_err = err;
+  }
+  EXPECT_LT(max_err, 1e-7);  // float cast dominates; double error ~2e-14
+}
+
+TEST(BatchEncodeProjection, BatchMatchesScalarBitwise) {
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 1024;
+  const ProjectionEncoder enc(cfg);
+  const WindowDataset ds = random_windows(67, 2, 16);
+  HvMatrix serial;
+  HvMatrix pooled;
+  enc.encode_batch(ds, serial, /*parallel=*/false);
+  enc.encode_batch(ds, pooled, /*parallel=*/true);
+  ASSERT_EQ(serial.rows(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Hypervector ref = enc.encode(ds[i]);
+    EXPECT_EQ(std::memcmp(ref.data(), serial.row(i).data(),
+                          cfg.dim * sizeof(float)),
+              0)
+        << "serial row " << i;
+    EXPECT_EQ(std::memcmp(ref.data(), pooled.row(i).data(),
+                          cfg.dim * sizeof(float)),
+              0)
+        << "pooled row " << i;
+  }
+}
+
+TEST(BatchEncodeProjection, MatchesLegacyRowDotsWithinTolerance) {
+  // Independent numerical reference: the pre-refactor loop (bias + one
+  // ops::dot per output dimension). The batch kernel accumulates in a
+  // different order, so equality is to rounding, not bitwise.
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 256;
+  const ProjectionEncoder enc(cfg);
+  const WindowDataset ds = random_windows(5, 2, 12);
+  const std::size_t features = 2 * 12;
+  Rng rng(cfg.seed);
+  std::vector<float> w(cfg.dim * features);
+  std::vector<float> b(cfg.dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(features));
+  for (auto& x : w) x = static_cast<float>(rng.normal(0.0, scale));
+  for (auto& x : b) {
+    x = static_cast<float>(rng.uniform(0.0, 2.0 * 3.14159265358979323846));
+  }
+  HvMatrix batch;
+  enc.encode_batch(ds, batch);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const float* x = ds[i].values().data();
+    for (std::size_t j = 0; j < cfg.dim; ++j) {
+      const double ref =
+          std::cos(b[j] + ops::dot(w.data() + j * features, x, features));
+      EXPECT_NEAR(batch.row(i)[j], ref, 1e-6) << i << "," << j;
+    }
+  }
+}
+
+TEST(BatchEncodeProjection, EmptyAndShapeMismatch) {
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 128;
+  const ProjectionEncoder enc(cfg);
+  const HvDataset empty = enc.encode_dataset(WindowDataset("e", 2, 8));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.dim(), 128u);
+  (void)enc.encode_one(random_windows(1, 2, 8)[0]);
+  HvMatrix out;
+  EXPECT_THROW(enc.encode_batch(random_windows(2, 3, 8), out),
+               std::invalid_argument);
+}
+
+TEST(BatchEncodeProjection, ConcurrentFirstEncodeIsSafe) {
+  // Regression for the lazy-init data race: the very first encodes arrive
+  // from worker threads simultaneously; std::call_once must serialize the
+  // materialization and every thread must see the same projection.
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 256;
+  const ProjectionEncoder enc(cfg);
+  const WindowDataset ds = random_windows(32, 2, 16);
+  std::vector<Hypervector> results(ds.size(), Hypervector(cfg.dim));
+  parallel_for(ds.size(), [&](std::size_t i) { results[i] = enc.encode(ds[i]); });
+  const Hypervector ref = enc.encode(ds[0]);
+  EXPECT_EQ(results[0], ref);
+  HvMatrix batch;
+  enc.encode_batch(ds, batch);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(std::memcmp(results[i].data(), batch.row(i).data(),
+                          cfg.dim * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+// Interface-level check: consumers can hold any encoder behind Encoder&.
+TEST(EncoderInterface, PolymorphicEncodeDataset) {
+  EncoderConfig mc;
+  mc.dim = 256;
+  const MultiSensorEncoder multi(mc);
+  ProjectionEncoderConfig pc;
+  pc.dim = 256;
+  const ProjectionEncoder proj(pc);
+  const WindowDataset ds = random_windows(6, 2, 16);
+  for (const Encoder* enc : {static_cast<const Encoder*>(&multi),
+                             static_cast<const Encoder*>(&proj)}) {
+    const HvDataset encoded = enc->encode_dataset(ds);
+    ASSERT_EQ(encoded.size(), ds.size());
+    EXPECT_EQ(encoded.dim(), 256u);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      EXPECT_EQ(encoded.label(i), ds[i].label());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smore
