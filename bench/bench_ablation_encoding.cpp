@@ -52,10 +52,13 @@ int main(int argc, char** argv) {
       .flag_int("dim", 2048, "hyperdimension")
       .flag_int("hd_epochs", 15, "OnlineHD refinement epochs")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
-  const double scale = cli.get_double("scale");
-  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
-  const int epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  const bool smoke = cli.get_bool("smoke");
+  const double scale = smoke ? 0.02 : cli.get_double("scale");
+  const auto dim =
+      smoke ? std::size_t{512} : static_cast<std::size_t>(cli.get_int("dim"));
+  const int epochs = smoke ? 2 : static_cast<int>(cli.get_int("hd_epochs"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   const SyntheticSpec spec = spec_by_name("USC-HAD", scale, seed);

@@ -33,9 +33,12 @@ int main(int argc, char** argv) {
       .flag_int("hd_epochs", 15, "OnlineHD refinement epochs")
       .flag_double("delta_star", 0.65, "OOD threshold for gated variants")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
-  const double scale = cli.get_double("scale");
-  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const bool smoke = cli.get_bool("smoke");
+  const double scale = smoke ? 0.03 : cli.get_double("scale");
+  const auto dim =
+      smoke ? std::size_t{512} : static_cast<std::size_t>(cli.get_int("dim"));
   const double delta_star = cli.get_double("delta_star");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
@@ -44,7 +47,7 @@ int main(int argc, char** argv) {
   const int domains = bundle.raw.num_domains();
 
   OnlineHDConfig hd;
-  hd.epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  hd.epochs = smoke ? 2 : static_cast<int>(cli.get_int("hd_epochs"));
   hd.seed = seed;
 
   struct Variant {

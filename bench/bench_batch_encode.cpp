@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "data/timeseries.hpp"
 #include "eval/timer.hpp"
 #include "hdc/encoder.hpp"
@@ -76,13 +77,17 @@ int main(int argc, char** argv) {
       .flag_bool("skip_projection", false, "only bench the multi-sensor encoder")
       .flag_string("out", "BENCH_batch_encode.json", "JSON output path")
       .flag_int("seed", 42, "data seed");
+  bench::add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto n = static_cast<std::size_t>(cli.get_int("windows"));
+  const bool smoke = cli.get_bool("smoke");
+  const auto n =
+      smoke ? std::size_t{500} : static_cast<std::size_t>(cli.get_int("windows"));
   const auto channels = static_cast<std::size_t>(cli.get_int("channels"));
   const auto steps = static_cast<std::size_t>(cli.get_int("steps"));
-  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
-  const int repeats = static_cast<int>(cli.get_int("repeats"));
+  const auto dim =
+      smoke ? std::size_t{512} : static_cast<std::size_t>(cli.get_int("dim"));
+  const int repeats = smoke ? 1 : static_cast<int>(cli.get_int("repeats"));
   const std::string out_path = cli.get_string("out");
 
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));

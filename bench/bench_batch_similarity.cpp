@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "eval/timer.hpp"
 #include "hdc/hv_matrix.hpp"
 #include "hdc/ops.hpp"
@@ -61,12 +62,17 @@ int main(int argc, char** argv) {
       .flag_int("repeats", 3, "timing repeats (best taken)")
       .flag_string("out", "BENCH_batch_similarity.json", "JSON output path")
       .flag_int("seed", 42, "data seed");
+  bench::add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto nq = static_cast<std::size_t>(cli.get_int("queries"));
-  const auto np = static_cast<std::size_t>(cli.get_int("prototypes"));
-  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
-  const int repeats = static_cast<int>(cli.get_int("repeats"));
+  const bool smoke = cli.get_bool("smoke");
+  const auto nq =
+      smoke ? std::size_t{2000} : static_cast<std::size_t>(cli.get_int("queries"));
+  const auto np =
+      smoke ? std::size_t{8} : static_cast<std::size_t>(cli.get_int("prototypes"));
+  const auto dim =
+      smoke ? std::size_t{512} : static_cast<std::size_t>(cli.get_int("dim"));
+  const int repeats = smoke ? 1 : static_cast<int>(cli.get_int("repeats"));
   const std::string out_path = cli.get_string("out");
 
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));

@@ -99,4 +99,16 @@ inline std::string results_path(const std::string& name) {
   return "results/" + name + ".csv";
 }
 
+/// CI smoke mode. Every self-timed bench registers this flag and, when set,
+/// shrinks its problem sizes (scale / dim / epochs / repeats) so the whole
+/// bench sweep finishes in seconds while still driving every code path. The
+/// Release CI job builds all benches and runs each with --smoke, so kernel
+/// regressions and bench bit-rot surface in tier-1 instead of at the next
+/// manual figure run. Smoke numbers are NOT comparable to the defaults —
+/// they only prove the bench still runs end to end.
+inline CliParser& add_smoke_flag(CliParser& cli) {
+  return cli.flag_bool("smoke", false,
+                       "CI smoke run: tiny problem sizes, same code paths");
+}
+
 }  // namespace smore::bench

@@ -81,8 +81,11 @@ int main(int argc, char** argv) {
       .flag_int("iters", 20, "training iterations for the dimension sweep")
       .flag_double("lr", 0.035, "OnlineHD learning rate")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
-  const double scale = cli.get_bool("full") ? 1.0 : cli.get_double("scale");
+  const bool smoke = cli.get_bool("smoke");
+  const double scale =
+      smoke ? 0.03 : cli.get_bool("full") ? 1.0 : cli.get_double("scale");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto lr = static_cast<float>(cli.get_double("lr"));
   const int k = static_cast<int>(cli.get_int("kfold"));
@@ -97,8 +100,11 @@ int main(int argc, char** argv) {
 
   // ---- left panel: accuracy vs dimension ----
   print_banner("Figure 1(b) left: accuracy vs hyperdimension");
-  const std::vector<std::size_t> dims{512, 1024, 2048, 4096, 6144};
-  const std::vector<int> iter_probe{static_cast<int>(cli.get_int("iters"))};
+  const std::vector<std::size_t> dims =
+      smoke ? std::vector<std::size_t>{256, 512}
+            : std::vector<std::size_t>{512, 1024, 2048, 4096, 6144};
+  const std::vector<int> iter_probe{
+      smoke ? 3 : static_cast<int>(cli.get_int("iters"))};
   CsvWriter csv_dims(results_path("fig1b_dims"),
                      {"dim", "lodo_accuracy", "kfold_accuracy"});
   TablePrinter t_dims({"dim", "LODO acc (%)", "k-fold acc (%)", "gap (pp)"});
@@ -117,11 +123,13 @@ int main(int argc, char** argv) {
 
   // ---- right panel: accuracy vs iterations (d = 2k) ----
   print_banner("Figure 1(b) right: accuracy vs training iterations (d=2048)");
-  const std::vector<int> checkpoints{10, 20, 30, 40, 50};
+  const std::vector<int> checkpoints =
+      smoke ? std::vector<int>{3, 6} : std::vector<int>{10, 20, 30, 40, 50};
+  const std::size_t right_dim = smoke ? 512 : 2048;
   const std::vector<double> a_lodo =
-      accuracy_at_checkpoints(raw, 2048, lodo, checkpoints, lr, seed);
+      accuracy_at_checkpoints(raw, right_dim, lodo, checkpoints, lr, seed);
   const std::vector<double> a_kfold =
-      accuracy_at_checkpoints(raw, 2048, kfold, checkpoints, lr, seed);
+      accuracy_at_checkpoints(raw, right_dim, kfold, checkpoints, lr, seed);
   CsvWriter csv_iters(results_path("fig1b_iters"),
                       {"iterations", "lodo_accuracy", "kfold_accuracy"});
   TablePrinter t_iters(

@@ -38,23 +38,25 @@ int main(int argc, char** argv) {
       .flag_string("datasets", "DSADS,USC-HAD,PAMAP2",
                    "comma-separated dataset list")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
   const bool full = cli.get_bool("full");
-  const double scale = full ? 1.0 : cli.get_double("scale");
+  const bool smoke = cli.get_bool("smoke");
+  const double scale = smoke ? 0.03 : full ? 1.0 : cli.get_double("scale");
   const std::size_t dim =
-      full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
+      smoke ? 512 : full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   SuiteConfig cfg;
   cfg.dim = dim;
-  cfg.hd_epochs = static_cast<int>(cli.get_int("hd_epochs"));
-  cfg.cnn_epochs = static_cast<int>(cli.get_int("cnn_epochs"));
+  cfg.hd_epochs = smoke ? 2 : static_cast<int>(cli.get_int("hd_epochs"));
+  cfg.cnn_epochs = smoke ? 1 : static_cast<int>(cli.get_int("cnn_epochs"));
   cfg.delta_star = cli.get_double("delta_star");
   cfg.seed = seed;
 
   std::vector<std::string> names;
   {
-    std::string list = cli.get_string("datasets");
+    std::string list = smoke ? "USC-HAD" : cli.get_string("datasets");
     std::size_t pos = 0;
     while (pos != std::string::npos) {
       const std::size_t comma = list.find(',', pos);

@@ -31,16 +31,19 @@ int main(int argc, char** argv) {
                    "0.40,0.50,0.60,0.65,0.70,0.75,0.80,0.85,0.90,0.95",
                    "comma-separated delta* values (paper sweeps 0.4-0.9)")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
   const bool full = cli.get_bool("full");
-  const double scale = full ? 1.0 : cli.get_double("scale");
+  const bool smoke = cli.get_bool("smoke");
+  const double scale = smoke ? 0.03 : full ? 1.0 : cli.get_double("scale");
   const std::size_t dim =
-      full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
+      smoke ? 512 : full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   std::vector<double> sweep;
   {
-    const std::string list = cli.get_string("sweep");
+    const std::string list =
+        smoke ? "0.50,0.65,0.80" : cli.get_string("sweep");
     std::size_t pos = 0;
     while (pos < list.size()) {
       sweep.push_back(std::stod(list.substr(pos)));
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
   const int domains = bundle.raw.num_domains();
 
   OnlineHDConfig hd;
-  hd.epochs = static_cast<int>(cli.get_int("hd_epochs"));
+  hd.epochs = smoke ? 2 : static_cast<int>(cli.get_int("hd_epochs"));
   hd.seed = seed;
 
   // Train one SMORE per fold (training is δ*-independent), then sweep δ* on

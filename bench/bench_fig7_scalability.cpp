@@ -33,17 +33,19 @@ int main(int argc, char** argv) {
       .flag_string("fractions", "0.1,0.3,0.5,0.7,0.9", "data fractions")
       .flag_int("held_out", 0, "LODO held-out domain for the sweep")
       .flag_int("seed", 1, "seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
   const bool full = cli.get_bool("full");
-  const double scale = full ? 1.0 : cli.get_double("scale");
+  const bool smoke = cli.get_bool("smoke");
+  const double scale = smoke ? 0.05 : full ? 1.0 : cli.get_double("scale");
   const std::size_t dim =
-      full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
+      smoke ? 512 : full ? 8192 : static_cast<std::size_t>(cli.get_int("dim"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int held = static_cast<int>(cli.get_int("held_out"));
 
   std::vector<double> fractions;
   {
-    const std::string list = cli.get_string("fractions");
+    const std::string list = smoke ? "0.3,0.9" : cli.get_string("fractions");
     std::size_t pos = 0;
     while (pos < list.size()) {
       fractions.push_back(std::stod(list.substr(pos)));
@@ -55,8 +57,8 @@ int main(int argc, char** argv) {
 
   SuiteConfig cfg;
   cfg.dim = dim;
-  cfg.hd_epochs = static_cast<int>(cli.get_int("hd_epochs"));
-  cfg.cnn_epochs = static_cast<int>(cli.get_int("cnn_epochs"));
+  cfg.hd_epochs = smoke ? 2 : static_cast<int>(cli.get_int("hd_epochs"));
+  cfg.cnn_epochs = smoke ? 1 : static_cast<int>(cli.get_int("cnn_epochs"));
   cfg.seed = seed;
 
   const EncodedBundle bundle = prepare(spec_by_name("PAMAP2", scale, seed), dim);

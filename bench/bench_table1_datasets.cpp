@@ -34,8 +34,11 @@ int main(int argc, char** argv) {
   cli.flag_double("scale", 0.0, "fraction of the paper's sample counts (<=0: per-dataset default)")
       .flag_bool("full", false, "generate at full paper scale (scale=1)")
       .flag_int("seed", 1, "generator seed");
+  add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
-  const double scale = cli.get_bool("full") ? 1.0 : cli.get_double("scale");
+  const double scale = cli.get_bool("smoke")  ? 0.02
+                       : cli.get_bool("full") ? 1.0
+                                              : cli.get_double("scale");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   print_banner("Table 1: Detailed Breakdowns of Datasets (scale=" +

@@ -1,15 +1,19 @@
 // Edge deployment sizing: what it costs to run SMORE on constrained devices.
 //
 // For a PAMAP2-like workload this example measures per-window encode and
-// inference latency on this host, sizes the model (bytes of class vectors +
-// descriptors), and projects latency/energy onto the paper's two edge
-// platforms through the documented device model (DESIGN.md §3). It is the
-// "can I ship this?" calculation an embedded engineer would run first.
+// inference latency on this host — through the float backend AND the packed
+// binary backend (sign-quantized model, XOR+popcount Hamming inference,
+// DESIGN.md §8) — sizes both models, and projects latency/energy onto the
+// paper's two edge platforms through the documented device model
+// (DESIGN.md §3). It is the "can I ship this?" calculation an embedded
+// engineer would run first, now including the "can I ship it to an MCU?"
+// variant.
 //
 //   ./build/examples/edge_deployment --dim=2048 --scale=0.02
 
 #include <cstdio>
 
+#include "core/binary_smore.hpp"
 #include "core/smore.hpp"
 #include "data/dataset.hpp"
 #include "data/synthetic.hpp"
@@ -17,6 +21,7 @@
 #include "eval/reporting.hpp"
 #include "eval/timer.hpp"
 #include "hdc/encoder.hpp"
+#include "hdc/ops_binary.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -42,7 +47,8 @@ int main(int argc, char** argv) {
   SmoreModel model(raw.num_classes(), dim);
   model.fit(encoded.select(fold.train));
 
-  // --- model footprint ---
+  // --- model footprint: float backend vs packed binary backend ---
+  const BinarySmoreModel packed(model);
   const std::size_t class_bytes = model.num_domains() *
                                   static_cast<std::size_t>(raw.num_classes()) *
                                   dim * sizeof(float);
@@ -53,9 +59,17 @@ int main(int argc, char** argv) {
               static_cast<double>(class_bytes) / 1024.0);
   std::printf("domain descriptors                -> %8.1f KiB\n",
               static_cast<double>(desc_bytes) / 1024.0);
-  std::printf("total                             -> %8.1f KiB (fits an MCU "
+  std::printf("float total                       -> %8.1f KiB (fits an MCU "
               "with external RAM; no weights, no backprop state)\n",
-              static_cast<double>(class_bytes + desc_bytes) / 1024.0);
+              static_cast<double>(model.footprint_bytes()) / 1024.0);
+  std::printf("packed binary total               -> %8.1f KiB (%.0fx smaller: "
+              "class banks %.1f KiB + descriptors %.1f KiB, on-chip SRAM "
+              "territory)\n",
+              static_cast<double>(packed.footprint_bytes()) / 1024.0,
+              static_cast<double>(model.footprint_bytes()) /
+                  static_cast<double>(packed.footprint_bytes()),
+              static_cast<double>(packed.class_bank_bits().bytes()) / 1024.0,
+              static_cast<double>(packed.descriptor_bits().bytes()) / 1024.0);
 
   // --- host timing ---
   // The probe runs through the batched engine end to end (encode_batch +
@@ -75,25 +89,53 @@ int main(int argc, char** argv) {
   WallTimer t2;
   const std::vector<int> predicted = model.predict_batch(probe_hv.view());
   const double infer_s = t2.seconds();
+  // Packed path on the same probe: batch sign quantization + Hamming
+  // ensemble (what the device would actually run after encoding).
+  WallTimer t3;
+  const std::vector<int> predicted_packed =
+      packed.predict_batch(probe_hv.view());
+  const double infer_packed_s = t3.seconds();
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    agree += predicted[i] == predicted_packed[i] ? 1 : 0;
+  }
   const double encode_ms = 1e3 * encode_s / static_cast<double>(probe);
   const double infer_ms = 1e3 * infer_s / static_cast<double>(probe);
+  const double infer_packed_ms =
+      1e3 * infer_packed_s / static_cast<double>(probe);
   print_banner("Measured per-window latency on this host (batched engine)");
-  std::printf("encode  %7.3f ms   classify %7.3f ms   total %7.3f ms   "
-              "(%zu-window probe, %.0f windows/s end-to-end)\n",
-              encode_ms, infer_ms, encode_ms + infer_ms, probe,
+  std::printf("encode  %7.3f ms   classify %7.3f ms (float) / %7.3f ms "
+              "(packed, %.1fx)   total %7.3f ms   (%zu-window probe, %.0f "
+              "windows/s end-to-end float)\n",
+              encode_ms, infer_ms, infer_packed_ms,
+              infer_packed_s > 0.0 ? infer_s / infer_packed_s : 0.0,
+              encode_ms + infer_ms, probe,
               static_cast<double>(predicted.size()) / (encode_s + infer_s));
+  std::printf("float/packed label agreement on the probe: %.1f%% (%zu/%zu)\n",
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(predicted.size()),
+              agree, predicted.size());
 
   // --- projection onto the paper's edge platforms (simulated) ---
   print_banner("Projected edge latency & energy (SIMULATED device model)");
-  TablePrinter table({"platform", "per-window latency (ms)",
+  TablePrinter table({"platform", "backend", "per-window latency (ms)",
                       "energy per window (mJ)", "windows/second"});
   for (const EdgePlatform& p : paper_edge_platforms()) {
-    const double total_s = (encode_s + infer_s) / static_cast<double>(probe);
-    const double edge_s = p.project_latency(total_s, WorkloadKind::kHdcInference);
-    table.row({p.name, fmt(1e3 * edge_s, 2),
-               fmt(1e3 * p.project_energy(total_s, WorkloadKind::kHdcInference),
-                   2),
-               fmt(1.0 / edge_s, 0)});
+    const struct {
+      const char* backend;
+      double infer_seconds;
+    } variants[] = {{"float", infer_s}, {"packed", infer_packed_s}};
+    for (const auto& v : variants) {
+      const double total_s =
+          (encode_s + v.infer_seconds) / static_cast<double>(probe);
+      const double edge_s =
+          p.project_latency(total_s, WorkloadKind::kHdcInference);
+      table.row({p.name, v.backend, fmt(1e3 * edge_s, 2),
+                 fmt(1e3 * p.project_energy(total_s,
+                                            WorkloadKind::kHdcInference),
+                     2),
+                 fmt(1.0 / edge_s, 0)});
+    }
   }
   table.print();
   std::printf("\nA PAMAP2 window spans %.2f s of signal, so real-time factor "

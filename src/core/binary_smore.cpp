@@ -1,0 +1,169 @@
+#include "core/binary_smore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hdc/ops_binary.hpp"
+
+namespace smore {
+
+BinarySmoreModel::BinarySmoreModel(const SmoreModel& model)
+    : num_classes_(model.num_classes()),
+      dim_(model.dim()),
+      weight_mode_(model.config().weight_mode),
+      detector_(model.config().delta_star) {
+  if (!model.trained()) {
+    throw std::logic_error("BinarySmoreModel: model is untrained");
+  }
+  const std::size_t k = model.num_domains();
+  const auto classes = static_cast<std::size_t>(num_classes_);
+  descriptors_.resize(k, dim_);
+  class_bank_.resize(k * classes, dim_);
+  for (std::size_t d = 0; d < k; ++d) {
+    ops::sign_pack_row(model.descriptors().descriptor(d).data(), dim_,
+                       descriptors_.row(d));
+    const OnlineHDClassifier& domain_model = model.domain_model(d);
+    for (int c = 0; c < num_classes_; ++c) {
+      ops::sign_pack_row(domain_model.class_vector(c).data(), dim_,
+                         class_bank_.row(d * classes +
+                                         static_cast<std::size_t>(c)));
+    }
+  }
+}
+
+void BinarySmoreModel::set_delta_star(double delta_star) {
+  detector_.set_delta_star(delta_star);
+}
+
+double BinarySmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
+                                              double target_ood_rate) {
+  if (in_distribution.empty()) {
+    throw std::invalid_argument("calibrate_delta_star: empty calibration set");
+  }
+  const BitMatrix packed = ops::sign_pack_matrix(in_distribution.view());
+  const std::vector<double> sims = similarities_batch(packed.view());
+  const std::size_t k = num_domains();
+  std::vector<double> max_sims;
+  max_sims.reserve(in_distribution.size());
+  for (std::size_t i = 0; i < in_distribution.size(); ++i) {
+    const std::span<const double> row(sims.data() + i * k, k);
+    max_sims.push_back(detector_.evaluate(row).max_similarity);
+  }
+  set_delta_star(
+      calibrate_threshold_quantile(std::move(max_sims), target_ood_rate));
+  return detector_.delta_star();
+}
+
+int BinarySmoreModel::predict(std::span<const float> hv) const {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("BinarySmoreModel::predict: dim mismatch");
+  }
+  return predict_batch(HvView(hv)).at(0);
+}
+
+std::vector<int> BinarySmoreModel::predict_batch(HvView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument(
+        "BinarySmoreModel::predict_batch: dim mismatch");
+  }
+  return predict_batch(ops::sign_pack_matrix(queries).view());
+}
+
+std::vector<int> BinarySmoreModel::predict_batch(BitView queries) const {
+  return predict_batch_impl(queries, nullptr);
+}
+
+std::vector<double> BinarySmoreModel::similarities_batch(
+    BitView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_ ||
+      queries.words_per_row != descriptors_.words_per_row()) {
+    throw std::invalid_argument(
+        "BinarySmoreModel::similarities_batch: dim mismatch");
+  }
+  std::vector<double> sims(queries.rows * num_domains());
+  ops::binary_similarity_matrix(queries, descriptors_.view(), sims.data());
+  return sims;
+}
+
+std::vector<int> BinarySmoreModel::predict_batch_impl(
+    BitView queries, std::vector<std::uint8_t>* ood_flags) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_ ||
+      queries.words_per_row != descriptors_.words_per_row()) {
+    throw std::invalid_argument(
+        "BinarySmoreModel::predict_batch: dim mismatch");
+  }
+  const std::size_t k = num_domains();
+  const auto classes = static_cast<std::size_t>(num_classes_);
+
+  // E: one packed kernel for every δ_H(Q_i, U_k) (Algorithm 1 lines 1-2).
+  const std::vector<double> sims = similarities_batch(queries);
+  // G's inputs: one packed kernel for every δ_H(Q_i, C_c^k).
+  std::vector<double> class_sims(queries.rows * k * classes);
+  ops::binary_similarity_matrix(queries, class_bank_.view(),
+                                class_sims.data());
+  if (ood_flags != nullptr) ood_flags->assign(queries.rows, 0);
+
+  std::vector<int> labels(queries.rows);
+  for (std::size_t q = 0; q < queries.rows; ++q) {
+    // F: verdict and ensemble weights from the Hamming similarities.
+    const std::span<const double> row(sims.data() + q * k, k);
+    const OodVerdict verdict = detector_.evaluate(row);
+    if (ood_flags != nullptr && verdict.is_ood) (*ood_flags)[q] = 1;
+    const std::vector<double> w = ensemble_weights(
+        row, detector_.delta_star(), verdict.is_ood, weight_mode_);
+
+    // G: similarity-ensembled argmax, skipping zero-weight domains.
+    const double* qsims = class_sims.data() + q * k * classes;
+    int best = 0;
+    double best_score = 0.0;
+    for (int c = 0; c < num_classes_; ++c) {
+      double score = 0.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (w[d] == 0.0) continue;
+        score += w[d] * qsims[d * classes + static_cast<std::size_t>(c)];
+      }
+      if (c == 0 || score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    labels[q] = best;
+  }
+  return labels;
+}
+
+SmoreEvaluation BinarySmoreModel::evaluate(const HvDataset& data) const {
+  if (data.empty()) return {};
+  if (data.dim() != dim_) {
+    throw std::invalid_argument("BinarySmoreModel::evaluate: dim mismatch");
+  }
+  return evaluate(ops::sign_pack_matrix(data.view()).view(), data.labels());
+}
+
+SmoreEvaluation BinarySmoreModel::evaluate(
+    BitView queries, std::span<const int> labels) const {
+  SmoreEvaluation out;
+  if (queries.rows == 0) return out;
+  if (labels.size() != queries.rows) {
+    throw std::invalid_argument(
+        "BinarySmoreModel::evaluate: label arity mismatch");
+  }
+  std::vector<std::uint8_t> flags;
+  const std::vector<int> predicted = predict_batch_impl(queries, &flags);
+  std::size_t correct = 0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < queries.rows; ++i) {
+    correct += predicted[i] == labels[i] ? 1 : 0;
+    flagged += flags[i];
+  }
+  out.accuracy =
+      static_cast<double>(correct) / static_cast<double>(queries.rows);
+  out.ood_rate =
+      static_cast<double>(flagged) / static_cast<double>(queries.rows);
+  return out;
+}
+
+}  // namespace smore

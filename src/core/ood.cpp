@@ -1,6 +1,27 @@
 #include "core/ood.hpp"
 
+#include <algorithm>
+
 namespace smore {
+
+double calibrate_threshold_quantile(std::vector<double> max_similarities,
+                                    double target_ood_rate) {
+  if (max_similarities.empty()) {
+    throw std::invalid_argument(
+        "calibrate_threshold_quantile: empty calibration set");
+  }
+  if (target_ood_rate < 0.0 || target_ood_rate > 1.0) {
+    throw std::invalid_argument(
+        "calibrate_threshold_quantile: rate outside [0, 1]");
+  }
+  std::sort(max_similarities.begin(), max_similarities.end());
+  // δ* at the target quantile: samples strictly below it are flagged OOD.
+  const auto idx = static_cast<std::size_t>(
+      target_ood_rate * static_cast<double>(max_similarities.size()));
+  const double delta =
+      max_similarities[std::min(idx, max_similarities.size() - 1)];
+  return std::clamp(delta, -1.0, 1.0);
+}
 
 namespace {
 void check_threshold(double delta_star) {

@@ -19,6 +19,16 @@ struct OodVerdict {
   std::size_t best_domain = 0;  ///< argmax position
 };
 
+/// Shared calibration rule of SmoreModel::calibrate_delta_star and
+/// BinarySmoreModel::calibrate_delta_star: the δ* sitting at the
+/// `target_ood_rate` quantile of per-sample maximum descriptor similarities
+/// (samples strictly below it are flagged OOD), clamped to the detector's
+/// [-1, 1] range. Takes the vector by value — it is sorted in place.
+/// Throws std::invalid_argument when `max_similarities` is empty or the
+/// rate lies outside [0, 1].
+[[nodiscard]] double calibrate_threshold_quantile(
+    std::vector<double> max_similarities, double target_ood_rate);
+
 /// Thresholding detector over domain-descriptor similarities.
 class OodDetector {
  public:

@@ -210,9 +210,6 @@ double SmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
   if (in_distribution.empty()) {
     throw std::invalid_argument("calibrate_delta_star: empty calibration set");
   }
-  if (target_ood_rate < 0.0 || target_ood_rate > 1.0) {
-    throw std::invalid_argument("calibrate_delta_star: rate outside [0, 1]");
-  }
   const std::vector<double> sims =
       descriptors_.similarities_batch(in_distribution.view());
   const std::size_t k = descriptors_.size();
@@ -222,13 +219,8 @@ double SmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
     const std::span<const double> row(sims.data() + i * k, k);
     max_sims.push_back(detector_.evaluate(row).max_similarity);
   }
-  std::sort(max_sims.begin(), max_sims.end());
-  // δ* at the target quantile: samples strictly below it are flagged OOD.
-  const auto idx = static_cast<std::size_t>(
-      target_ood_rate * static_cast<double>(max_sims.size()));
-  const double delta =
-      max_sims[std::min(idx, max_sims.size() - 1)];
-  set_delta_star(std::clamp(delta, -1.0, 1.0));
+  set_delta_star(
+      calibrate_threshold_quantile(std::move(max_sims), target_ood_rate));
   return config_.delta_star;
 }
 

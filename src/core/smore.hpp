@@ -105,6 +105,16 @@ class SmoreModel {
     return models_.size();
   }
 
+  /// Serving-state size in bytes: K·C per-domain class vectors plus K
+  /// domain descriptors, all float — the float counterpart of
+  /// BinarySmoreModel::footprint_bytes (footprint reports derive their
+  /// float-vs-packed ratios from these two).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return models_.size() *
+           (static_cast<std::size_t>(num_classes_) + 1) * dim_ *
+           sizeof(float);
+  }
+
   /// Domain-specific model M_k by position (ascending domain id).
   [[nodiscard]] const OnlineHDClassifier& domain_model(std::size_t k) const {
     return *models_.at(k);

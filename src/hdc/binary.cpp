@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "hdc/ops_binary.hpp"
+
 namespace smore {
 
 BinaryVector::BinaryVector(std::span<const float> values)
@@ -32,46 +34,92 @@ double BinaryVector::similarity(const BinaryVector& other) const {
                    static_cast<double>(dim_);
 }
 
-BinaryModel::BinaryModel(const OnlineHDClassifier& model) : dim_(model.dim()) {
-  classes_.reserve(static_cast<std::size_t>(model.num_classes()));
+BinaryModel::BinaryModel(const OnlineHDClassifier& model)
+    : dim_(model.dim()),
+      classes_(static_cast<std::size_t>(model.num_classes()), model.dim()) {
   for (int c = 0; c < model.num_classes(); ++c) {
-    classes_.emplace_back(model.class_vector(c).span());
+    ops::sign_pack_row(model.class_vector(c).data(), dim_,
+                       classes_.row(static_cast<std::size_t>(c)));
   }
 }
 
-std::size_t BinaryModel::footprint_bytes() const noexcept {
-  std::size_t bytes = 0;
-  for (const auto& c : classes_) bytes += c.words().size() * sizeof(std::uint64_t);
-  return bytes;
-}
-
 int BinaryModel::predict(std::span<const float> hv) const {
-  return predict(BinaryVector(hv));
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("BinaryModel::predict: dimension mismatch");
+  }
+  return predict_batch(HvView(hv)).at(0);
 }
 
 int BinaryModel::predict(const BinaryVector& query) const {
   if (query.dim() != dim_) {
     throw std::invalid_argument("BinaryModel::predict: dimension mismatch");
   }
+  // Allocation-free argmin: the streaming on-device path predicts one
+  // pre-packed window at a time, so it must not pay per-query heap traffic.
+  const std::size_t nw = classes_.words_per_row();
   int best = 0;
   std::size_t best_distance = dim_ + 1;
-  for (int c = 0; c < num_classes(); ++c) {
-    const std::size_t d = classes_[static_cast<std::size_t>(c)].hamming(query);
+  for (std::size_t c = 0; c < classes_.rows(); ++c) {
+    const std::size_t d =
+        ops::hamming_words(query.words().data(), classes_.row(c), nw);
     if (d < best_distance) {
       best_distance = d;
-      best = c;
+      best = static_cast<int>(c);
     }
   }
   return best;
 }
 
+std::vector<int> BinaryModel::predict_batch(BitView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_ ||
+      queries.words_per_row != classes_.words_per_row()) {
+    throw std::invalid_argument("BinaryModel::predict_batch: dim mismatch");
+  }
+  const std::size_t np = classes_.rows();
+  std::vector<std::size_t> distances(queries.rows * np);
+  ops::hamming_matrix(queries, classes_.view(), distances.data());
+  std::vector<int> labels(queries.rows);
+  for (std::size_t q = 0; q < queries.rows; ++q) {
+    const std::size_t* row = distances.data() + q * np;
+    int best = 0;
+    std::size_t best_distance = dim_ + 1;
+    for (std::size_t c = 0; c < np; ++c) {
+      if (row[c] < best_distance) {
+        best_distance = row[c];
+        best = static_cast<int>(c);
+      }
+    }
+    labels[q] = best;
+  }
+  return labels;
+}
+
+std::vector<int> BinaryModel::predict_batch(HvView queries) const {
+  if (queries.rows == 0) return {};
+  if (queries.dim != dim_) {
+    throw std::invalid_argument("BinaryModel::predict_batch: dim mismatch");
+  }
+  return predict_batch(ops::sign_pack_matrix(queries).view());
+}
+
+double BinaryModel::evaluate(BitView queries,
+                             std::span<const int> labels) const {
+  if (labels.size() != queries.rows) {
+    throw std::invalid_argument("BinaryModel::evaluate: label arity mismatch");
+  }
+  if (queries.rows == 0) return 0.0;
+  const std::vector<int> predicted = predict_batch(queries);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    correct += predicted[i] == labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.rows);
+}
+
 double BinaryModel::accuracy(const HvDataset& data) const {
   if (data.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    correct += predict(data.row(i)) == data.label(i) ? 1 : 0;
-  }
-  return static_cast<double>(correct) / static_cast<double>(data.size());
+  return evaluate(ops::sign_pack_matrix(data.view()).view(), data.labels());
 }
 
 }  // namespace smore

@@ -1,5 +1,5 @@
 #pragma once
-// Binarized HDC inference (extension beyond the paper; see DESIGN.md §6).
+// Binarized HDC inference (extension beyond the paper; see DESIGN.md §8).
 //
 // Edge HDC deployments commonly sign-quantize trained class hypervectors to
 // single bits and replace cosine similarity with Hamming distance computed
@@ -8,15 +8,22 @@
 // typically drops by a small margin — quantified in
 // bench_ablation_encoding's companion test and the edge example.
 //
-// BinaryModel quantizes any trained OnlineHDClassifier; BinaryVector is the
-// packed bit representation of one hypervector.
+// BinaryModel quantizes any trained OnlineHDClassifier into a packed
+// BitMatrix and predicts through the blocked Hamming kernels
+// (ops::hamming_matrix); scalar predict calls are batches of one.
+// BinaryVector remains as the one-vector scalar reference — the equivalence
+// tests pin the blocked kernels to its word-at-a-time loop bit for bit.
+// For the quantized form of a full SMORE model (descriptors + per-domain
+// class banks + the test-time ensemble), see core/binary_smore.hpp.
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "hdc/bit_matrix.hpp"
 #include "hdc/hv_dataset.hpp"
+#include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/onlinehd.hpp"
 
@@ -55,32 +62,57 @@ class BinaryVector {
   std::vector<std::uint64_t> words_;
 };
 
-/// Sign-quantized multi-class model: Hamming-distance argmin prediction.
+/// Sign-quantized multi-class model: Hamming-distance argmin prediction over
+/// a packed [num_classes × dim] BitMatrix, batch-first like its float
+/// counterpart (OnlineHDClassifier::predict_batch).
 class BinaryModel {
  public:
   /// Quantize every class vector of a trained classifier.
   explicit BinaryModel(const OnlineHDClassifier& model);
 
   [[nodiscard]] int num_classes() const noexcept {
-    return static_cast<int>(classes_.size());
+    return static_cast<int>(classes_.rows());
   }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
-  /// Model size in bytes (packed class vectors only).
-  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+  /// Model size in bytes (the packed class-vector block).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return classes_.bytes();
+  }
+
+  /// The packed class-vector block itself (footprint reports, serialization).
+  [[nodiscard]] const BitMatrix& class_bits() const noexcept {
+    return classes_;
+  }
 
   /// Predict from a raw (float) query: the query is quantized on the fly.
+  /// Thin wrapper over a batch of one.
   [[nodiscard]] int predict(std::span<const float> hv) const;
 
-  /// Predict from an already-quantized query (hot path on device).
+  /// Predict from an already-quantized query (scalar-reference path).
   [[nodiscard]] int predict(const BinaryVector& query) const;
 
-  /// Fraction of `data` classified correctly.
+  /// Hamming-argmin label per packed query row: one blocked XOR+popcount
+  /// kernel over the class block instead of a per-query loop. Ties resolve
+  /// to the lowest class index (matching scalar predict).
+  /// Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::vector<int> predict_batch(BitView queries) const;
+
+  /// Quantize a float query block (ops::sign_pack_matrix) and predict it.
+  [[nodiscard]] std::vector<int> predict_batch(HvView queries) const;
+
+  /// Accuracy of pre-packed queries against aligned labels — the hot
+  /// evaluate path on device, where the query block is quantized once and
+  /// scored many times. Throws std::invalid_argument on arity mismatch.
+  [[nodiscard]] double evaluate(BitView queries,
+                                std::span<const int> labels) const;
+
+  /// Fraction of `data` classified correctly (quantize + batched predict).
   [[nodiscard]] double accuracy(const HvDataset& data) const;
 
  private:
   std::size_t dim_ = 0;
-  std::vector<BinaryVector> classes_;
+  BitMatrix classes_;
 };
 
 }  // namespace smore

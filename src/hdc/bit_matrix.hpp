@@ -1,0 +1,113 @@
+#pragma once
+// BitView / BitMatrix: contiguous row-major blocks of bit-packed
+// hypervectors — the packed-binary analogue of HvView / HvMatrix
+// (DESIGN.md §8).
+//
+// Each row is one sign-quantized hypervector: bit j = (v[j] >= 0), stored
+// 64 bits per machine word, (dim + 63) / 64 words per row. A d = 8192 model
+// shrinks 32× versus float rows, and a similarity query reduces to
+// XOR + popcount over d/64 words (see ops_binary.hpp for the kernels).
+//
+// Invariant: the padding bits of every row — bits [dim, words_per_row·64) —
+// are zero. All writers below and ops::sign_pack_* maintain it; the Hamming
+// kernels rely on it so whole-word XOR+popcount equals the distance over the
+// logical dim bits.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smore {
+
+/// Non-owning view over a row-major [rows × words_per_row] block of packed
+/// bit rows. The pointed-to storage must outlive the view; layout consistency
+/// is a precondition maintained by the owning containers.
+struct BitView {
+  const std::uint64_t* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t dim = 0;            ///< logical bits per row
+  std::size_t words_per_row = 0;  ///< physical 64-bit words per row
+
+  BitView() = default;
+  BitView(const std::uint64_t* data_, std::size_t rows_, std::size_t dim_,
+          std::size_t words_per_row_) noexcept
+      : data(data_), rows(rows_), dim(dim_), words_per_row(words_per_row_) {}
+
+  [[nodiscard]] bool empty() const noexcept { return rows == 0; }
+
+  [[nodiscard]] const std::uint64_t* row(std::size_t i) const noexcept {
+    return data + i * words_per_row;
+  }
+
+  /// Rows [first, first + count) as a sub-view (used for tiling).
+  [[nodiscard]] BitView slice(std::size_t first,
+                              std::size_t count) const noexcept {
+    return {data + first * words_per_row, count, dim, words_per_row};
+  }
+};
+
+/// Owning contiguous row-major block of bit-packed hypervectors.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Zero-initialized block of `rows` packed rows of `dim` bits each.
+  BitMatrix(std::size_t rows, std::size_t dim)
+      : rows_(rows), dim_(dim), words_(words_for(dim)),
+        data_(rows * words_for(dim), 0) {}
+
+  /// Packed words needed for one row of `dim` bits.
+  [[nodiscard]] static constexpr std::size_t words_for(
+      std::size_t dim) noexcept {
+    return (dim + 63) / 64;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return words_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  /// Packed storage footprint in bytes — the number every "how small is the
+  /// quantized model/query block" report derives from.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Re-shape to a zero-filled [rows × dim-bit] block (the sign_pack output
+  /// contract: packers overwrite whole words of freshly zeroed rows).
+  void resize(std::size_t rows, std::size_t dim) {
+    rows_ = rows;
+    dim_ = dim;
+    words_ = words_for(dim);
+    data_.assign(rows * words_, 0);
+  }
+
+  [[nodiscard]] std::uint64_t* data() noexcept { return data_.data(); }
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return data_.data();
+  }
+
+  [[nodiscard]] std::uint64_t* row(std::size_t i) noexcept {
+    return data_.data() + i * words_;
+  }
+  [[nodiscard]] const std::uint64_t* row(std::size_t i) const noexcept {
+    return data_.data() + i * words_;
+  }
+
+  /// Bit j of row i as 0/1.
+  [[nodiscard]] int bit(std::size_t i, std::size_t j) const noexcept {
+    return static_cast<int>((row(i)[j >> 6] >> (j & 63)) & 1u);
+  }
+
+  [[nodiscard]] BitView view() const noexcept {
+    return {data_.data(), rows_, dim_, words_};
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace smore
