@@ -12,6 +12,9 @@
 //   ./build/examples/edge_deployment --dim=2048 --scale=0.02
 
 #include <cstdio>
+#include <deque>
+#include <future>
+#include <vector>
 
 #include "core/binary_smore.hpp"
 #include "core/smore.hpp"
@@ -22,6 +25,7 @@
 #include "eval/timer.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/ops_binary.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -115,6 +119,47 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(agree) /
                   static_cast<double>(predicted.size()),
               agree, predicted.size());
+
+  // --- serving-runtime tail latency on this host ---
+  // A gateway doesn't run one batch: it serves a request stream. Drive the
+  // same probe through the micro-batching server (src/serve/) for both
+  // backends and report the submit→fulfill percentiles a deployment would
+  // put in its SLO (util/latency.hpp histogram, not min/mean).
+  print_banner("Serving runtime on this host (micro-batched, percentiles)");
+  for (const bool use_packed : {false, true}) {
+    ServerConfig scfg;
+    scfg.max_batch = 32;
+    scfg.max_delay_us = 200;
+    scfg.backend = use_packed ? ServeBackend::kPacked : ServeBackend::kFloat;
+    InferenceServer server(
+        ModelSnapshot::make(model.clone(), use_packed, 1), &encoder, scfg);
+    WallTimer serve_timer;
+    std::deque<std::future<ServeResult>> inflight;
+    for (std::size_t i = 0; i < probe; ++i) {
+      const auto row = probe_hv.row(i);
+      inflight.push_back(server.submit({row.begin(), row.end()}));
+      if (inflight.size() >= 32) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    }
+    while (!inflight.empty()) {
+      inflight.front().get();
+      inflight.pop_front();
+    }
+    const double serve_s = serve_timer.seconds();
+    server.shutdown();
+    const ServerStats stats = server.stats();
+    std::printf("%-6s backend: %6.0f req/s   p50 %7.3f ms  p95 %7.3f ms  "
+                "p99 %7.3f ms   (%llu batches, mean fill %.1f)\n",
+                use_packed ? "packed" : "float",
+                static_cast<double>(stats.completed) / serve_s,
+                1e3 * stats.latency.p50_seconds,
+                1e3 * stats.latency.p95_seconds,
+                1e3 * stats.latency.p99_seconds,
+                static_cast<unsigned long long>(stats.batches),
+                stats.mean_batch_fill);
+  }
 
   // --- projection onto the paper's edge platforms (simulated) ---
   print_banner("Projected edge latency & energy (SIMULATED device model)");

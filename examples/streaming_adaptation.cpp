@@ -1,19 +1,25 @@
-// Streaming adaptation: SMORE as it would run on an IoT gateway.
+// Streaming adaptation: SMORE as it would run on an IoT gateway — now
+// through the serving runtime (src/serve/, DESIGN.md §9).
 //
-// A deployed model trained on K source subjects watches a live stream of
-// windows. Mid-stream, the subject wearing the sensors changes to someone
-// the model has never seen (the Fig. 1a scenario). The example shows:
-//   * per-window OOD verdicts flipping when the unseen subject appears;
-//   * the test-time ensemble weights shifting (Sec 3.6);
-//   * accuracy staying up thanks to adaptive test-time modeling, and the
-//     descriptor bank being extended online (absorb) once the new subject is
-//     "enrolled", turning them into an in-distribution domain.
+// A deployed model trained on K source subjects serves a live stream of
+// windows submitted by concurrent clients. Mid-stream, the subject wearing
+// the sensors changes to someone the model has never seen (the Fig. 1a
+// scenario). The example shows:
+//   * per-request OOD verdicts flipping when the unseen subject appears;
+//   * the online-adaptation worker enrolling the new subject CONCURRENTLY
+//     with live traffic: OOD windows drain into its side buffer, it clones
+//     the live model, absorbs them as a new domain (Sec 3.6 "Model Update"),
+//     and publishes a new snapshot — no request is ever blocked by it;
+//   * the OOD rate dropping once the published generation knows the new
+//     domain, without the serving path ever taking a lock.
 //
-//   ./build/examples/streaming_adaptation
+//   ./build/example_streaming_adaptation
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <span>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "core/smore.hpp"
@@ -21,6 +27,7 @@
 #include "data/synthetic.hpp"
 #include "data/windowing.hpp"
 #include "hdc/encoder.hpp"
+#include "serve/server.hpp"
 
 int main() {
   using namespace smore;
@@ -56,6 +63,18 @@ int main() {
               "calibrated delta* = %.3f (5%% FP budget)\n",
               model.num_domains(), all.num_classes(), delta);
 
+  // Boot the serving runtime on snapshot v1 with online adaptation enabled:
+  // once 64 OOD windows accumulate, the adaptation worker enrolls them as a
+  // new domain and publishes the next generation.
+  ServerConfig cfg;
+  cfg.max_batch = 32;
+  cfg.max_delay_us = 200;
+  cfg.adaptation = true;
+  cfg.adapt_min_batch = 64;
+  cfg.adapt_poll_ms = 1;
+  InferenceServer server(ModelSnapshot::make(model.clone(), false, 1),
+                         &encoder, cfg);
+
   // Phase 1: stream windows from a known subject (domain 1).
   const auto known = encoded.select(encoded.indices_of_domain(1));
   // Phase 2: an unseen subject from the same population (the held-out
@@ -74,49 +93,70 @@ int main() {
   }
   const HvDataset outsider = encoder.encode_dataset(outsider_windows);
 
-  // Each phase is one adaptation batch through the batched engine: evaluate()
-  // computes accuracy and OOD rate in a single matrix-kernel pass (per-window
-  // predict_detail loops are for introspection, not serving).
+  // Each phase streams `n` single-window requests through the server (the
+  // per-request futures carry label + OOD verdict + snapshot version).
   auto run_phase = [&](const char* label, const HvDataset& phase,
-                       std::size_t n) {
-    std::vector<std::size_t> head(std::min(n, phase.size()));
-    for (std::size_t i = 0; i < head.size(); ++i) head[i] = i;
-    const SmoreEvaluation ev = model.evaluate(phase.select(head));
-    std::printf("%-34s accuracy %5.1f%%  OOD flagged %5.1f%%\n", label,
-                100.0 * ev.accuracy, 100.0 * ev.ood_rate);
+                       std::size_t first, std::size_t n) {
+    const std::size_t end = std::min(first + n, phase.size());
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(end - first);
+    for (std::size_t i = first; i < end; ++i) {
+      const auto row = phase.row(i);
+      futures.push_back(server.submit({row.begin(), row.end()}));
+    }
+    std::size_t correct = 0;
+    std::size_t flagged = 0;
+    std::uint64_t version = 0;
+    for (std::size_t i = first; i < end; ++i) {
+      const ServeResult r = futures[i - first].get();
+      correct += r.label == phase.label(i) ? 1 : 0;
+      flagged += r.is_ood ? 1 : 0;
+      version = std::max(version, r.snapshot_version);
+    }
+    const auto total = static_cast<double>(end - first);
+    std::printf("%-34s accuracy %5.1f%%  OOD flagged %5.1f%%  (snapshot v%llu)\n",
+                label, 100.0 * static_cast<double>(correct) / total,
+                100.0 * static_cast<double>(flagged) / total,
+                static_cast<unsigned long long>(version));
   };
 
   const std::size_t probe = 120;
-  std::printf("\n--- live stream ---\n");
-  run_phase("known subject (domain 1):", known, probe);
-  run_phase("unseen subject, same population:", unseen_similar, probe);
-  run_phase("OUT-OF-POPULATION subject:", outsider, probe);
+  std::printf("\n--- live stream (micro-batched serving) ---\n");
+  run_phase("known subject (domain 1):", known, 0, probe);
+  run_phase("unseen subject, same population:", unseen_similar, 0, probe);
+  run_phase("OUT-OF-POPULATION subject:", outsider, 0, probe);
 
-  // Enrollment: absorb the outsider's windows into a fresh descriptor so the
-  // detector learns the new domain online (labels are never needed). The
-  // enrollment batch is bundled in one absorb_batch pass, and the follow-up
-  // windows are scored through the batched similarity engine.
-  DomainDescriptorBank extended = model.descriptors();
-  const std::size_t enroll = std::min<std::size_t>(probe, outsider.size());
-  extended.absorb_batch(outsider.view().slice(0, enroll), /*domain_id=*/99);
-  std::size_t still_ood = 0;
-  std::size_t scored = 0;
-  const OodDetector detector(model.config().delta_star);
-  const std::size_t score_end = std::min<std::size_t>(2 * probe, outsider.size());
-  if (score_end > enroll) {
-    const HvView rest = outsider.view().slice(enroll, score_end - enroll);
-    const std::vector<double> sims = extended.similarities_batch(rest);
-    const std::size_t k = extended.size();
-    for (std::size_t i = 0; i < rest.rows; ++i) {
-      const std::span<const double> row(sims.data() + i * k, k);
-      still_ood += detector.evaluate(row).is_ood ? 1 : 0;
-      ++scored;
-    }
+  // The adaptation worker saw >= adapt_min_batch OOD windows during phase 3
+  // and is enrolling them in the background while the server keeps serving.
+  // Wait (bounded) for the next generation to be published.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().adaptation_rounds == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  std::printf("after enrolling %zu unlabeled outsider windows: OOD flagged "
-              "%5.1f%% (new domain recognized)\n",
-              probe,
-              100.0 * static_cast<double>(still_ood) /
-                  static_cast<double>(scored));
+  const ServerStats mid = server.stats();
+  std::printf("\nadaptation worker: %llu round(s), %llu OOD windows enrolled "
+              "as domain(s) beyond the source %zu -> serving snapshot v%llu "
+              "(%zu domains)\n",
+              static_cast<unsigned long long>(mid.adaptation_rounds),
+              static_cast<unsigned long long>(mid.adaptation_absorbed),
+              model.num_domains(),
+              static_cast<unsigned long long>(mid.snapshot_version),
+              server.snapshot()->model->num_domains());
+
+  // Stream MORE windows from the same outsider: the published generation
+  // now recognizes the enrolled domain, so the OOD rate collapses (and the
+  // stream keeps flowing during the whole swap — zero requests dropped).
+  run_phase("outsider after enrollment:", outsider, probe, probe);
+
+  const ServerStats stats = server.stats();
+  std::printf("\nserver: %llu requests in %llu batches (mean fill %.1f), "
+              "p50 %.2f ms, p99 %.2f ms, %llu rejected\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch_fill, 1e3 * stats.latency.p50_seconds,
+              1e3 * stats.latency.p99_seconds,
+              static_cast<unsigned long long>(stats.rejected));
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/binary_smore.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "hdc/ops_binary.hpp"
@@ -71,7 +73,21 @@ std::vector<int> BinarySmoreModel::predict_batch(HvView queries) const {
 }
 
 std::vector<int> BinarySmoreModel::predict_batch(BitView queries) const {
-  return predict_batch_impl(queries, nullptr);
+  return predict_batch_impl(queries, nullptr, nullptr);
+}
+
+SmoreBatchResult BinarySmoreModel::predict_batch_full(BitView queries) const {
+  SmoreBatchResult out;
+  out.labels = predict_batch_impl(queries, nullptr, &out);
+  return out;
+}
+
+SmoreBatchResult BinarySmoreModel::predict_batch_full(HvView queries) const {
+  if (queries.rows != 0 && queries.dim != dim_) {
+    throw std::invalid_argument(
+        "BinarySmoreModel::predict_batch_full: dim mismatch");
+  }
+  return predict_batch_full(ops::sign_pack_matrix(queries).view());
 }
 
 std::vector<double> BinarySmoreModel::similarities_batch(
@@ -88,14 +104,16 @@ std::vector<double> BinarySmoreModel::similarities_batch(
 }
 
 std::vector<int> BinarySmoreModel::predict_batch_impl(
-    BitView queries, std::vector<std::uint8_t>* ood_flags) const {
+    BitView queries, std::vector<std::uint8_t>* ood_flags,
+    SmoreBatchResult* full) const {
+  const std::size_t k = num_domains();
+  if (full != nullptr) full->num_domains = k;
   if (queries.rows == 0) return {};
   if (queries.dim != dim_ ||
       queries.words_per_row != descriptors_.words_per_row()) {
     throw std::invalid_argument(
         "BinarySmoreModel::predict_batch: dim mismatch");
   }
-  const std::size_t k = num_domains();
   const auto classes = static_cast<std::size_t>(num_classes_);
 
   // E: one packed kernel for every δ_H(Q_i, U_k) (Algorithm 1 lines 1-2).
@@ -105,6 +123,11 @@ std::vector<int> BinarySmoreModel::predict_batch_impl(
   ops::binary_similarity_matrix(queries, class_bank_.view(),
                                 class_sims.data());
   if (ood_flags != nullptr) ood_flags->assign(queries.rows, 0);
+  if (full != nullptr) {
+    full->ood.assign(queries.rows, 0);
+    full->max_similarity.assign(queries.rows, 0.0);
+    full->weights.assign(queries.rows * k, 0.0);
+  }
 
   std::vector<int> labels(queries.rows);
   for (std::size_t q = 0; q < queries.rows; ++q) {
@@ -114,6 +137,11 @@ std::vector<int> BinarySmoreModel::predict_batch_impl(
     if (ood_flags != nullptr && verdict.is_ood) (*ood_flags)[q] = 1;
     const std::vector<double> w = ensemble_weights(
         row, detector_.delta_star(), verdict.is_ood, weight_mode_);
+    if (full != nullptr) {
+      if (verdict.is_ood) full->ood[q] = 1;
+      full->max_similarity[q] = verdict.max_similarity;
+      std::copy(w.begin(), w.end(), full->weights.begin() + q * k);
+    }
 
     // G: similarity-ensembled argmax, skipping zero-weight domains.
     const double* qsims = class_sims.data() + q * k * classes;
@@ -135,6 +163,107 @@ std::vector<int> BinarySmoreModel::predict_batch_impl(
   return labels;
 }
 
+namespace {
+constexpr std::uint32_t kBinarySmoreMagic = 0x42534d52;  // "BSMR"
+constexpr std::uint32_t kBinarySmoreVersion = 1;
+
+void write_bits(std::ostream& out, const BitMatrix& m) {
+  const std::uint64_t rows = m.rows();
+  const std::uint64_t dim = m.dim();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.bytes()));
+}
+
+BitMatrix read_bits(std::istream& in, std::uint64_t expected_dim,
+                    std::uint64_t expected_rows) {
+  std::uint64_t rows = 0;
+  std::uint64_t dim = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in) throw std::runtime_error("BinarySmoreModel::load: truncated block");
+  // Validate before allocating: a truncated stream must throw, not OOM.
+  if (dim != expected_dim || rows != expected_rows) {
+    throw std::runtime_error("BinarySmoreModel::load: inconsistent blocks");
+  }
+  BitMatrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(dim));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.bytes()));
+  if (!in) throw std::runtime_error("BinarySmoreModel::load: truncated words");
+  return m;
+}
+}  // namespace
+
+void BinarySmoreModel::save(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&kBinarySmoreMagic),
+            sizeof(kBinarySmoreMagic));
+  out.write(reinterpret_cast<const char*>(&kBinarySmoreVersion),
+            sizeof(kBinarySmoreVersion));
+  const std::int32_t classes = num_classes_;
+  const std::uint64_t dim = dim_;
+  const double delta = detector_.delta_star();
+  const std::int32_t mode = static_cast<std::int32_t>(weight_mode_);
+  const std::uint64_t domains = num_domains();
+  out.write(reinterpret_cast<const char*>(&classes), sizeof(classes));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&delta), sizeof(delta));
+  out.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
+  out.write(reinterpret_cast<const char*>(&domains), sizeof(domains));
+  write_bits(out, descriptors_);
+  write_bits(out, class_bank_);
+}
+
+BinarySmoreModel BinarySmoreModel::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != kBinarySmoreMagic || version != kBinarySmoreVersion) {
+    throw std::runtime_error("BinarySmoreModel::load: bad magic/version");
+  }
+  std::int32_t classes = 0;
+  std::uint64_t dim = 0;
+  double delta = 0.0;
+  std::int32_t mode = 0;
+  std::uint64_t domains = 0;
+  in.read(reinterpret_cast<char*>(&classes), sizeof(classes));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&delta), sizeof(delta));
+  in.read(reinterpret_cast<char*>(&mode), sizeof(mode));
+  in.read(reinterpret_cast<char*>(&domains), sizeof(domains));
+  // Reject absurd header values before any allocation is sized from them:
+  // a corrupt (not merely truncated) stream must throw, not OOM. The caps
+  // are far above anything the library produces (d ≤ 2^24, K ≤ 2^20).
+  constexpr std::uint64_t kMaxDim = 1u << 24;
+  constexpr std::uint64_t kMaxDomains = 1u << 20;
+  constexpr std::int32_t kMaxClasses = 1 << 20;
+  if (!in || classes <= 0 || classes > kMaxClasses || dim == 0 ||
+      dim > kMaxDim || domains > kMaxDomains || delta < -1.0 || delta > 1.0 ||
+      mode < 0 || mode > static_cast<std::int32_t>(WeightMode::kTopOne)) {
+    throw std::runtime_error("BinarySmoreModel::load: corrupt header");
+  }
+  // Per-field caps alone still admit a huge product (2^20 domains of 2^24
+  // bits ≈ 2 TB); bound the total packed payload the header implies. 1 GiB
+  // is orders of magnitude above any model this library produces.
+  constexpr std::uint64_t kMaxTotalBytes = 1ull << 30;
+  const std::uint64_t words = BitMatrix::words_for(dim);
+  const std::uint64_t total_rows =
+      domains * (1 + static_cast<std::uint64_t>(classes));
+  if (total_rows * words * sizeof(std::uint64_t) > kMaxTotalBytes) {
+    throw std::runtime_error("BinarySmoreModel::load: corrupt header");
+  }
+  BinarySmoreModel model;
+  model.num_classes_ = classes;
+  model.dim_ = static_cast<std::size_t>(dim);
+  model.weight_mode_ = static_cast<WeightMode>(mode);
+  model.detector_.set_delta_star(delta);
+  model.descriptors_ = read_bits(in, dim, domains);
+  model.class_bank_ =
+      read_bits(in, dim, domains * static_cast<std::uint64_t>(classes));
+  return model;
+}
+
 SmoreEvaluation BinarySmoreModel::evaluate(const HvDataset& data) const {
   if (data.empty()) return {};
   if (data.dim() != dim_) {
@@ -152,7 +281,8 @@ SmoreEvaluation BinarySmoreModel::evaluate(
         "BinarySmoreModel::evaluate: label arity mismatch");
   }
   std::vector<std::uint8_t> flags;
-  const std::vector<int> predicted = predict_batch_impl(queries, &flags);
+  const std::vector<int> predicted =
+      predict_batch_impl(queries, &flags, nullptr);
   std::size_t correct = 0;
   std::size_t flagged = 0;
   for (std::size_t i = 0; i < queries.rows; ++i) {

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -90,6 +91,15 @@ class BinarySmoreModel {
   /// as one blocked XOR+popcount pass.
   [[nodiscard]] std::vector<int> predict_batch(BitView queries) const;
 
+  /// predict_batch plus every per-query intermediate (OOD verdict, δ_max on
+  /// the Hamming scale, ensemble weights) — the packed counterpart of
+  /// SmoreModel::predict_batch_full, sharing its result type so the serving
+  /// layer treats both backends uniformly.
+  [[nodiscard]] SmoreBatchResult predict_batch_full(BitView queries) const;
+
+  /// Float-query convenience: sign-pack the block, then predict_batch_full.
+  [[nodiscard]] SmoreBatchResult predict_batch_full(HvView queries) const;
+
   /// Row-major [queries.rows × K] descriptor Hamming-similarity matrix
   /// δ_H(Q_i, U_k) — the packed input of OOD detection and weighting.
   [[nodiscard]] std::vector<double> similarities_batch(BitView queries) const;
@@ -103,9 +113,20 @@ class BinarySmoreModel {
   [[nodiscard]] SmoreEvaluation evaluate(BitView queries,
                                          std::span<const int> labels) const;
 
+  /// Serialize the packed model (classes, dim, δ*, weight mode, domain
+  /// count, descriptor words, class-bank words); load() reconstructs a
+  /// ready-to-serve model
+  /// without its float parent — what lets a server boot a packed snapshot
+  /// straight from disk. Throws std::runtime_error on corrupt input.
+  void save(std::ostream& out) const;
+  static BinarySmoreModel load(std::istream& in);
+
  private:
+  BinarySmoreModel() = default;  // load() builds the state field by field
+
   [[nodiscard]] std::vector<int> predict_batch_impl(
-      BitView queries, std::vector<std::uint8_t>* ood_flags) const;
+      BitView queries, std::vector<std::uint8_t>* ood_flags,
+      SmoreBatchResult* full) const;
 
   int num_classes_ = 0;
   std::size_t dim_ = 0;

@@ -80,6 +80,11 @@ class DomainDescriptorBank {
   void save(std::ostream& out) const;
   static DomainDescriptorBank load(std::istream& in);
 
+  /// Rebuild the lazy batch cache now if it is stale. After this, const
+  /// similarity queries are safe from any number of threads until the next
+  /// absorb — the serving snapshot contract (DESIGN.md §9).
+  void warm_cache() const { (void)packed(); }
+
  private:
   /// Packed [K × dim] descriptor block plus squared norms for the batch
   /// kernel; rebuilt lazily after absorb().

@@ -127,18 +127,24 @@ std::vector<double> SmoreModel::similarities_batch(HvView queries) const {
 }
 
 std::vector<int> SmoreModel::predict_batch_impl(
-    HvView queries, std::vector<std::uint8_t>* ood_flags) const {
+    HvView queries, std::vector<std::uint8_t>* ood_flags,
+    SmoreBatchResult* full) const {
   if (!trained()) {
     throw std::logic_error("SmoreModel::predict before fit");
   }
+  const std::size_t k = descriptors_.size();
+  if (full != nullptr) full->num_domains = k;
   if (queries.rows == 0) return {};
   if (queries.dim != dim_) {
     throw std::invalid_argument("SmoreModel::predict_batch: dim mismatch");
   }
   // E: one matrix kernel for every δ(Q_i, U_k) (Algorithm 1 lines 1-2).
   const std::vector<double> sims = descriptors_.similarities_batch(queries);
-  const std::size_t k = descriptors_.size();
   if (ood_flags != nullptr) ood_flags->assign(queries.rows, 0);
+  if (full != nullptr) {
+    full->ood.assign(queries.rows, 0);
+    full->max_similarity.assign(queries.rows, 0.0);
+  }
 
   // F: per-query verdicts and ensemble weights (lines 3-6) — O(K) each.
   std::vector<double> weights(queries.rows * k);
@@ -146,6 +152,10 @@ std::vector<int> SmoreModel::predict_batch_impl(
     const std::span<const double> row(sims.data() + q * k, k);
     const OodVerdict verdict = detector_.evaluate(row);
     if (ood_flags != nullptr && verdict.is_ood) (*ood_flags)[q] = 1;
+    if (full != nullptr) {
+      if (verdict.is_ood) full->ood[q] = 1;
+      full->max_similarity[q] = verdict.max_similarity;
+    }
     const std::vector<double> w = ensemble_weights(
         row, detector_.delta_star(), verdict.is_ood, config_.weight_mode);
     std::copy(w.begin(), w.end(), weights.begin() + q * k);
@@ -153,18 +163,27 @@ std::vector<int> SmoreModel::predict_batch_impl(
 
   // G: batched ensembled argmax (line 7).
   if (evaluator_stale_) rebuild_evaluator();
-  return evaluator_->predict_batch(queries, weights);
+  std::vector<int> labels = evaluator_->predict_batch(queries, weights);
+  if (full != nullptr) full->weights = std::move(weights);
+  return labels;
 }
 
 std::vector<int> SmoreModel::predict_batch(HvView queries) const {
-  return predict_batch_impl(queries, nullptr);
+  return predict_batch_impl(queries, nullptr, nullptr);
+}
+
+SmoreBatchResult SmoreModel::predict_batch_full(HvView queries) const {
+  SmoreBatchResult out;
+  out.labels = predict_batch_impl(queries, nullptr, &out);
+  return out;
 }
 
 SmoreEvaluation SmoreModel::evaluate(const HvDataset& data) const {
   SmoreEvaluation out;
   if (data.empty()) return out;
   std::vector<std::uint8_t> flags;
-  const std::vector<int> labels = predict_batch_impl(data.view(), &flags);
+  const std::vector<int> labels =
+      predict_batch_impl(data.view(), &flags, nullptr);
   std::size_t correct = 0;
   std::size_t flagged = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -293,6 +312,31 @@ SmoreModel SmoreModel::load(std::istream& in) {
     model.evaluator_ = std::make_unique<EnsembleEvaluator>(std::move(ptrs));
   }
   return model;
+}
+
+SmoreModel SmoreModel::clone() const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::clone before fit");
+  }
+  // config_ carries the current δ* (set_delta_star keeps it in sync), so the
+  // constructor rebuilds an identical detector.
+  SmoreModel out(num_classes_, dim_, config_);
+  out.descriptors_ = descriptors_;
+  out.models_.reserve(models_.size());
+  for (const auto& m : models_) {
+    out.models_.push_back(std::make_unique<OnlineHDClassifier>(*m));
+  }
+  out.rebuild_evaluator();
+  return out;
+}
+
+void SmoreModel::prepare_serving() const {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::prepare_serving before fit");
+  }
+  if (evaluator_stale_) rebuild_evaluator();
+  descriptors_.warm_cache();
+  for (const auto& m : models_) m->warm_cache();
 }
 
 TestTimeModel SmoreModel::materialize_test_time_model(

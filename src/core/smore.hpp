@@ -57,6 +57,17 @@ struct SmoreEvaluation {
   double ood_rate = 0.0;
 };
 
+/// Full per-query output of one batched Algorithm 1 pass — the serving
+/// layer's result currency (every field a ServeResult carries comes from
+/// here, for the float and the packed backend alike).
+struct SmoreBatchResult {
+  std::vector<int> labels;             ///< [n] predicted class per query
+  std::vector<std::uint8_t> ood;       ///< [n] 1 = flagged OOD (step E)
+  std::vector<double> max_similarity;  ///< [n] δ_max per query
+  std::vector<double> weights;         ///< [n × K] ensemble weights (step F)
+  std::size_t num_domains = 0;         ///< K (row stride of `weights`)
+};
+
 /// The SMORE classifier.
 class SmoreModel {
  public:
@@ -86,6 +97,11 @@ class SmoreModel {
   /// verdicts, and the ensembled argmax each run as one batched matrix-kernel
   /// pass instead of per-query loops.
   [[nodiscard]] std::vector<int> predict_batch(HvView queries) const;
+
+  /// predict_batch plus every per-query intermediate Algorithm 1 exposes
+  /// (OOD verdict, δ_max, ensemble weights) from the same single pass — what
+  /// the serving layer fulfills responses from.
+  [[nodiscard]] SmoreBatchResult predict_batch_full(HvView queries) const;
 
   /// Row-major [queries.rows × K] descriptor-similarity matrix δ(Q_i, U_k)
   /// (the input of OOD detection and ensemble weighting).
@@ -161,14 +177,30 @@ class SmoreModel {
   void save(std::ostream& out) const;
   static SmoreModel load(std::istream& in);
 
+  /// Deep copy (SmoreModel is move-only; copying is deliberate and
+  /// explicit). The adaptation worker clones the live snapshot, mutates the
+  /// private copy, and publishes it — readers never observe a half-updated
+  /// model. Throws std::logic_error when untrained.
+  [[nodiscard]] SmoreModel clone() const;
+
+  /// Refresh every lazily rebuilt acceleration structure (ensemble
+  /// evaluator, descriptor and class-vector batch caches) so that ALL const
+  /// prediction methods are data-race-free from any number of threads.
+  /// Publishing a model as an immutable serving snapshot requires calling
+  /// this first (ModelSnapshot::make does); after any later mutation the
+  /// model must be re-prepared before being shared again (DESIGN.md §9).
+  /// Throws std::logic_error when untrained.
+  void prepare_serving() const;
+
  private:
   [[nodiscard]] std::vector<double> weights_for(
       std::span<const float> hv, const OodVerdict& verdict,
       std::span<const double> sims) const;
-  /// Batched Algorithm 1 core; fills `ood_flags` (one per query) when
-  /// non-null.
+  /// Batched Algorithm 1 core; fills `ood_flags` (one per query) and/or the
+  /// non-label fields of `full` when non-null.
   [[nodiscard]] std::vector<int> predict_batch_impl(
-      HvView queries, std::vector<std::uint8_t>* ood_flags) const;
+      HvView queries, std::vector<std::uint8_t>* ood_flags,
+      SmoreBatchResult* full) const;
   void rebuild_evaluator() const;
 
   int num_classes_;

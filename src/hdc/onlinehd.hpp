@@ -100,6 +100,11 @@ class OnlineHDClassifier {
   void save(std::ostream& out) const;
   static OnlineHDClassifier load(std::istream& in);
 
+  /// Rebuild the lazy batch cache now if it is stale. After this, const
+  /// prediction methods are safe from any number of threads until the next
+  /// update — the serving snapshot contract (DESIGN.md §9).
+  void warm_cache() const { (void)packed(); }
+
  private:
   [[nodiscard]] double cosine_to_class(std::span<const float> hv, double hv_norm,
                                        int c) const;

@@ -1,0 +1,367 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "data/dataset.hpp"
+
+namespace smore {
+
+namespace {
+/// Seconds between two steady_clock points.
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
+                                 const Encoder* encoder, ServerConfig config)
+    : config_(config),
+      encoder_(encoder),
+      queue_(std::max<std::size_t>(1, config.queue_capacity)) {
+  if (boot == nullptr || boot->model == nullptr) {
+    throw std::invalid_argument("InferenceServer: null boot snapshot");
+  }
+  if (config_.backend == ServeBackend::kPacked && boot->packed == nullptr) {
+    throw std::invalid_argument(
+        "InferenceServer: packed backend needs a quantized snapshot "
+        "(ModelSnapshot::make with quantize=true)");
+  }
+  if (encoder_ != nullptr && encoder_->dim() != boot->model->dim()) {
+    throw std::invalid_argument(
+        "InferenceServer: encoder/model dimension mismatch");
+  }
+  dim_ = boot->model->dim();
+  registry_.publish(std::move(boot));
+
+  config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  worker_latency_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    worker_latency_.push_back(std::make_unique<WorkerLatency>());
+  }
+  workers_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  if (config_.adaptation) {
+    adaptation_thread_ = std::thread([this] { adaptation_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::optional<std::future<ServeResult>> InferenceServer::enqueue(
+    Request req, bool blocking) {
+  req.submit_time = std::chrono::steady_clock::now();
+  std::future<ServeResult> fut = req.promise.get_future();
+  const bool accepted = !shut_down_.load(std::memory_order_acquire) &&
+                        (blocking ? queue_.push(std::move(req))
+                                  : queue_.try_push(std::move(req)));
+  if (!accepted) {
+    if (blocking) {
+      throw std::runtime_error("InferenceServer::submit after shutdown");
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+std::future<ServeResult> InferenceServer::submit(std::vector<float> hv) {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument("InferenceServer::submit: dimension mismatch");
+  }
+  Request req;
+  req.hv = std::move(hv);
+  return *enqueue(std::move(req), /*blocking=*/true);
+}
+
+std::future<ServeResult> InferenceServer::submit(Window window) {
+  if (encoder_ == nullptr) {
+    throw std::logic_error(
+        "InferenceServer::submit(Window): server built without an encoder");
+  }
+  Request req;
+  req.window = std::move(window);
+  return *enqueue(std::move(req), /*blocking=*/true);
+}
+
+std::optional<std::future<ServeResult>> InferenceServer::try_submit(
+    std::vector<float> hv) {
+  if (hv.size() != dim_) {
+    throw std::invalid_argument(
+        "InferenceServer::try_submit: dimension mismatch");
+  }
+  Request req;
+  req.hv = std::move(hv);
+  return enqueue(std::move(req), /*blocking=*/false);
+}
+
+bool InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snap) {
+  if (snap == nullptr || snap->model == nullptr) {
+    throw std::invalid_argument("InferenceServer::publish: null snapshot");
+  }
+  if (snap->model->dim() != dim_) {
+    throw std::invalid_argument(
+        "InferenceServer::publish: dimension mismatch");
+  }
+  if (config_.backend == ServeBackend::kPacked && snap->packed == nullptr) {
+    throw std::invalid_argument(
+        "InferenceServer::publish: packed backend needs a quantized snapshot");
+  }
+  return registry_.publish(std::move(snap));
+}
+
+void InferenceServer::worker_loop(std::size_t worker_index) {
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+  const std::chrono::microseconds delay(config_.max_delay_us);
+  for (;;) {
+    batch.clear();
+    if (queue_.pop_batch(batch, config_.max_batch, delay) == 0) {
+      return;  // closed and drained: every in-flight request was handed out
+    }
+    process_batch(batch, worker_index);
+  }
+}
+
+void InferenceServer::process_batch(std::vector<Request>& batch,
+                                    std::size_t worker_index) {
+  const std::size_t n = batch.size();
+  const auto snap = registry_.current();
+
+  // Assemble the query block: pre-encoded rows are copied, raw windows are
+  // grouped by shape and each group encoded with a single encode_batch —
+  // the whole point of coalescing. Grouping (rather than one dataset for
+  // all) keeps requests independent: a window the encoder rejects fails
+  // only its own shape group, never a batch-mate.
+  HvMatrix queries(n, dim_);
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      window_groups;  // (channels, steps) -> batch rows
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch[i].window.has_value()) {
+      window_groups[{batch[i].window->channels(), batch[i].window->steps()}]
+          .push_back(i);
+    } else {
+      queries.set_row(i, batch[i].hv);
+    }
+  }
+  std::vector<std::uint8_t> failed;  // lazily sized: rare path
+  for (const auto& [shape, rows] : window_groups) {
+    try {
+      WindowDataset windows("serve", shape.first, shape.second);
+      for (const std::size_t i : rows) windows.add(*batch[i].window);
+      HvMatrix encoded;
+      // A single batching worker owns the whole machine and uses the pool;
+      // with several workers, each stays serial on the encode so concurrent
+      // batches don't convoy on the shared global pool (the predict kernels
+      // below parallelize internally either way).
+      encoder_->encode_batch(windows, encoded,
+                             /*parallel=*/config_.num_workers == 1);
+      for (std::size_t j = 0; j < rows.size(); ++j) {
+        queries.set_row(rows[j], encoded.row(j));
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      if (failed.empty()) failed.assign(n, 0);
+      for (const std::size_t i : rows) {
+        batch[i].promise.set_exception(error);
+        failed[i] = 1;
+      }
+    }
+  }
+  if (!failed.empty()) {
+    // Compact to the surviving requests; their rows are already encoded in
+    // `queries`, so compaction is a row copy.
+    std::vector<Request> kept;
+    kept.reserve(batch.size());
+    HvMatrix kept_queries(n - static_cast<std::size_t>(
+                                  std::count(failed.begin(), failed.end(), 1)),
+                          dim_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (failed[i]) continue;
+      kept_queries.set_row(kept.size(), queries.row(i));
+      kept.push_back(std::move(batch[i]));
+    }
+    if (kept.empty()) return;
+    batch = std::move(kept);
+    queries = std::move(kept_queries);
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_rows_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  SmoreBatchResult result;
+  try {
+    result = config_.backend == ServeBackend::kPacked
+                 ? snap->packed->predict_batch_full(queries.view())
+                 : snap->model->predict_batch_full(queries.view());
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (auto& req : batch) req.promise.set_exception(error);
+    return;
+  }
+
+  const std::size_t k = result.num_domains;
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t flagged = 0;
+  std::vector<OodSample> ood_samples;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ServeResult r;
+    r.label = result.labels[i];
+    r.is_ood = result.ood[i] != 0;
+    r.max_similarity = result.max_similarity[i];
+    r.weights.assign(result.weights.begin() + static_cast<std::ptrdiff_t>(i * k),
+                     result.weights.begin() +
+                         static_cast<std::ptrdiff_t>((i + 1) * k));
+    r.latency_seconds = seconds_between(batch[i].submit_time, now);
+    r.snapshot_version = snap->version;
+    if (r.is_ood) {
+      ++flagged;
+      if (config_.adaptation) {
+        OodSample sample;
+        const auto row = queries.row(i);
+        sample.hv.assign(row.begin(), row.end());
+        sample.pseudo_label = r.label;
+        ood_samples.push_back(std::move(sample));
+      }
+    }
+    batch[i].promise.set_value(std::move(r));
+  }
+  completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (flagged != 0) ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
+
+  {
+    auto& wl = *worker_latency_[worker_index];
+    const std::scoped_lock lock(wl.m);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      wl.histogram.record(seconds_between(batch[i].submit_time, now));
+    }
+  }
+
+  if (!ood_samples.empty()) {
+    std::size_t dropped = 0;
+    bool ready = false;
+    {
+      const std::scoped_lock lock(ood_mutex_);
+      for (auto& sample : ood_samples) {
+        if (ood_buffer_.size() >= config_.adapt_buffer_capacity) {
+          ++dropped;  // best-effort: overload sheds adaptation, not serving
+        } else {
+          ood_buffer_.push_back(std::move(sample));
+        }
+      }
+      ready = ood_buffer_.size() >= config_.adapt_min_batch;
+    }
+    if (dropped != 0) {
+      adaptation_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+    if (ready) ood_cv_.notify_one();
+  }
+}
+
+void InferenceServer::adaptation_loop() {
+  const std::chrono::milliseconds poll(std::max<std::uint32_t>(
+      1, config_.adapt_poll_ms));
+  for (;;) {
+    std::vector<OodSample> round;
+    {
+      std::unique_lock lock(ood_mutex_);
+      ood_cv_.wait_for(lock, poll, [this] {
+        return stopping_ || ood_buffer_.size() >= config_.adapt_min_batch;
+      });
+      if (stopping_) {
+        adaptation_dropped_.fetch_add(ood_buffer_.size(),
+                                      std::memory_order_relaxed);
+        ood_buffer_.clear();
+        return;
+      }
+      if (ood_buffer_.size() < config_.adapt_min_batch) continue;
+      round = std::move(ood_buffer_);
+      ood_buffer_.clear();
+    }
+
+    const auto snap = registry_.current();
+    if (snap->model->num_domains() >= config_.adapt_max_domains) {
+      // Enrollment cap reached: keep serving, shed the round (the policy is
+      // bounded model growth; operators raise adapt_max_domains or push a
+      // consolidated model).
+      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+      continue;
+    }
+
+    // Enroll the round as ONE new domain: clone the live generation, absorb
+    // every buffered window under its pseudo-label (descriptor bundling +
+    // OnlineHD bootstrap/refine — the paper's "Model Update" box), and
+    // publish. Readers never see the intermediate states.
+    SmoreModel next = snap->model->clone();
+    // The bank keeps ids sorted, but max_element keeps this correct even if
+    // that invariant ever changes — colliding with an existing id would
+    // silently merge the round into an unrelated domain.
+    const auto& ids = next.descriptors().domain_ids();
+    const int new_domain =
+        ids.empty() ? 0 : *std::max_element(ids.begin(), ids.end()) + 1;
+    for (const OodSample& sample : round) {
+      next.absorb_labeled(sample.hv, sample.pseudo_label, new_domain);
+    }
+    // An operator may have published a newer generation while this round
+    // was being built off `snap`; the CAS-guarded publish then refuses the
+    // stale derivative and the round is shed rather than reverting the
+    // operator's model.
+    if (publish(ModelSnapshot::make(std::move(next),
+                                    config_.backend == ServeBackend::kPacked,
+                                    snap->version + 1))) {
+      adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
+      adaptation_absorbed_.fetch_add(round.size(), std::memory_order_relaxed);
+    } else {
+      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    shut_down_.store(true, std::memory_order_release);
+    queue_.close();  // wakes workers; they drain and fulfill everything
+    for (auto& w : workers_) w.join();
+    {
+      const std::scoped_lock lock(ood_mutex_);
+      stopping_ = true;
+    }
+    ood_cv_.notify_all();
+    if (adaptation_thread_.joinable()) adaptation_thread_.join();
+  });
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  s.ood_flagged = ood_flagged_.load(std::memory_order_relaxed);
+  s.adaptation_rounds = adaptation_rounds_.load(std::memory_order_relaxed);
+  s.adaptation_absorbed =
+      adaptation_absorbed_.load(std::memory_order_relaxed);
+  s.adaptation_dropped = adaptation_dropped_.load(std::memory_order_relaxed);
+  s.snapshot_version = registry_.version();
+  s.mean_batch_fill =
+      s.batches != 0
+          ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)
+          : 0.0;
+  LatencyHistogram merged;
+  for (const auto& wl : worker_latency_) {
+    const std::scoped_lock lock(wl->m);
+    merged.merge(wl->histogram);
+  }
+  s.latency = LatencySummary::from(merged);
+  return s;
+}
+
+}  // namespace smore

@@ -1,0 +1,216 @@
+#pragma once
+// InferenceServer: the micro-batching serving runtime (DESIGN.md §9).
+//
+// PRs 1-3 made every layer batch-first, but a deployed system receives
+// *single* windows from many concurrent clients — nobody hands the server a
+// WindowDataset. This is the component in between:
+//
+//   producers ──submit()──▶ MpmcQueue ──pop_batch()──▶ worker threads
+//                (future)     (bounded,                  coalesce ≤ max_batch
+//                              backpressure)             or max_delay_us,
+//                                                        one batched predict,
+//                                                        fulfill futures
+//
+// Three actors, three mutation rates:
+//   * producers submit one encoded hypervector (or one raw Window, encoded
+//     inside the batch via Encoder::encode_batch) and get a
+//     std::future<ServeResult>;
+//   * batching workers drain the queue into micro-batches and run ONE
+//     Encoder::encode_batch + ONE predict_batch_full per batch against an
+//     immutable ModelSnapshot — the per-request costs (wakeups, kernel
+//     setup, allocations) amortize across the batch, which is where the
+//     ≥5× over per-request dispatch comes from (bench_serving);
+//   * the adaptation worker drains OOD-flagged windows into a side buffer
+//     and, once enough accumulate, clones the live model, enrolls them as a
+//     new domain (descriptor absorb + pseudo-labeled OnlineHD updates — the
+//     paper's Fig. 2 "Model Update" box, Sec 3.6), and publishes a new
+//     snapshot. Enrollment of an unseen domain is concurrent with live
+//     traffic: readers keep serving the old generation mid-publish.
+//
+// Backpressure: the queue is bounded. submit() blocks the producer when the
+// server is saturated (latency, not memory growth); try_submit() refuses
+// instead (load shedding). Shutdown is graceful: the queue closes, workers
+// drain every in-flight request, and every future is fulfilled.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/smore.hpp"
+#include "data/timeseries.hpp"
+#include "hdc/encoder_base.hpp"
+#include "serve/snapshot.hpp"
+#include "util/latency.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace smore {
+
+/// Which model of the snapshot answers queries.
+enum class ServeBackend {
+  kFloat,   ///< SmoreModel cosine ensembling
+  kPacked,  ///< BinarySmoreModel XOR+popcount Hamming ensembling
+};
+
+/// Serving runtime knobs. The two scheduler knobs trade latency for
+/// throughput: max_batch caps how much work one kernel pass fuses, and
+/// max_delay_us caps how long the first request of a batch waits for
+/// stragglers when traffic is sparse.
+struct ServerConfig {
+  std::size_t max_batch = 64;        ///< coalesce at most this many requests
+  std::uint32_t max_delay_us = 200;  ///< batch-formation wait after 1st item
+  std::size_t num_workers = 1;       ///< batching worker threads
+  std::size_t queue_capacity = 1024; ///< request bound (backpressure point)
+  ServeBackend backend = ServeBackend::kFloat;
+
+  bool adaptation = false;           ///< run the online-adaptation worker
+  std::size_t adapt_min_batch = 64;  ///< OOD windows per enrollment round
+  std::size_t adapt_buffer_capacity = 1024;  ///< OOD side-buffer bound
+  std::size_t adapt_max_domains = 16;  ///< stop enrolling beyond this K
+  std::uint32_t adapt_poll_ms = 2;   ///< adaptation worker wake cadence
+};
+
+/// Per-request response (the future's value).
+struct ServeResult {
+  int label = -1;
+  bool is_ood = false;
+  double max_similarity = 0.0;     ///< δ_max against the domain descriptors
+  std::vector<double> weights;     ///< ensemble weights used (size K)
+  double latency_seconds = 0.0;    ///< submit → fulfillment
+  std::uint64_t snapshot_version = 0;  ///< model generation that answered
+};
+
+/// Counters + latency percentiles (the stats endpoint payload).
+struct ServerStats {
+  std::uint64_t submitted = 0;      ///< accepted into the queue
+  std::uint64_t rejected = 0;       ///< try_submit refusals (queue full)
+  std::uint64_t completed = 0;      ///< futures fulfilled with a value
+  std::uint64_t batches = 0;        ///< batched predict passes
+  std::uint64_t batched_rows = 0;   ///< requests across those passes
+  std::uint64_t ood_flagged = 0;    ///< responses with is_ood
+  std::uint64_t adaptation_rounds = 0;   ///< snapshots published by adaptation
+  std::uint64_t adaptation_absorbed = 0; ///< OOD windows enrolled
+  std::uint64_t adaptation_dropped = 0;  ///< OOD windows shed (buffer/cap)
+  std::uint64_t snapshot_version = 0;    ///< live generation id
+  double mean_batch_fill = 0.0;     ///< batched_rows / batches
+  LatencySummary latency;           ///< submit→fulfill percentiles
+};
+
+/// The serving runtime. Construction spawns the worker threads; destruction
+/// (or shutdown()) drains and joins them.
+class InferenceServer {
+ public:
+  /// `boot` is the initial snapshot (must be non-null and must carry a
+  /// packed model when the backend is kPacked — ModelSnapshot::make builds
+  /// one). `encoder` may be null when every request is pre-encoded;
+  /// submit(Window) then throws std::logic_error. The encoder must outlive
+  /// the server. Throws std::invalid_argument on config/snapshot mismatch.
+  InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
+                  const Encoder* encoder, ServerConfig config = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submit one encoded hypervector; blocks while the queue is full
+  /// (backpressure). Throws std::invalid_argument on dimension mismatch,
+  /// std::runtime_error after shutdown.
+  std::future<ServeResult> submit(std::vector<float> hv);
+
+  /// Submit one raw multi-sensor window, encoded inside the micro-batch via
+  /// the server's encoder (one encode_batch per batch, not per request).
+  std::future<ServeResult> submit(Window window);
+
+  /// Non-blocking submit: returns std::nullopt (and counts a rejection)
+  /// instead of waiting when the queue is full — the load-shedding policy.
+  std::optional<std::future<ServeResult>> try_submit(std::vector<float> hv);
+
+  /// Atomically swap the serving model. The snapshot must match the boot
+  /// model's dimension/backend; in-flight batches finish on the generation
+  /// they started with. Returns false when the live generation is already
+  /// >= snap->version (the stale publisher loses; see SnapshotRegistry).
+  bool publish(std::shared_ptr<const ModelSnapshot> snap);
+
+  /// The live snapshot (never null).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot() const {
+    return registry_.current();
+  }
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Graceful shutdown: stop accepting, drain every queued request, fulfill
+  /// every future, join all threads. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Counters and latency percentiles since construction.
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> hv;          // encoded query (empty when window set)
+    std::optional<Window> window;   // raw window to encode in-batch
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  /// One OOD window queued for enrollment (hypervector + the pseudo-label
+  /// the serving pass predicted for it).
+  struct OodSample {
+    std::vector<float> hv;
+    int pseudo_label = -1;
+  };
+
+  /// Shared submit bookkeeping: stamp, push (blocking or refusing), count.
+  /// nullopt only in non-blocking mode (full/closed queue, counted as a
+  /// rejection); blocking mode throws std::runtime_error after shutdown.
+  std::optional<std::future<ServeResult>> enqueue(Request req, bool blocking);
+  void worker_loop(std::size_t worker_index);
+  void adaptation_loop();
+  /// Run one micro-batch: encode window-requests, predict, fulfill.
+  void process_batch(std::vector<Request>& batch, std::size_t worker_index);
+
+  ServerConfig config_;
+  std::size_t dim_ = 0;
+  const Encoder* encoder_ = nullptr;
+  SnapshotRegistry registry_;
+  MpmcQueue<Request> queue_;
+
+  std::vector<std::thread> workers_;
+  std::thread adaptation_thread_;
+
+  // OOD side buffer (adaptation worker input). Bounded: overflow sheds the
+  // newest sample and counts it — adaptation is best-effort by design.
+  std::mutex ood_mutex_;
+  std::vector<OodSample> ood_buffer_;
+  bool stopping_ = false;  // guarded by ood_mutex_ (adaptation wake flag)
+  std::condition_variable ood_cv_;
+
+  // Stats. Counters are atomics; per-worker histograms are merged on read.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_rows_{0};
+  std::atomic<std::uint64_t> ood_flagged_{0};
+  std::atomic<std::uint64_t> adaptation_rounds_{0};
+  std::atomic<std::uint64_t> adaptation_absorbed_{0};
+  std::atomic<std::uint64_t> adaptation_dropped_{0};
+  struct WorkerLatency {
+    std::mutex m;
+    LatencyHistogram histogram;
+  };
+  std::vector<std::unique_ptr<WorkerLatency>> worker_latency_;
+
+  std::atomic<bool> shut_down_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace smore

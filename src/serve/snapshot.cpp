@@ -1,0 +1,49 @@
+#include "serve/snapshot.hpp"
+
+#include <istream>
+#include <stdexcept>
+#include <utility>
+
+namespace smore {
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::make(SmoreModel model,
+                                                         bool quantize,
+                                                         std::uint64_t version) {
+  auto float_model = std::make_shared<const SmoreModel>(std::move(model));
+  float_model->prepare_serving();
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->version = version;
+  snap->model = float_model;
+  if (quantize) {
+    snap->packed = std::make_shared<const BinarySmoreModel>(*float_model);
+  }
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_stream(
+    std::istream& in, bool quantize, std::uint64_t version) {
+  return make(SmoreModel::load(in), quantize, version);
+}
+
+bool SnapshotRegistry::publish(std::shared_ptr<const ModelSnapshot> snap) {
+  if (snap == nullptr) {
+    throw std::invalid_argument("SnapshotRegistry::publish: null snapshot");
+  }
+  // CAS loop: the version check and the swap must be one atomic step, or a
+  // slow publisher (e.g. an adaptation round built off generation N) could
+  // overwrite a newer generation installed meanwhile by another publisher.
+  auto expected = current_.load(std::memory_order_acquire);
+  for (;;) {
+    if (expected != nullptr && snap->version <= expected->version) {
+      return false;  // stale publisher loses; the newer generation stays
+    }
+    if (current_.compare_exchange_weak(expected, snap,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      publishes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+}  // namespace smore

@@ -1,0 +1,125 @@
+#pragma once
+// LatencyHistogram: fixed-bucket log-scale latency histogram with percentile
+// extraction — the serving runtime's tail-latency instrument (DESIGN.md §9).
+//
+// eval/timer.hpp answers "how long did this take in total"; a server needs
+// "how long does the p99 request take under load", which min/mean cannot
+// express. Buckets are geometric (kSubBuckets per power of two, so every
+// bucket spans ~9% of its value) over [1 µs, ~1100 s): record() is two
+// shifts and an increment, the memory footprint is fixed, and percentiles
+// are read by a single cumulative walk. Values outside the range clamp to
+// the edge buckets.
+//
+// A histogram instance is NOT thread-safe; the intended pattern is one
+// histogram per recording thread merged on the stats path (merge adds
+// bucket-wise, and exact min/max/sum survive merging).
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace smore {
+
+/// Fixed-footprint log-bucket histogram over seconds.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 8;   ///< buckets per octave (~9% width)
+  static constexpr int kOctaves = 30;     ///< 1 µs · 2^30 ≈ 1074 s ceiling
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kSubBuckets) * kOctaves;
+
+  /// Record one latency observation (negative values clamp to the floor).
+  void record(double seconds) noexcept {
+    ++counts_[bucket_of(seconds)];
+    ++count_;
+    sum_ += seconds > 0.0 ? seconds : 0.0;
+    if (count_ == 1 || seconds < min_) min_ = seconds;
+    if (count_ == 1 || seconds > max_) max_ = seconds;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double min_seconds() const noexcept {
+    return count_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max_seconds() const noexcept {
+    return count_ ? max_ : 0.0;
+  }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Latency at quantile `q` in [0, 1]: the geometric midpoint of the bucket
+  /// holding the ceil(q·count)-th observation (resolution ~9%; exact min/max
+  /// are reported for the endpoints). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_seconds();
+    if (q >= 1.0) return max_seconds();
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) return bucket_mid(b);
+    }
+    return max_seconds();
+  }
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  /// Bucket-wise accumulation (per-thread histograms → one stats view).
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept { *this = LatencyHistogram(); }
+
+  /// Bucket index of a latency (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_of(double seconds) noexcept {
+    const double us = seconds * 1e6;
+    if (!(us > 1.0)) return 0;  // also catches NaN
+    // log2(us) * kSubBuckets, clamped to the table.
+    const double idx = std::log2(us) * kSubBuckets;
+    if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+    return static_cast<std::size_t>(idx);
+  }
+
+  /// Geometric midpoint of bucket `b` in seconds (exposed for tests).
+  [[nodiscard]] static double bucket_mid(std::size_t b) noexcept {
+    const double lo = std::exp2(static_cast<double>(b) / kSubBuckets);
+    const double hi = std::exp2(static_cast<double>(b + 1) / kSubBuckets);
+    return std::sqrt(lo * hi) * 1e-6;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Plain-data percentile snapshot (what stats endpoints embed).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  static LatencySummary from(const LatencyHistogram& h) noexcept {
+    return {h.count(),         h.mean_seconds(), h.p50(),
+            h.p95(),           h.p99(),          h.max_seconds()};
+  }
+};
+
+}  // namespace smore

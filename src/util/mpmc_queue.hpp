@@ -1,0 +1,157 @@
+#pragma once
+// MpmcQueue: bounded multi-producer/multi-consumer queue with batched pops —
+// the arrival side of the serving runtime (DESIGN.md §9).
+//
+// Producers (request threads) push single items and block when the queue is
+// full: the bound IS the backpressure policy, converting overload into
+// producer-side latency instead of unbounded memory growth. Consumers
+// (batching workers) pop *batches*: pop_batch blocks for the first item,
+// then keeps collecting until either `max_batch` items are in hand or
+// `max_delay` has elapsed since the first item of the batch was taken. Those
+// two knobs are the micro-batching scheduler's entire policy surface:
+// max_batch bounds per-batch latency under load, max_delay bounds latency
+// when traffic is sparse.
+//
+// The queue is a fixed ring over pre-sized storage: steady-state operation
+// allocates nothing. Synchronization is a mutex plus two condition
+// variables — at serving batch sizes the lock is taken once per *batch* on
+// the consumer side, so lock-free fanciness would optimize the cheap part.
+//
+// close() wakes everyone: pushes fail from then on, pops drain what is left
+// and then report exhaustion. This gives the server's graceful shutdown —
+// every in-flight request is still handed to a worker.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace smore {
+
+/// Bounded MPMC ring with blocking push and batched pop. T must be
+/// default-constructible and move-assignable.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Throws std::invalid_argument when capacity is 0.
+  explicit MpmcQueue(std::size_t capacity)
+      : buffer_(capacity), capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MpmcQueue: capacity must be positive");
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  /// Blocking push: waits while the queue is full (backpressure). Returns
+  /// false iff the queue was closed (the item is dropped then).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return count_ < capacity_ || closed_; });
+    if (closed_) return false;
+    place(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: returns false when full or closed instead of
+  /// waiting (callers implement load-shedding on top of this).
+  bool try_push(T item) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_ || count_ == capacity_) return false;
+      place(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Batched pop: blocks until at least one item is available (or the queue
+  /// is closed and drained), then collects up to `max_batch` items, waiting
+  /// at most `max_delay` after the first item for stragglers. Appends to
+  /// `out` and returns the number of items taken; 0 means closed-and-empty
+  /// (the consumer should exit).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_batch,
+                        std::chrono::microseconds max_delay) {
+    if (max_batch == 0) max_batch = 1;
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return 0;  // closed and drained
+    // Producers are signaled after EVERY take, not once on return: when the
+    // ring is smaller than max_batch, the straggler wait below must let
+    // blocked producers refill the freed capacity mid-wait, or the batch
+    // could never grow past the ring size per delay window.
+    std::size_t taken = take(out, max_batch);
+    not_full_.notify_all();
+    if (taken < max_batch && max_delay.count() > 0) {
+      const auto deadline = std::chrono::steady_clock::now() + max_delay;
+      while (taken < max_batch) {
+        if (!not_empty_.wait_until(lock, deadline, [this] {
+              return count_ > 0 || closed_;
+            })) {
+          break;  // delay budget exhausted
+        }
+        if (count_ == 0) break;  // closed and drained mid-wait
+        taken += take(out, max_batch - taken);
+        not_full_.notify_all();
+      }
+    }
+    return taken;
+  }
+
+  /// Close the queue: subsequent pushes fail, pops drain the remainder.
+  /// Idempotent.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  // Both helpers require mutex_ held.
+  void place(T&& item) {
+    buffer_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+  }
+
+  std::size_t take(std::vector<T>& out, std::size_t want) {
+    const std::size_t n = want < count_ ? want : count_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(buffer_[head_]));
+      head_ = (head_ + 1) % capacity_;
+    }
+    count_ -= n;
+    return n;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buffer_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace smore

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
-#include <future>
+#include <exception>
 
 namespace smore {
+
+/// One parallel_for_blocks region. Lives on the caller's stack; workers only
+/// ever see it through queue entries counted in `refs`, and the caller
+/// returns only once every reference is dropped and every block has run.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body;
+  std::size_t n = 0;
+  std::size_t blocks = 0;
+  std::size_t chunk = 0;
+  std::atomic<std::size_t> next{0};     // next unclaimed block index
+  std::atomic<std::size_t> pending{0};  // blocks not yet completed
+  std::atomic<std::size_t> refs{0};     // queue entries not yet consumed
+  std::mutex m;
+  std::condition_variable done;
+  std::exception_ptr error;  // first body exception, guarded by m
+};
 
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
@@ -26,15 +42,54 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Job* job = nullptr;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = jobs_.front();
+      jobs_.pop_front();
     }
-    task();
+    run_blocks(*job);
+    finish_ref(*job);
+  }
+}
+
+void ThreadPool::run_blocks(Job& job) {
+  for (;;) {
+    const std::size_t b = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (b >= job.blocks) return;
+    const std::size_t lo = b * job.chunk;
+    const std::size_t hi = std::min(job.n, lo + job.chunk);
+    try {
+      (*job.body)(b, lo, hi);
+    } catch (...) {
+      const std::scoped_lock lock(job.m);
+      if (!job.error) job.error = std::current_exception();
+    }
+    // Completed blocks are counted even after a failure: every block still
+    // runs (they are independent), and the caller rethrows the first error
+    // only once nothing references its frame anymore.
+    if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::scoped_lock lock(job.m);
+      job.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::finish_ref(Job& job) {
+  // The drop of the LAST reference must happen under job.m: refs==0 is the
+  // terminal condition the owner destroys the job on, so decrementing it
+  // outside the lock would let the owner wake (e.g. on the pending->0
+  // notification), observe both counters at zero, and destroy the mutex
+  // this thread is about to lock. Inside the lock, the owner cannot
+  // re-check the predicate until this thread has released job.m.
+  const std::scoped_lock lock(job.m);
+  if (job.refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    job.done.notify_all();
   }
 }
 
@@ -60,36 +115,41 @@ void ThreadPool::parallel_for_blocks(
     body(0, 0, n);
     return;
   }
-  const std::size_t blocks = std::min(threads, n);
-  const std::size_t chunk = (n + blocks - 1) / blocks;
-  std::vector<std::future<void>> pending;
-  pending.reserve(blocks);
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = b * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    auto task = std::make_shared<std::packaged_task<void()>>([b, lo, hi, &body] {
-      body(b, lo, hi);
+  const std::size_t target = std::min(threads, n);
+  const std::size_t chunk = (n + target - 1) / target;
+  const std::size_t blocks = (n + chunk - 1) / chunk;
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.blocks = blocks;
+  job.chunk = chunk;
+  job.pending.store(blocks, std::memory_order_relaxed);
+  // One queue entry per potential helper; the caller claims blocks too, so
+  // helpers beyond blocks-1 could only ever pop a drained job.
+  const std::size_t helpers = std::min(threads, blocks);
+  job.refs.store(helpers, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) jobs_.push_back(&job);
+  }
+  // helpers >= 2 on this path (threads >= 2 and n >= 2 imply blocks >= 2),
+  // so a broadcast is always the right wakeup.
+  cv_.notify_all();
+
+  // The caller participates instead of sleeping: on a saturated or
+  // single-core host most blocks run right here, skipping a full round of
+  // context switches per parallel region.
+  run_blocks(job);
+
+  {
+    std::unique_lock lock(job.m);
+    job.done.wait(lock, [&job] {
+      return job.pending.load(std::memory_order_acquire) == 0 &&
+             job.refs.load(std::memory_order_acquire) == 0;
     });
-    pending.push_back(task->get_future());
-    {
-      const std::scoped_lock lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
   }
-  // Drain every future before surfacing a failure: tasks reference `body`,
-  // which lives in the caller's frame, so returning (or throwing) while any
-  // task is still queued or running would leave it with a dangling reference.
-  std::exception_ptr first_error;
-  for (auto& f : pending) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,11 +1,13 @@
 // Serialization round-trip tests: OnlineHD models (covered in
-// test_onlinehd), descriptor banks, and the full SMORE model — a deployed
-// edge model must reload bit-identically without retraining.
+// test_onlinehd), descriptor banks, the full SMORE model, and the packed
+// BinarySmoreModel — a deployed edge/serving model must reload
+// bit-identically without retraining (the server boots snapshots from disk).
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "core/binary_smore.hpp"
 #include "core/domain_descriptor.hpp"
 #include "core/smore.hpp"
 #include "test_util.hpp"
@@ -104,6 +106,54 @@ TEST_F(SmoreSerializationTest, TruncatedPayloadThrows) {
   const std::string full = buffer.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(SmoreModel::load(truncated), std::runtime_error);
+}
+
+TEST_F(SmoreSerializationTest, BinaryModelRoundTripsBitIdentically) {
+  const BinarySmoreModel packed(*model_);
+  std::stringstream buffer;
+  packed.save(buffer);
+  const BinarySmoreModel loaded = BinarySmoreModel::load(buffer);
+  EXPECT_EQ(loaded.num_classes(), packed.num_classes());
+  EXPECT_EQ(loaded.dim(), packed.dim());
+  EXPECT_EQ(loaded.num_domains(), packed.num_domains());
+  EXPECT_DOUBLE_EQ(loaded.delta_star(), packed.delta_star());
+  EXPECT_EQ(loaded.footprint_bytes(), packed.footprint_bytes());
+  // Every packed word must survive: descriptors and class banks.
+  const BitMatrix& d1 = packed.descriptor_bits();
+  const BitMatrix& d2 = loaded.descriptor_bits();
+  ASSERT_EQ(d1.rows(), d2.rows());
+  for (std::size_t r = 0; r < d1.rows(); ++r) {
+    for (std::size_t w = 0; w < d1.words_per_row(); ++w) {
+      ASSERT_EQ(d1.row(r)[w], d2.row(r)[w]);
+    }
+  }
+  const BitMatrix& c1 = packed.class_bank_bits();
+  const BitMatrix& c2 = loaded.class_bank_bits();
+  ASSERT_EQ(c1.rows(), c2.rows());
+  for (std::size_t r = 0; r < c1.rows(); ++r) {
+    for (std::size_t w = 0; w < c1.words_per_row(); ++w) {
+      ASSERT_EQ(c1.row(r)[w], c2.row(r)[w]);
+    }
+  }
+  // And therefore predictions are identical.
+  const std::vector<int> a = packed.predict_batch(data_.view());
+  const std::vector<int> b = loaded.predict_batch(data_.view());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SmoreSerializationTest, BinaryModelCorruptStreamThrows) {
+  std::stringstream buffer;
+  buffer.write("XXXXXXXXXXXXXXXX", 16);
+  EXPECT_THROW(BinarySmoreModel::load(buffer), std::runtime_error);
+}
+
+TEST_F(SmoreSerializationTest, BinaryModelTruncatedPayloadThrows) {
+  const BinarySmoreModel packed(*model_);
+  std::stringstream buffer;
+  packed.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(BinarySmoreModel::load(truncated), std::runtime_error);
 }
 
 }  // namespace
