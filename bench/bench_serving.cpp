@@ -88,10 +88,11 @@ struct RunResult {
 };
 
 /// Drive `total` requests through a server from `producers` open-loop
-/// threads with `window` requests in flight each.
-RunResult run_config(const char* label, ServeBackend backend,
-                     std::size_t max_batch, std::uint32_t max_delay_us,
-                     std::size_t workers,
+/// threads with `window` requests in flight each. The snapshot's own
+/// backend (float or packed — it was built with or without quantization)
+/// answers the queries; the server never knows which.
+RunResult run_config(const char* label, std::size_t max_batch,
+                     std::uint32_t max_delay_us, std::size_t workers,
                      const std::shared_ptr<const ModelSnapshot>& snap,
                      const HvMatrix& queries, std::size_t total,
                      std::size_t producers, std::size_t window) {
@@ -100,7 +101,6 @@ RunResult run_config(const char* label, ServeBackend backend,
   cfg.max_delay_us = max_delay_us;
   cfg.num_workers = workers;
   cfg.queue_capacity = std::max<std::size_t>(1024, producers * window * 2);
-  cfg.backend = backend;
   InferenceServer server(snap, nullptr, cfg);
 
   WallTimer timer;
@@ -131,7 +131,7 @@ RunResult run_config(const char* label, ServeBackend backend,
 
   RunResult r;
   r.label = label;
-  r.backend = backend == ServeBackend::kPacked ? "packed" : "float";
+  r.backend = snap->backend->name();
   r.max_batch = max_batch;
   r.max_delay_us = max_delay_us;
   r.seconds = seconds;
@@ -227,29 +227,22 @@ int main(int argc, char** argv) {
   // THE baseline of the acceptance figure: a batch-size-1 submit loop —
   // every producer submits one request and waits for its future before the
   // next (window=1), and the server coalesces nothing.
-  results.push_back(run_config("float submit loop (batch=1)",
-                               ServeBackend::kFloat, 1, 0, workers, float_snap,
-                               queries, total, producers, /*window=*/1));
-  results.push_back(run_config("float batch=1 pipelined", ServeBackend::kFloat,
-                               1, 0, workers, float_snap, queries, total,
-                               producers, window));
-  results.push_back(run_config("float batch=8 delay=100", ServeBackend::kFloat,
-                               8, 100, workers, float_snap, queries, total,
-                               producers, window));
-  results.push_back(run_config("float batch=32 delay=200", ServeBackend::kFloat,
-                               32, 200, workers, float_snap, queries, total,
-                               producers, window));
-  results.push_back(run_config("float batch=64 delay=200", ServeBackend::kFloat,
-                               64, 200, workers, float_snap, queries, total,
-                               producers, window));
-  results.push_back(run_config("float batch=128 delay=500",
-                               ServeBackend::kFloat, 128, 500, workers,
+  results.push_back(run_config("float submit loop (batch=1)", 1, 0, workers,
+                               float_snap, queries, total, producers,
+                               /*window=*/1));
+  results.push_back(run_config("float batch=1 pipelined", 1, 0, workers,
                                float_snap, queries, total, producers, window));
-  results.push_back(run_config("packed batch=1 (baseline)",
-                               ServeBackend::kPacked, 1, 0, workers,
+  results.push_back(run_config("float batch=8 delay=100", 8, 100, workers,
+                               float_snap, queries, total, producers, window));
+  results.push_back(run_config("float batch=32 delay=200", 32, 200, workers,
+                               float_snap, queries, total, producers, window));
+  results.push_back(run_config("float batch=64 delay=200", 64, 200, workers,
+                               float_snap, queries, total, producers, window));
+  results.push_back(run_config("float batch=128 delay=500", 128, 500, workers,
+                               float_snap, queries, total, producers, window));
+  results.push_back(run_config("packed batch=1 (baseline)", 1, 0, workers,
                                packed_snap, queries, total, producers, window));
-  results.push_back(run_config("packed batch=64 delay=200",
-                               ServeBackend::kPacked, 64, 200, workers,
+  results.push_back(run_config("packed batch=64 delay=200", 64, 200, workers,
                                packed_snap, queries, total, producers, window));
 
   // Acceptance figure: best float micro-batch vs the float submit loop.

@@ -1,0 +1,65 @@
+#pragma once
+// Shared example scaffolding: the synthetic-spec, encoder, and LODO-split
+// boilerplate that every example needs before it can show its actual point.
+// Examples include this; library code never does.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "data/timeseries.hpp"
+#include "hdc/encoder.hpp"
+
+namespace smore::examples {
+
+/// A small activity-recognition demo population: `subjects` subjects (one
+/// domain each, identity mapping), equal window counts per subject, 50 Hz.
+inline SyntheticSpec demo_spec(std::string name, int activities, int subjects,
+                               std::size_t channels, std::size_t window_steps,
+                               std::size_t windows_per_subject,
+                               double domain_shift, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = std::move(name);
+  spec.activities = activities;
+  spec.subjects = subjects;
+  spec.subject_to_domain.resize(static_cast<std::size_t>(subjects));
+  for (int s = 0; s < subjects; ++s) {
+    spec.subject_to_domain[static_cast<std::size_t>(s)] = s;
+  }
+  spec.channels = channels;
+  spec.window_steps = window_steps;
+  spec.sample_rate_hz = 50.0;
+  spec.domain_counts.assign(static_cast<std::size_t>(subjects),
+                            windows_per_subject);
+  spec.domain_shift = domain_shift;
+  spec.seed = seed;
+  return spec;
+}
+
+/// The multi-sensor encoder every example deploys (shared_ptr because the
+/// Pipeline and serving snapshots share ownership of it).
+inline std::shared_ptr<const MultiSensorEncoder> make_encoder(
+    std::size_t dim, std::uint64_t seed = 0x5304e) {
+  EncoderConfig config;
+  config.dim = dim;
+  config.seed = seed;
+  return std::make_shared<const MultiSensorEncoder>(config);
+}
+
+/// One leave-one-domain-out fold materialized as window datasets (what
+/// Pipeline::fit/evaluate consume).
+struct LodoWindows {
+  WindowDataset train;
+  WindowDataset test;
+};
+
+inline LodoWindows lodo_windows(const WindowDataset& all,
+                                int held_out_domain) {
+  const Split fold = lodo_split(all, held_out_domain);
+  return {take(all, fold.train), take(all, fold.test)};
+}
+
+}  // namespace smore::examples

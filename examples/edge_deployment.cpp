@@ -1,30 +1,27 @@
 // Edge deployment sizing: what it costs to run SMORE on constrained devices.
 //
-// For a PAMAP2-like workload this example measures per-window encode and
-// inference latency on this host — through the float backend AND the packed
-// binary backend (sign-quantized model, XOR+popcount Hamming inference,
-// DESIGN.md §8) — sizes both models, and projects latency/energy onto the
-// paper's two edge platforms through the documented device model
-// (DESIGN.md §3). It is the "can I ship this?" calculation an embedded
-// engineer would run first, now including the "can I ship it to an MCU?"
-// variant.
+// For a PAMAP2-like workload this example fits one deployable Pipeline
+// (encoder + model + calibration + packed backend), then measures per-window
+// encode and inference latency on this host through BOTH serving
+// representations behind the InferenceBackend interface, sizes both models,
+// and projects latency/energy onto the paper's two edge platforms through
+// the documented device model (DESIGN.md §3). It is the "can I ship this?"
+// calculation an embedded engineer would run first, including the "can I
+// ship it to an MCU?" variant (DESIGN.md §8).
 //
-//   ./build/examples/edge_deployment --dim=2048 --scale=0.02
+//   ./build/example_edge_deployment --dim=2048 --scale=0.02
 
 #include <cstdio>
 #include <deque>
 #include <future>
+#include <memory>
 #include <vector>
 
-#include "core/binary_smore.hpp"
-#include "core/smore.hpp"
-#include "data/dataset.hpp"
-#include "data/synthetic.hpp"
+#include "core/pipeline.hpp"
 #include "eval/edge_model.hpp"
 #include "eval/reporting.hpp"
 #include "eval/timer.hpp"
-#include "hdc/encoder.hpp"
-#include "hdc/ops_binary.hpp"
+#include "common.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -42,17 +39,17 @@ int main(int argc, char** argv) {
 
   const SyntheticSpec spec = pamap2_spec(cli.get_double("scale"), seed);
   const WindowDataset raw = generate_dataset(spec);
-  EncoderConfig ec;
-  ec.dim = dim;
-  const MultiSensorEncoder encoder(ec);
-  const HvDataset encoded = encoder.encode_dataset(raw);
+  const auto fold = examples::lodo_windows(raw, 0);
 
-  const Split fold = lodo_split(raw, 0);
-  SmoreModel model(raw.num_classes(), dim);
-  model.fit(encoded.select(fold.train));
+  // One deployable pipeline: fit + quantize (the artifact an edge gateway
+  // would load).
+  Pipeline pipeline(examples::make_encoder(dim, seed), raw.num_classes());
+  pipeline.fit(fold.train);
+  pipeline.quantize();
 
   // --- model footprint: float backend vs packed binary backend ---
-  const BinarySmoreModel packed(model);
+  const SmoreModel& model = pipeline.model();
+  const BinarySmoreModel& packed = *pipeline.packed();
   const std::size_t class_bytes = model.num_domains() *
                                   static_cast<std::size_t>(raw.num_classes()) *
                                   dim * sizeof(float);
@@ -77,31 +74,42 @@ int main(int argc, char** argv) {
 
   // --- host timing ---
   // The probe runs through the batched engine end to end (encode_batch +
-  // predict_batch): on-device inference services windows in batches, and the
-  // reported per-window figures are the amortized batch latency.
-  const auto probe =
-      std::min<std::size_t>(static_cast<std::size_t>(cli.get_int("probe")),
-                            fold.test.size());
+  // predict through each InferenceBackend): on-device inference services
+  // windows in batches, and the reported per-window figures are the
+  // amortized batch latency.
+  const auto probe = std::min<std::size_t>(
+      static_cast<std::size_t>(cli.get_int("probe")), fold.test.size());
   WindowDataset probe_windows("probe", raw.channels(), raw.steps());
-  for (std::size_t i = 0; i < probe; ++i) {
-    probe_windows.add(raw[fold.test[i]]);
-  }
+  for (std::size_t i = 0; i < probe; ++i) probe_windows.add(fold.test[i]);
+
   HvMatrix probe_hv;
   WallTimer t1;
-  encoder.encode_batch(probe_windows, probe_hv);
+  pipeline.encoder().encode_batch(probe_windows, probe_hv);
   const double encode_s = t1.seconds();
-  WallTimer t2;
-  const std::vector<int> predicted = model.predict_batch(probe_hv.view());
-  const double infer_s = t2.seconds();
-  // Packed path on the same probe: batch sign quantization + Hamming
-  // ensemble (what the device would actually run after encoding).
-  WallTimer t3;
-  const std::vector<int> predicted_packed =
-      packed.predict_batch(probe_hv.view());
-  const double infer_packed_s = t3.seconds();
+
+  // Both serving representations behind the one interface the server uses
+  // (the snapshot picks the backend: packed iff it carries a packed model).
+  const auto float_snap =
+      ModelSnapshot::make(pipeline, /*version=*/1, /*prefer_packed=*/false);
+  const auto packed_snap =
+      ModelSnapshot::make(pipeline, /*version=*/1, /*prefer_packed=*/true);
+  struct Timed {
+    const InferenceBackend* backend;
+    std::vector<int> labels;
+    double seconds = 0.0;
+  };
+  Timed variants[] = {{float_snap->backend.get(), {}, 0.0},
+                      {packed_snap->backend.get(), {}, 0.0}};
+  for (Timed& v : variants) {
+    WallTimer t;
+    v.labels = v.backend->predict_batch_full(probe_hv.view()).labels;
+    v.seconds = t.seconds();
+  }
+  const double infer_s = variants[0].seconds;
+  const double infer_packed_s = variants[1].seconds;
   std::size_t agree = 0;
-  for (std::size_t i = 0; i < predicted.size(); ++i) {
-    agree += predicted[i] == predicted_packed[i] ? 1 : 0;
+  for (std::size_t i = 0; i < probe; ++i) {
+    agree += variants[0].labels[i] == variants[1].labels[i] ? 1 : 0;
   }
   const double encode_ms = 1e3 * encode_s / static_cast<double>(probe);
   const double infer_ms = 1e3 * infer_s / static_cast<double>(probe);
@@ -114,25 +122,24 @@ int main(int argc, char** argv) {
               encode_ms, infer_ms, infer_packed_ms,
               infer_packed_s > 0.0 ? infer_s / infer_packed_s : 0.0,
               encode_ms + infer_ms, probe,
-              static_cast<double>(predicted.size()) / (encode_s + infer_s));
+              static_cast<double>(probe) / (encode_s + infer_s));
   std::printf("float/packed label agreement on the probe: %.1f%% (%zu/%zu)\n",
-              100.0 * static_cast<double>(agree) /
-                  static_cast<double>(predicted.size()),
-              agree, predicted.size());
+              100.0 * static_cast<double>(agree) / static_cast<double>(probe),
+              agree, probe);
 
   // --- serving-runtime tail latency on this host ---
   // A gateway doesn't run one batch: it serves a request stream. Drive the
-  // same probe through the micro-batching server (src/serve/) for both
-  // backends and report the submit→fulfill percentiles a deployment would
-  // put in its SLO (util/latency.hpp histogram, not min/mean).
+  // same probe through the micro-batching server for both representations —
+  // the backend is chosen by the snapshot (packed iff quantized), never by
+  // the server — and report the submit→fulfill percentiles a deployment
+  // would put in its SLO (util/latency.hpp histogram, not min/mean).
   print_banner("Serving runtime on this host (micro-batched, percentiles)");
   for (const bool use_packed : {false, true}) {
     ServerConfig scfg;
     scfg.max_batch = 32;
     scfg.max_delay_us = 200;
-    scfg.backend = use_packed ? ServeBackend::kPacked : ServeBackend::kFloat;
-    InferenceServer server(
-        ModelSnapshot::make(model.clone(), use_packed, 1), &encoder, scfg);
+    InferenceServer server(use_packed ? packed_snap : float_snap,
+                           pipeline.encoder_ptr(), scfg);
     WallTimer serve_timer;
     std::deque<std::future<ServeResult>> inflight;
     for (std::size_t i = 0; i < probe; ++i) {
@@ -169,8 +176,8 @@ int main(int argc, char** argv) {
     const struct {
       const char* backend;
       double infer_seconds;
-    } variants[] = {{"float", infer_s}, {"packed", infer_packed_s}};
-    for (const auto& v : variants) {
+    } projections[] = {{"float", infer_s}, {"packed", infer_packed_s}};
+    for (const auto& v : projections) {
       const double total_s =
           (encode_s + v.infer_seconds) / static_cast<double>(probe);
       const double edge_s =

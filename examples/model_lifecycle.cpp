@@ -1,90 +1,88 @@
-// Model lifecycle: train → save → reload → serve, plus binarized deployment.
+// Model lifecycle: train → calibrate → quantize → save ONE artifact →
+// reload → verify, on the Pipeline facade.
 //
-// Walks the full production lifecycle of a SMORE model:
-//   1. train on source domains and persist the model to disk;
-//   2. reload it (as a gateway process would at boot) and verify the
-//      predictions are bit-identical;
-//   3. sign-quantize for MCU-class deployment — each per-domain model and
-//      the full SMORE ensemble — through the packed binary backend, and
-//      report the footprint/accuracy trade (extension beyond the paper,
-//      DESIGN.md §8). The test block is quantized once (ops::sign_pack_matrix)
-//      and every quantized model scores it through the blocked Hamming
-//      kernels; footprints come straight from the BitMatrix storage.
+// Walks the full production lifecycle of a SMORE deployment:
+//   1. fit a Pipeline on source domains, calibrate δ* at a 5% FP budget,
+//      and sign-quantize the packed edge backend (DESIGN.md §8);
+//   2. persist EVERYTHING — encoder config+seed, float model, calibration,
+//      packed model — as one versioned .smore artifact (DESIGN.md §10) and
+//      reload it the way a gateway process would at boot;
+//   3. verify the reloaded pipeline is bit-identical on BOTH backends (the
+//      artifact acceptance bar: no retraining, no out-of-band state);
+//   4. report the float-vs-packed footprint/accuracy trade, per domain and
+//      for the full ensemble, through the low-level classes the facade
+//      deliberately keeps public.
 //
-//   ./build/examples/model_lifecycle --model=/tmp/smore.bin
+//   ./build/example_model_lifecycle --model=/tmp/smore.smore
 
 #include <cstdio>
-#include <fstream>
 
-#include "core/binary_smore.hpp"
-#include "core/smore.hpp"
-#include "data/dataset.hpp"
-#include "data/synthetic.hpp"
+#include "core/pipeline.hpp"
 #include "hdc/binary.hpp"
-#include "hdc/encoder.hpp"
 #include "hdc/ops_binary.hpp"
+#include "common.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace smore;
 
-  CliParser cli("SMORE model lifecycle: train, save, reload, binarize.");
-  cli.flag_string("model", "/tmp/smore_model.bin", "model file path")
+  CliParser cli("SMORE model lifecycle: train, calibrate, quantize, save, "
+                "reload, verify.");
+  cli.flag_string("model", "/tmp/smore_model.smore", "artifact file path")
       .flag_int("dim", 2048, "hyperdimension")
       .flag_double("scale", 0.02, "dataset scale")
       .flag_int("seed", 1, "seed");
   if (!cli.parse(argc, argv)) return 1;
   const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string path = cli.get_string("model");
 
-  // Train on a USC-HAD-like problem with one domain held out.
-  const SyntheticSpec spec =
-      uschad_spec(cli.get_double("scale"),
-                  static_cast<std::uint64_t>(cli.get_int("seed")));
-  const WindowDataset raw = generate_dataset(spec);
-  EncoderConfig ec;
-  ec.dim = dim;
-  const MultiSensorEncoder encoder(ec);
-  const HvDataset encoded = encoder.encode_dataset(raw);
-  const Split fold = lodo_split(raw, raw.num_domains() - 1);
-  const HvDataset train = encoded.select(fold.train);
-  const HvDataset test = encoded.select(fold.test);
+  // 1. Train on a USC-HAD-like problem with the last domain held out.
+  const WindowDataset raw = generate_dataset(uschad_spec(
+      cli.get_double("scale"), seed));
+  const auto fold = examples::lodo_windows(raw, raw.num_domains() - 1);
 
-  SmoreModel model(raw.num_classes(), dim);
-  model.fit(train);
-  const double acc_before = model.accuracy(test);
-  std::printf("[train]  %zu domains, held-out accuracy %.2f%%\n",
-              model.num_domains(), 100 * acc_before);
+  Pipeline pipeline(examples::make_encoder(dim, seed), raw.num_classes());
+  pipeline.fit(fold.train);
+  pipeline.quantize();
+  // After quantize so BOTH thresholds are calibrated: cosine and Hamming
+  // similarities live on different scales, and calibrate() derives each
+  // backend's δ* from its own similarity distribution.
+  const double delta = pipeline.calibrate(fold.train, 0.05);
+  const SmoreEvaluation float_eval = pipeline.evaluate(fold.test);
+  std::printf("[train]    %zu domains, held-out accuracy %.2f%%, calibrated "
+              "delta*=%.3f, quantized\n",
+              pipeline.num_domains(), 100 * float_eval.accuracy, delta);
 
-  // Save.
-  {
-    std::ofstream out(path, std::ios::binary);
-    model.save(out);
-  }
-  std::printf("[save]   %s\n", path.c_str());
+  // 2. One artifact: encoder + model + calibration + packed backend.
+  pipeline.save(path);
+  std::printf("[save]     %s\n", path.c_str());
+  const Pipeline reloaded = Pipeline::load(path);
 
-  // Reload and verify bit-identical behaviour.
-  std::ifstream in(path, std::ios::binary);
-  const SmoreModel reloaded = SmoreModel::load(in);
+  // 3. Bit-identical on both backends — compare every per-query output of
+  //    the batched Algorithm 1 pass, not just the accuracy.
   std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    mismatches +=
-        reloaded.predict(test.row(i)) != model.predict(test.row(i)) ? 1 : 0;
+  for (const ServeBackend backend : {ServeBackend::kFloat,
+                                     ServeBackend::kPacked}) {
+    const SmoreBatchResult a = pipeline.predict_batch_full(fold.test, backend);
+    const SmoreBatchResult b = reloaded.predict_batch_full(fold.test, backend);
+    for (std::size_t i = 0; i < a.labels.size(); ++i) {
+      mismatches += a.labels[i] != b.labels[i] || a.ood[i] != b.ood[i] ||
+                            a.max_similarity[i] != b.max_similarity[i]
+                        ? 1
+                        : 0;
+    }
   }
-  std::printf("[reload] accuracy %.2f%%, prediction mismatches vs original: "
-              "%zu (must be 0)\n",
-              100 * reloaded.accuracy(test), mismatches);
+  std::printf("[reload]   accuracy %.2f%%, prediction mismatches vs original "
+              "across both backends: %zu (must be 0)\n",
+              100 * reloaded.evaluate(fold.test).accuracy, mismatches);
 
-  // Binarize for MCU-class deployment: quantize the test block once, score
-  // every quantized model on it through the batched Hamming kernels.
+  // 4. The footprint/accuracy trade. The facade keeps the low-level classes
+  //    public: per-domain models quantize individually through BinaryModel,
+  //    the full ensemble through the pipeline's packed backend.
+  const HvDataset test = pipeline.encode(fold.test);
+  const SmoreModel& model = pipeline.model();
   const BitMatrix test_bits = ops::sign_pack_matrix(test.view());
-  std::printf("[binarize] test block packed: %zu x %zu floats (%.1f KiB) -> "
-              "%zu x %zu words (%.1f KiB)\n",
-              test.size(), test.dim(),
-              static_cast<double>(test.size() * test.dim() * sizeof(float)) /
-                  1024.0,
-              test_bits.rows(), test_bits.words_per_row(),
-              static_cast<double>(test_bits.bytes()) / 1024.0);
   std::printf("[binarize] per-domain models, sign-quantized:\n");
   for (std::size_t k = 0; k < model.num_domains(); ++k) {
     const OnlineHDClassifier& domain_model = model.domain_model(k);
@@ -102,19 +100,15 @@ int main(int argc, char** argv) {
                 100 * full, 100 * quant);
   }
 
-  // The full quantized ensemble: descriptors + class banks + test-time
-  // ensembling, all on Hamming similarity.
-  BinarySmoreModel binary_smore(model);
-  binary_smore.calibrate_delta_star(train, 0.05);
   const SmoreEvaluation quant_eval =
-      binary_smore.evaluate(test_bits.view(), test.labels());
-  const std::size_t smore_float_bytes = model.footprint_bytes();
+      pipeline.evaluate(fold.test, ServeBackend::kPacked);
   std::printf("[binarize] full SMORE ensemble: %6.1f KiB -> %5.1f KiB, "
-              "held-out acc %.1f%% -> %.1f%% (ood rate %.1f%%, "
-              "calibrated delta*=%.3f)\n",
-              static_cast<double>(smore_float_bytes) / 1024.0,
-              static_cast<double>(binary_smore.footprint_bytes()) / 1024.0,
-              100 * acc_before, 100 * quant_eval.accuracy,
-              100 * quant_eval.ood_rate, binary_smore.delta_star());
+              "held-out acc %.1f%% -> %.1f%% (ood rate %.1f%%, packed "
+              "delta*=%.3f)\n",
+              static_cast<double>(model.footprint_bytes()) / 1024.0,
+              static_cast<double>(pipeline.packed()->footprint_bytes()) /
+                  1024.0,
+              100 * float_eval.accuracy, 100 * quant_eval.accuracy,
+              100 * quant_eval.ood_rate, pipeline.packed()->delta_star());
   return mismatches == 0 ? 0 : 1;
 }

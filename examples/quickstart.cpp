@@ -1,66 +1,64 @@
-// Quickstart: the complete SMORE pipeline in ~60 lines.
+// Quickstart: the complete SMORE pipeline — train, ship, serve — in a few
+// calls on the Pipeline facade.
 //
 //   1. get multi-sensor time-series windows from several source domains
 //      (here: a small synthetic activity-recognition dataset);
-//   2. encode them into hyperspace with the multi-sensor encoder (Sec 3.3);
-//   3. train SMORE (per-domain models + domain descriptors, Sec 3.4-3.5);
+//   2. fit a Pipeline: it encodes into hyperspace (Sec 3.3) and trains the
+//      per-domain models + descriptors (Sec 3.4-3.5) behind one call;
+//   3. save ONE artifact (encoder config+seed, model, calibration) and load
+//      it back the way a fresh serving process would;
 //   4. classify windows from an UNSEEN domain — SMORE detects them as
 //      out-of-distribution and adapts its test-time model (Sec 3.6).
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 
 #include <cstdio>
+#include <sstream>
 
-#include "core/smore.hpp"
-#include "data/dataset.hpp"
-#include "data/synthetic.hpp"
-#include "hdc/encoder.hpp"
+#include "core/pipeline.hpp"
+#include "common.hpp"
 
 int main() {
   using namespace smore;
 
   // 1. A small dataset: 5 activities, 4 subjects (= 4 domains), 3 sensors.
-  SyntheticSpec spec;
-  spec.name = "quickstart";
-  spec.activities = 5;
-  spec.subjects = 4;
-  spec.subject_to_domain = {0, 1, 2, 3};
-  spec.channels = 3;
-  spec.window_steps = 64;
-  spec.sample_rate_hz = 50.0;
-  spec.domain_counts = {120, 120, 120, 120};
-  spec.domain_shift = 1.0;
-  spec.seed = 42;
-  const WindowDataset windows = generate_dataset(spec);
+  const WindowDataset windows = generate_dataset(
+      examples::demo_spec("quickstart", /*activities=*/5, /*subjects=*/4,
+                          /*channels=*/3, /*window_steps=*/64,
+                          /*windows_per_subject=*/120, /*domain_shift=*/1.0,
+                          /*seed=*/42));
   std::printf("dataset: %zu windows, %d classes, %d domains\n", windows.size(),
               windows.num_classes(), windows.num_domains());
 
-  // 2. Encode every window into a d-dimensional hypervector.
-  EncoderConfig encoder_config;
-  encoder_config.dim = 2048;
-  const MultiSensorEncoder encoder(encoder_config);
-  const HvDataset encoded = encoder.encode_dataset(windows);
-
-  // 3. Leave domain 3 out, train SMORE on the remaining three domains.
-  const Split fold = lodo_split(windows, /*held_out_domain=*/3);
-  const HvDataset train = encoded.select(fold.train);
-  const HvDataset test = encoded.select(fold.test);
-
-  SmoreModel model(windows.num_classes(), encoder_config.dim);
-  model.fit(train);
+  // 2. Leave domain 3 out, fit the pipeline on the remaining three domains.
+  const auto fold = examples::lodo_windows(windows, /*held_out_domain=*/3);
+  Pipeline pipeline(examples::make_encoder(/*dim=*/2048),
+                    windows.num_classes());
+  pipeline.fit(fold.train);
   std::printf("trained %zu domain-specific models + descriptors\n",
-              model.num_domains());
+              pipeline.num_domains());
 
-  // 4. Classify the held-out domain; inspect one prediction in detail.
-  const SmorePrediction detail = model.predict_detail(test.row(0));
+  // 3. Ship it: ONE artifact holds the encoder (config + seed), the trained
+  //    model, and the calibration — then boot a "fresh process" from it.
+  std::stringstream artifact;  // stands in for a .smore file on disk
+  pipeline.save(artifact);
+  const Pipeline deployed = Pipeline::load(artifact);
+  std::printf("artifact round-trip: %zu bytes, d=%zu, %zu domains\n",
+              static_cast<std::size_t>(artifact.str().size()), deployed.dim(),
+              deployed.num_domains());
+
+  // 4. Classify the held-out domain with the DEPLOYED pipeline; inspect one
+  //    prediction in detail.
+  const SmorePrediction detail = deployed.predict_detail(fold.test[0]);
   std::printf("first test window: predicted class %d (true %d), %s, "
               "max domain similarity %.3f\n",
-              detail.label, test.label(0),
+              detail.label, fold.test[0].label(),
               detail.is_ood ? "OOD -> full weighted ensemble"
                             : "in-distribution -> gated ensemble",
               detail.max_similarity);
 
+  const SmoreEvaluation eval = deployed.evaluate(fold.test);
   std::printf("held-out-domain accuracy: %.1f%% (OOD rate %.0f%%)\n",
-              100.0 * model.accuracy(test), 100.0 * model.ood_rate(test));
+              100.0 * eval.accuracy, 100.0 * eval.ood_rate);
   return 0;
 }

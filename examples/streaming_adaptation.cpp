@@ -1,10 +1,12 @@
-// Streaming adaptation: SMORE as it would run on an IoT gateway — now
-// through the serving runtime (src/serve/, DESIGN.md §9).
+// Streaming adaptation: SMORE as it would run on an IoT gateway — a
+// deployable Pipeline served through the serving runtime (src/serve/,
+// DESIGN.md §9–§10).
 //
-// A deployed model trained on K source subjects serves a live stream of
-// windows submitted by concurrent clients. Mid-stream, the subject wearing
-// the sensors changes to someone the model has never seen (the Fig. 1a
-// scenario). The example shows:
+// A Pipeline trained on K source subjects boots the server (one call: the
+// snapshot takes the pipeline's model, calibration, and encoder), then
+// serves a live stream of windows submitted by concurrent clients.
+// Mid-stream, the subject wearing the sensors changes to someone the model
+// has never seen (the Fig. 1a scenario). The example shows:
 //   * per-request OOD verdicts flipping when the unseen subject appears;
 //   * the online-adaptation worker enrolling the new subject CONCURRENTLY
 //     with live traffic: OOD windows drain into its side buffer, it clones
@@ -22,94 +24,76 @@
 #include <thread>
 #include <vector>
 
-#include "core/smore.hpp"
-#include "data/dataset.hpp"
-#include "data/synthetic.hpp"
+#include "core/pipeline.hpp"
 #include "data/windowing.hpp"
-#include "hdc/encoder.hpp"
+#include "common.hpp"
 #include "serve/server.hpp"
 
 int main() {
   using namespace smore;
 
   // Training population: subjects 0-3 (four domains). Subject 4 is unseen.
-  SyntheticSpec spec;
-  spec.name = "stream";
-  spec.activities = 6;
-  spec.subjects = 5;
-  spec.subject_to_domain = {0, 1, 2, 3, 4};
-  spec.channels = 4;
-  spec.window_steps = 64;
-  spec.sample_rate_hz = 50.0;
-  spec.domain_counts = {150, 150, 150, 150, 150};
-  spec.domain_shift = 1.5;
-  spec.seed = 7;
+  const SyntheticSpec spec =
+      examples::demo_spec("stream", /*activities=*/6, /*subjects=*/5,
+                          /*channels=*/4, /*window_steps=*/64,
+                          /*windows_per_subject=*/150, /*domain_shift=*/1.5,
+                          /*seed=*/7);
   const WindowDataset all = generate_dataset(spec);
 
-  EncoderConfig ec;
-  ec.dim = 2048;
-  const MultiSensorEncoder encoder(ec);
-  const HvDataset encoded = encoder.encode_dataset(all);
-
-  // Train on domains 0-3 only, then calibrate the OOD threshold for a 5%
-  // in-distribution false-positive budget (the deployment-grade way to pick
-  // δ* instead of hand-tuning).
-  const Split fold = lodo_split(all, 4);
-  const HvDataset train = encoded.select(fold.train);
-  SmoreModel model(all.num_classes(), ec.dim);
-  model.fit(train);
-  const double delta = model.calibrate_delta_star(train, 0.05);
-  std::printf("deployed model: %zu source domains, %d activities, "
+  // Fit the deployable pipeline on domains 0-3 only, then calibrate the OOD
+  // threshold for a 5% in-distribution false-positive budget (the
+  // deployment-grade way to pick δ* instead of hand-tuning).
+  const auto fold = examples::lodo_windows(all, /*held_out_domain=*/4);
+  Pipeline pipeline(examples::make_encoder(/*dim=*/2048), all.num_classes());
+  pipeline.fit(fold.train);
+  const double delta = pipeline.calibrate(fold.train, 0.05);
+  std::printf("deployed pipeline: %zu source domains, %d activities, "
               "calibrated delta* = %.3f (5%% FP budget)\n",
-              model.num_domains(), all.num_classes(), delta);
+              pipeline.num_domains(), all.num_classes(), delta);
 
-  // Boot the serving runtime on snapshot v1 with online adaptation enabled:
-  // once 64 OOD windows accumulate, the adaptation worker enrolls them as a
-  // new domain and publishes the next generation.
+  // Boot the serving runtime straight from the pipeline (snapshot v1, the
+  // pipeline's encoder shared into the server) with online adaptation
+  // enabled: once 64 OOD windows accumulate, the adaptation worker enrolls
+  // them as a new domain and publishes the next generation.
   ServerConfig cfg;
   cfg.max_batch = 32;
   cfg.max_delay_us = 200;
   cfg.adaptation = true;
   cfg.adapt_min_batch = 64;
   cfg.adapt_poll_ms = 1;
-  InferenceServer server(ModelSnapshot::make(model.clone(), false, 1),
-                         &encoder, cfg);
+  InferenceServer server(pipeline, cfg);
 
   // Phase 1: stream windows from a known subject (domain 1).
-  const auto known = encoded.select(encoded.indices_of_domain(1));
+  const auto known = examples::lodo_windows(all, 1).test;
   // Phase 2: an unseen subject from the same population (the held-out
   // domain) — similar to the training continuum, so the *adaptive test-time
   // model* should absorb it without tripping the detector.
-  const auto unseen_similar = encoded.select(fold.test);
+  const WindowDataset& unseen_similar = fold.test;
   // Phase 3: a subject from outside the studied population entirely —
   // identical activities, but a far more extreme personal transform. This is
   // what the OOD detector exists for.
   SyntheticSpec outsider_spec = spec;
   outsider_spec.domain_shift = 6.0;  // way beyond the training population
-  const WindowDataset outsider_raw = generate_dataset(outsider_spec);
-  WindowDataset outsider_windows("outsider", spec.channels, spec.window_steps);
-  for (std::size_t i = 0; i < outsider_raw.size(); ++i) {
-    if (outsider_raw[i].domain() == 4) outsider_windows.add(outsider_raw[i]);
-  }
-  const HvDataset outsider = encoder.encode_dataset(outsider_windows);
+  const WindowDataset outsider =
+      examples::lodo_windows(generate_dataset(outsider_spec), 4).test;
 
-  // Each phase streams `n` single-window requests through the server (the
-  // per-request futures carry label + OOD verdict + snapshot version).
-  auto run_phase = [&](const char* label, const HvDataset& phase,
+  // Each phase streams `n` single-window requests through the server — raw
+  // windows, encoded inside the micro-batches by the pipeline's encoder
+  // (the per-request futures carry label + OOD verdict + snapshot version).
+  auto run_phase = [&](const char* label, const WindowDataset& phase,
                        std::size_t first, std::size_t n) {
     const std::size_t end = std::min(first + n, phase.size());
     std::vector<std::future<ServeResult>> futures;
     futures.reserve(end - first);
     for (std::size_t i = first; i < end; ++i) {
-      const auto row = phase.row(i);
-      futures.push_back(server.submit({row.begin(), row.end()}));
+      futures.push_back(server.submit(phase[i]));
     }
     std::size_t correct = 0;
     std::size_t flagged = 0;
     std::uint64_t version = 0;
     for (std::size_t i = first; i < end; ++i) {
       const ServeResult r = futures[i - first].get();
-      correct += r.label == phase.label(i) ? 1 : 0;
+      correct += r.label == phase[i].label() ? 1 : 0;
       flagged += r.is_ood ? 1 : 0;
       version = std::max(version, r.snapshot_version);
     }
@@ -141,7 +125,7 @@ int main() {
               "(%zu domains)\n",
               static_cast<unsigned long long>(mid.adaptation_rounds),
               static_cast<unsigned long long>(mid.adaptation_absorbed),
-              model.num_domains(),
+              pipeline.num_domains(),
               static_cast<unsigned long long>(mid.snapshot_version),
               server.snapshot()->model->num_domains());
 

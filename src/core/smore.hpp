@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/domain_descriptor.hpp"
+#include "core/inference_backend.hpp"
 #include "core/ood.hpp"
 #include "core/test_time_model.hpp"
 #include "hdc/hv_dataset.hpp"
@@ -49,24 +50,9 @@ struct SmorePrediction {
   std::vector<double> weights;            ///< ensemble weights used
 };
 
-/// Batched evaluation summary: accuracy and OOD rate from one pass of the
-/// matrix kernels (the two metrics share the descriptor-similarity matrix,
-/// which the separate accuracy()/ood_rate() calls would compute twice).
-struct SmoreEvaluation {
-  double accuracy = 0.0;
-  double ood_rate = 0.0;
-};
-
-/// Full per-query output of one batched Algorithm 1 pass — the serving
-/// layer's result currency (every field a ServeResult carries comes from
-/// here, for the float and the packed backend alike).
-struct SmoreBatchResult {
-  std::vector<int> labels;             ///< [n] predicted class per query
-  std::vector<std::uint8_t> ood;       ///< [n] 1 = flagged OOD (step E)
-  std::vector<double> max_similarity;  ///< [n] δ_max per query
-  std::vector<double> weights;         ///< [n × K] ensemble weights (step F)
-  std::size_t num_domains = 0;         ///< K (row stride of `weights`)
-};
+// SmoreEvaluation and SmoreBatchResult (the batched Algorithm 1 outputs)
+// live in core/inference_backend.hpp with the backend interface they are the
+// currency of.
 
 /// The SMORE classifier.
 class SmoreModel {

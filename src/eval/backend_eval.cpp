@@ -1,0 +1,22 @@
+#include "eval/backend_eval.hpp"
+
+namespace smore {
+
+SmoreEvaluation evaluate_backend(const InferenceBackend& backend,
+                                 const HvDataset& data) {
+  SmoreEvaluation out;
+  if (data.empty()) return out;
+  const SmoreBatchResult result = backend.predict_batch_full(data.view());
+  std::size_t correct = 0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += result.labels[i] == data.label(i) ? 1 : 0;
+    flagged += result.ood[i];
+  }
+  const auto n = static_cast<double>(data.size());
+  out.accuracy = static_cast<double>(correct) / n;
+  out.ood_rate = static_cast<double>(flagged) / n;
+  return out;
+}
+
+}  // namespace smore

@@ -1,0 +1,21 @@
+#pragma once
+// Backend-agnostic evaluation: score any InferenceBackend on an encoded,
+// labeled dataset. The evaluation layer talks to serving representations
+// only through the polymorphic interface (DESIGN.md §10) — a float model, a
+// packed model, or any future representation scores through the exact same
+// code path the serving runtime executes, so reported accuracy is the
+// accuracy a deployment would see.
+
+#include "core/inference_backend.hpp"
+#include "hdc/hv_dataset.hpp"
+
+namespace smore {
+
+/// Accuracy + OOD rate of `backend` on `data` (one batched
+/// predict_batch_full pass, verdicts against the dataset's own labels).
+/// Empty data evaluates to zeros. Throws std::invalid_argument on dimension
+/// mismatch (from the backend's own validation).
+[[nodiscard]] SmoreEvaluation evaluate_backend(const InferenceBackend& backend,
+                                               const HvDataset& data);
+
+}  // namespace smore

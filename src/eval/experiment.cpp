@@ -4,14 +4,18 @@
 #include <map>
 #include <stdexcept>
 
+#include <memory>
+
 #include "baselines/mdan.hpp"
 #include "baselines/tent.hpp"
 #include "core/smore.hpp"
 #include "data/normalize.hpp"
+#include "eval/backend_eval.hpp"
 #include "eval/timer.hpp"
 #include "hdc/domino.hpp"
 #include "hdc/onlinehd.hpp"
 #include "hdc/projection_encoder.hpp"
+#include "serve/backend.hpp"
 #include "util/rng.hpp"
 
 namespace smore {
@@ -149,17 +153,19 @@ AlgoRunResult run_hdc(Algo algo, const HvDataset& encoded, const Split& fold,
       SmoreConfig sc;
       sc.delta_star = config.delta_star;
       sc.domain_model = hd;
-      SmoreModel model(classes, encoded.dim(), sc);
+      auto model = std::make_shared<SmoreModel>(classes, encoded.dim(), sc);
       {
         WallTimer t;
-        model.fit(train);
+        model->fit(train);
         result.train_seconds = t.seconds() + train_encode;
       }
       {
+        // Inference goes through the polymorphic backend interface — the
+        // exact code path the serving runtime executes, so the reported
+        // accuracy is deployment accuracy.
+        const FloatBackend backend(model);
         WallTimer t;
-        // One batched pass yields both metrics (they share the
-        // descriptor-similarity matrix).
-        const SmoreEvaluation eval = model.evaluate(test);
+        const SmoreEvaluation eval = evaluate_backend(backend, test);
         result.accuracy = eval.accuracy;
         result.ood_rate = eval.ood_rate;
         result.infer_seconds = t.seconds() + test_encode;

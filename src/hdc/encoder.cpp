@@ -4,11 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serial.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smore {
 
 namespace {
+
+constexpr std::uint32_t kMultiSensorRecordVersion = 1;
+// Sanity bound on the serialized dilation-list length: real configs hold a
+// handful of scales, so anything larger is a corrupt record — reject before
+// allocating.
+constexpr std::uint64_t kMaxSerializedDilations = 4096;
 
 /// Clamp (n, δ) so one gram always fits the window: (n-1)·δ + 1 <= steps.
 /// Shared by the reference and banked kernels so both resolve identically.
@@ -32,6 +39,56 @@ MultiSensorEncoder::MultiSensorEncoder(const EncoderConfig& config)
   if (config.ngram == 0) {
     throw std::invalid_argument("MultiSensorEncoder: ngram must be positive");
   }
+}
+
+void MultiSensorEncoder::save(std::ostream& out) const {
+  serial::write_pod(out, kTypeTag);
+  serial::write_pod(out, kMultiSensorRecordVersion);
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.dim));
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.ngram));
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.seed));
+  serial::write_pod(out,
+                    static_cast<std::uint8_t>(config_.per_window_random_base));
+  serial::write_pod(out, static_cast<std::uint8_t>(config_.antipodal_base));
+  serial::write_pod(out,
+                    static_cast<std::uint64_t>(config_.quantization_levels));
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.ngram_dilation));
+  serial::write_pod(out,
+                    static_cast<std::uint64_t>(config_.ngram_dilations.size()));
+  for (const std::size_t d : config_.ngram_dilations) {
+    serial::write_pod(out, static_cast<std::uint64_t>(d));
+  }
+}
+
+EncoderConfig MultiSensorEncoder::load_config(std::istream& in) {
+  constexpr const char* ctx = "MultiSensorEncoder::load_config";
+  const auto version = serial::read_pod<std::uint32_t>(in, ctx);
+  if (version != kMultiSensorRecordVersion) {
+    throw std::runtime_error(
+        "MultiSensorEncoder::load_config: unsupported record version");
+  }
+  EncoderConfig config;
+  config.dim = static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  config.ngram =
+      static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  config.seed = serial::read_pod<std::uint64_t>(in, ctx);
+  config.per_window_random_base = serial::read_pod<std::uint8_t>(in, ctx) != 0;
+  config.antipodal_base = serial::read_pod<std::uint8_t>(in, ctx) != 0;
+  config.quantization_levels =
+      static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  config.ngram_dilation =
+      static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  const auto n_dilations = serial::read_pod<std::uint64_t>(in, ctx);
+  if (config.dim == 0 || config.ngram == 0 ||
+      n_dilations > kMaxSerializedDilations) {
+    throw std::runtime_error(
+        "MultiSensorEncoder::load_config: corrupt config record");
+  }
+  config.ngram_dilations.resize(static_cast<std::size_t>(n_dilations));
+  for (auto& d : config.ngram_dilations) {
+    d = static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  }
+  return config;
 }
 
 bool MultiSensorEncoder::bank_eligible() const noexcept {

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -119,6 +120,18 @@ class MultiSensorEncoder : public Encoder {
  public:
   /// Throws std::invalid_argument for dim == 0, ngram == 0.
   explicit MultiSensorEncoder(const EncoderConfig& config);
+
+  /// Serialized-record type tag ("MSEN"), dispatched on by load_encoder.
+  static constexpr std::uint32_t kTypeTag = 0x4e45534d;
+
+  /// Persist config + seed (never the basis: it is reconstructed
+  /// deterministically — see Encoder::save).
+  void save(std::ostream& out) const override;
+
+  /// Parse the config record written by save(), tag already consumed.
+  /// Constructing from the result reproduces the saved encoder exactly.
+  /// Throws std::runtime_error on corrupt input.
+  [[nodiscard]] static EncoderConfig load_config(std::istream& in);
 
   [[nodiscard]] const EncoderConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t dim() const noexcept override {

@@ -5,6 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include "hdc/encoder.hpp"
+#include "hdc/projection_encoder.hpp"
+#include "util/serial.hpp"
+
 namespace smore {
 
 Hypervector Encoder::encode_one(const Window& window) const {
@@ -32,6 +36,23 @@ HvDataset Encoder::encode_dataset(const WindowDataset& dataset) const {
   }
   return HvDataset::adopt(std::move(block), std::move(labels),
                           std::move(domains));
+}
+
+std::unique_ptr<Encoder> load_encoder(std::istream& in) {
+  const auto tag = serial::read_pod<std::uint32_t>(in, "load_encoder");
+  // Encoders hold synchronization members (mutex/once_flag) and are
+  // immovable, so each branch parses the config record and constructs the
+  // encoder in place.
+  switch (tag) {
+    case MultiSensorEncoder::kTypeTag:
+      return std::make_unique<MultiSensorEncoder>(
+          MultiSensorEncoder::load_config(in));
+    case ProjectionEncoder::kTypeTag:
+      return std::make_unique<ProjectionEncoder>(
+          ProjectionEncoder::load_config(in));
+    default:
+      throw std::runtime_error("load_encoder: unknown encoder type tag");
+  }
 }
 
 }  // namespace smore

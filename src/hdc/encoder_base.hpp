@@ -18,6 +18,8 @@
 //     independently and land in disjoint pre-sized slots.
 
 #include <cstddef>
+#include <iosfwd>
+#include <memory>
 
 #include "data/timeseries.hpp"
 #include "hdc/hv_dataset.hpp"
@@ -50,6 +52,19 @@ class Encoder {
 
   /// Encode a whole dataset, carrying labels and domains into the result.
   [[nodiscard]] HvDataset encode_dataset(const WindowDataset& dataset) const;
+
+  /// Serialize this encoder: a 4-byte type tag followed by a versioned
+  /// config+seed record. The basis itself is never stored — every encoder's
+  /// basis is a deterministic function of (config, seed), so load_encoder
+  /// reconstructs bit-identical encodings on any host at any thread count
+  /// (pinned by the deterministic-reconstruction tests). This is what makes
+  /// a Pipeline artifact self-describing and portable.
+  virtual void save(std::ostream& out) const = 0;
 };
+
+/// Reconstruct an encoder written by Encoder::save: reads the type tag and
+/// dispatches to the matching encoder's loader. Throws std::runtime_error on
+/// an unknown tag or a corrupt record.
+[[nodiscard]] std::unique_ptr<Encoder> load_encoder(std::istream& in);
 
 }  // namespace smore

@@ -7,15 +7,44 @@
 
 #include "hdc/ops.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smore {
+
+namespace {
+constexpr std::uint32_t kProjectionRecordVersion = 1;
+}  // namespace
 
 ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
     : config_(config) {
   if (config.dim == 0) {
     throw std::invalid_argument("ProjectionEncoder: dim must be positive");
   }
+}
+
+void ProjectionEncoder::save(std::ostream& out) const {
+  serial::write_pod(out, kTypeTag);
+  serial::write_pod(out, kProjectionRecordVersion);
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.dim));
+  serial::write_pod(out, static_cast<std::uint64_t>(config_.seed));
+}
+
+ProjectionEncoderConfig ProjectionEncoder::load_config(std::istream& in) {
+  constexpr const char* ctx = "ProjectionEncoder::load_config";
+  const auto version = serial::read_pod<std::uint32_t>(in, ctx);
+  if (version != kProjectionRecordVersion) {
+    throw std::runtime_error(
+        "ProjectionEncoder::load_config: unsupported record version");
+  }
+  ProjectionEncoderConfig config;
+  config.dim = static_cast<std::size_t>(serial::read_pod<std::uint64_t>(in, ctx));
+  config.seed = serial::read_pod<std::uint64_t>(in, ctx);
+  if (config.dim == 0) {
+    throw std::runtime_error(
+        "ProjectionEncoder::load_config: corrupt config record");
+  }
+  return config;
 }
 
 void ProjectionEncoder::ensure_projection(std::size_t features) const {

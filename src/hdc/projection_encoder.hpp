@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <vector>
 
@@ -45,6 +46,21 @@ class ProjectionEncoder : public Encoder {
  public:
   /// Throws std::invalid_argument when dim == 0.
   explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
+
+  /// Serialized-record type tag ("PROJ"), dispatched on by load_encoder.
+  static constexpr std::uint32_t kTypeTag = 0x4a4f5250;
+
+  /// Persist config + seed; the projection matrix is re-materialized
+  /// deterministically on the first encode (see Encoder::save).
+  void save(std::ostream& out) const override;
+
+  /// Parse the config record written by save(), tag already consumed.
+  /// Throws std::runtime_error on corrupt input.
+  [[nodiscard]] static ProjectionEncoderConfig load_config(std::istream& in);
+
+  [[nodiscard]] const ProjectionEncoderConfig& config() const noexcept {
+    return config_;
+  }
 
   [[nodiscard]] std::size_t dim() const noexcept override {
     return config_.dim;

@@ -1,0 +1,74 @@
+#include "serve/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace smore {
+
+FloatBackend::FloatBackend(std::shared_ptr<const SmoreModel> model)
+    : model_(std::move(model)) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("FloatBackend: null model");
+  }
+  if (!model_->trained()) {
+    throw std::logic_error("FloatBackend: untrained model");
+  }
+}
+
+SmoreBatchResult FloatBackend::predict_batch_full(HvView queries) const {
+  return model_->predict_batch_full(queries);
+}
+
+std::size_t FloatBackend::footprint_bytes() const noexcept {
+  return model_->footprint_bytes();
+}
+
+std::size_t FloatBackend::dim() const noexcept { return model_->dim(); }
+
+std::size_t FloatBackend::num_domains() const noexcept {
+  return model_->num_domains();
+}
+
+ServeBackend FloatBackend::kind() const noexcept {
+  return ServeBackend::kFloat;
+}
+
+const char* FloatBackend::name() const noexcept { return "float"; }
+
+PackedBackend::PackedBackend(std::shared_ptr<const BinarySmoreModel> model)
+    : model_(std::move(model)) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("PackedBackend: null model");
+  }
+}
+
+SmoreBatchResult PackedBackend::predict_batch_full(HvView queries) const {
+  return model_->predict_batch_full(queries);
+}
+
+std::size_t PackedBackend::footprint_bytes() const noexcept {
+  return model_->footprint_bytes();
+}
+
+std::size_t PackedBackend::dim() const noexcept { return model_->dim(); }
+
+std::size_t PackedBackend::num_domains() const noexcept {
+  return model_->num_domains();
+}
+
+ServeBackend PackedBackend::kind() const noexcept {
+  return ServeBackend::kPacked;
+}
+
+const char* PackedBackend::name() const noexcept { return "packed"; }
+
+std::shared_ptr<const InferenceBackend> make_serving_backend(
+    std::shared_ptr<const SmoreModel> model,
+    std::shared_ptr<const BinarySmoreModel> packed) {
+  if (packed != nullptr) {
+    return std::make_shared<const PackedBackend>(std::move(packed));
+  }
+  return std::make_shared<const FloatBackend>(std::move(model));
+}
+
+}  // namespace smore

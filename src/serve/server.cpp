@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/pipeline.hpp"
 #include "data/dataset.hpp"
 
 namespace smore {
@@ -18,23 +19,22 @@ double seconds_between(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
-                                 const Encoder* encoder, ServerConfig config)
+                                 std::shared_ptr<const Encoder> encoder,
+                                 ServerConfig config)
     : config_(config),
-      encoder_(encoder),
+      encoder_(std::move(encoder)),
       queue_(std::max<std::size_t>(1, config.queue_capacity)) {
-  if (boot == nullptr || boot->model == nullptr) {
+  if (boot == nullptr || boot->model == nullptr || boot->backend == nullptr) {
     throw std::invalid_argument("InferenceServer: null boot snapshot");
   }
-  if (config_.backend == ServeBackend::kPacked && boot->packed == nullptr) {
-    throw std::invalid_argument(
-        "InferenceServer: packed backend needs a quantized snapshot "
-        "(ModelSnapshot::make with quantize=true)");
+  if (encoder_ == nullptr) {
+    encoder_ = boot->encoder;  // Pipeline-boot snapshots carry one
   }
-  if (encoder_ != nullptr && encoder_->dim() != boot->model->dim()) {
+  if (encoder_ != nullptr && encoder_->dim() != boot->backend->dim()) {
     throw std::invalid_argument(
         "InferenceServer: encoder/model dimension mismatch");
   }
-  dim_ = boot->model->dim();
+  dim_ = boot->backend->dim();
   registry_.publish(std::move(boot));
 
   config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
@@ -51,6 +51,11 @@ InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
     adaptation_thread_ = std::thread([this] { adaptation_loop(); });
   }
 }
+
+InferenceServer::InferenceServer(const Pipeline& pipeline, ServerConfig config,
+                                 std::uint64_t boot_version)
+    : InferenceServer(ModelSnapshot::make(pipeline, boot_version),
+                      pipeline.encoder_ptr(), config) {}
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
@@ -103,16 +108,12 @@ std::optional<std::future<ServeResult>> InferenceServer::try_submit(
 }
 
 bool InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snap) {
-  if (snap == nullptr || snap->model == nullptr) {
+  if (snap == nullptr || snap->model == nullptr || snap->backend == nullptr) {
     throw std::invalid_argument("InferenceServer::publish: null snapshot");
   }
-  if (snap->model->dim() != dim_) {
+  if (snap->backend->dim() != dim_) {
     throw std::invalid_argument(
         "InferenceServer::publish: dimension mismatch");
-  }
-  if (config_.backend == ServeBackend::kPacked && snap->packed == nullptr) {
-    throw std::invalid_argument(
-        "InferenceServer::publish: packed backend needs a quantized snapshot");
   }
   return registry_.publish(std::move(snap));
 }
@@ -198,9 +199,8 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
 
   SmoreBatchResult result;
   try {
-    result = config_.backend == ServeBackend::kPacked
-                 ? snap->packed->predict_batch_full(queries.view())
-                 : snap->model->predict_batch_full(queries.view());
+    // One virtual call: the snapshot's backend knows its representation.
+    result = snap->backend->predict_batch_full(queries.view());
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (auto& req : batch) req.promise.set_exception(error);
@@ -312,10 +312,11 @@ void InferenceServer::adaptation_loop() {
     // An operator may have published a newer generation while this round
     // was being built off `snap`; the CAS-guarded publish then refuses the
     // stale derivative and the round is shed rather than reverting the
-    // operator's model.
-    if (publish(ModelSnapshot::make(std::move(next),
-                                    config_.backend == ServeBackend::kPacked,
-                                    snap->version + 1))) {
+    // operator's model. The new generation keeps the old one's shape:
+    // re-quantized iff it was quantized (packed δ* carried over), same
+    // shared encoder.
+    if (publish(ModelSnapshot::next_generation(*snap, std::move(next),
+                                               snap->version + 1))) {
       adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
       adaptation_absorbed_.fetch_add(round.size(), std::memory_order_relaxed);
     } else {

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/inference_backend.hpp"
 #include "core/smore.hpp"
 #include "data/timeseries.hpp"
 #include "hdc/encoder_base.hpp"
@@ -53,22 +54,19 @@
 
 namespace smore {
 
-/// Which model of the snapshot answers queries.
-enum class ServeBackend {
-  kFloat,   ///< SmoreModel cosine ensembling
-  kPacked,  ///< BinarySmoreModel XOR+popcount Hamming ensembling
-};
+class Pipeline;
 
 /// Serving runtime knobs. The two scheduler knobs trade latency for
 /// throughput: max_batch caps how much work one kernel pass fuses, and
 /// max_delay_us caps how long the first request of a batch waits for
-/// stragglers when traffic is sparse.
+/// stragglers when traffic is sparse. Which representation answers queries
+/// is NOT a server knob: every snapshot carries its own InferenceBackend
+/// (packed when quantized, float otherwise) and the server just calls it.
 struct ServerConfig {
   std::size_t max_batch = 64;        ///< coalesce at most this many requests
   std::uint32_t max_delay_us = 200;  ///< batch-formation wait after 1st item
   std::size_t num_workers = 1;       ///< batching worker threads
   std::size_t queue_capacity = 1024; ///< request bound (backpressure point)
-  ServeBackend backend = ServeBackend::kFloat;
 
   bool adaptation = false;           ///< run the online-adaptation worker
   std::size_t adapt_min_batch = 64;  ///< OOD windows per enrollment round
@@ -107,13 +105,22 @@ struct ServerStats {
 /// (or shutdown()) drains and joins them.
 class InferenceServer {
  public:
-  /// `boot` is the initial snapshot (must be non-null and must carry a
-  /// packed model when the backend is kPacked — ModelSnapshot::make builds
-  /// one). `encoder` may be null when every request is pre-encoded;
-  /// submit(Window) then throws std::logic_error. The encoder must outlive
-  /// the server. Throws std::invalid_argument on config/snapshot mismatch.
+  /// `boot` is the initial snapshot (must be non-null; its backend answers
+  /// queries). `encoder` may be null, in which case the snapshot's own
+  /// encoder (set when booted from a Pipeline) is used; when neither exists
+  /// every request must be pre-encoded and submit(Window) throws
+  /// std::logic_error. The server shares ownership of the encoder — no
+  /// "must outlive the server" contract. Throws std::invalid_argument on
+  /// config/snapshot mismatch.
   InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
-                  const Encoder* encoder, ServerConfig config = {});
+                  std::shared_ptr<const Encoder> encoder,
+                  ServerConfig config = {});
+
+  /// Boot straight from a deployable Pipeline: snapshot version
+  /// `boot_version`, the pipeline's packed backend when quantized, and the
+  /// pipeline's encoder (shared) for raw-window submission.
+  explicit InferenceServer(const Pipeline& pipeline, ServerConfig config = {},
+                           std::uint64_t boot_version = 1);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -133,8 +140,8 @@ class InferenceServer {
   std::optional<std::future<ServeResult>> try_submit(std::vector<float> hv);
 
   /// Atomically swap the serving model. The snapshot must match the boot
-  /// model's dimension/backend; in-flight batches finish on the generation
-  /// they started with. Returns false when the live generation is already
+  /// model's dimension; in-flight batches finish on the generation they
+  /// started with. Returns false when the live generation is already
   /// >= snap->version (the stale publisher loses; see SnapshotRegistry).
   bool publish(std::shared_ptr<const ModelSnapshot> snap);
 
@@ -179,7 +186,7 @@ class InferenceServer {
 
   ServerConfig config_;
   std::size_t dim_ = 0;
-  const Encoder* encoder_ = nullptr;
+  std::shared_ptr<const Encoder> encoder_;
   SnapshotRegistry registry_;
   MpmcQueue<Request> queue_;
 

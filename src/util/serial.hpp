@@ -1,0 +1,33 @@
+#pragma once
+// Tiny POD stream (de)serialization helpers shared by the binary model and
+// artifact formats. Reads validate the stream and throw std::runtime_error
+// with the caller's context on truncation — every loader's "corrupt input"
+// contract funnels through here.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace smore::serial {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& in, const char* context) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error(std::string(context) + ": truncated stream");
+  }
+  return value;
+}
+
+}  // namespace smore::serial

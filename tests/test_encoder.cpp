@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <numbers>
+#include <sstream>
+#include <string>
 
 #include "data/timeseries.hpp"
 #include "hdc/hypervector.hpp"
@@ -299,6 +303,75 @@ TEST(Encoder, DilationLargerThanWindowClampsGracefully) {
   const MultiSensorEncoder enc(cfg);
   const auto hv = enc.encode(sine_window(1, 12, 1.0));
   EXPECT_GT(hv.norm(), 0.0);
+}
+
+TEST(Encoder, DeterministicReconstructionFromSerializedConfig) {
+  // Artifact portability: an encoder rebuilt from its serialized config+seed
+  // on any host must produce bit-identical basis-derived encodings for any
+  // thread count. Exercise a non-default config so every field round-trips.
+  EncoderConfig cfg = small_config();
+  cfg.quantization_levels = 16;
+  cfg.ngram_dilations = {1, 3, 5};
+  const MultiSensorEncoder original(cfg);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const std::unique_ptr<Encoder> rebuilt = load_encoder(buffer);
+  ASSERT_NE(rebuilt, nullptr);
+  const auto* typed = dynamic_cast<const MultiSensorEncoder*>(rebuilt.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->config().dim, cfg.dim);
+  EXPECT_EQ(typed->config().ngram, cfg.ngram);
+  EXPECT_EQ(typed->config().seed, cfg.seed);
+  EXPECT_EQ(typed->config().quantization_levels, cfg.quantization_levels);
+  EXPECT_EQ(typed->config().antipodal_base, cfg.antipodal_base);
+  EXPECT_EQ(typed->config().ngram_dilations, cfg.ngram_dilations);
+
+  WindowDataset windows("roundtrip", 3, 24);
+  for (int i = 0; i < 12; ++i) {
+    windows.add(sine_window(3, 24, 1.0 + 0.25 * i, 0.1 * i));
+  }
+  HvMatrix ref;
+  original.encode_batch(windows, ref, /*parallel=*/false);
+  for (const bool parallel : {false, true}) {
+    HvMatrix out;
+    rebuilt->encode_batch(windows, out, parallel);
+    ASSERT_EQ(out.rows(), ref.rows());
+    for (std::size_t i = 0; i < ref.rows(); ++i) {
+      const auto a = ref.row(i);
+      const auto b = out.row(i);
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j], b[j]) << "row " << i << " coord " << j
+                              << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST(Encoder, CorruptSerializedRecordThrows) {
+  const MultiSensorEncoder enc(small_config());
+  std::stringstream buffer;
+  enc.save(buffer);
+  const std::string full = buffer.str();
+  // Truncation at every prefix of the record must throw, never crash.
+  for (std::size_t keep = 0; keep < full.size(); keep += 7) {
+    std::stringstream truncated(full.substr(0, keep));
+    EXPECT_THROW((void)load_encoder(truncated), std::runtime_error)
+        << "kept " << keep;
+  }
+  // Unknown tag.
+  std::string bad = full;
+  bad[0] = 'Z';
+  std::stringstream unknown(bad);
+  EXPECT_THROW((void)load_encoder(unknown), std::runtime_error);
+  // Absurd dilation count (the record's last field here) is rejected before
+  // any allocation.
+  std::string garbled = full;
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(garbled.data() + garbled.size() - sizeof(huge), &huge,
+              sizeof(huge));
+  std::stringstream oversized(garbled);
+  EXPECT_THROW((void)load_encoder(oversized), std::runtime_error);
 }
 
 TEST(Encoder, NgramOneIsOrderInsensitiveForPermutedValues) {

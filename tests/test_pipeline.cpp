@@ -1,0 +1,188 @@
+// Pipeline facade tests: the deployable artifact must behave exactly like
+// the hand-wired low-level stack (encoder + SmoreModel + BinarySmoreModel)
+// it owns — facade equivalence — and its lifecycle calls must enforce their
+// contracts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+using testing::tiny_spec;
+
+constexpr std::size_t kDim = 256;
+
+std::shared_ptr<const MultiSensorEncoder> make_test_encoder(
+    std::size_t dim = kDim) {
+  EncoderConfig config;
+  config.dim = dim;
+  return std::make_shared<const MultiSensorEncoder>(config);
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    windows_ = generate_dataset(tiny_spec());
+    held_out_ = generate_dataset(tiny_spec(3, 3, 2, 24, 30, 0x0dd));
+  }
+
+  WindowDataset windows_;
+  WindowDataset held_out_;
+};
+
+TEST_F(PipelineTest, FacadeMatchesTheHandWiredStack) {
+  // Pipeline::fit/predict must equal: encode_dataset + SmoreModel fit +
+  // predict_batch on the same encoder and config.
+  const auto encoder = make_test_encoder();
+  Pipeline pipeline(encoder, windows_.num_classes());
+  pipeline.fit(windows_);
+
+  const HvDataset encoded = encoder->encode_dataset(windows_);
+  SmoreModel reference(windows_.num_classes(), kDim);
+  reference.fit(encoded);
+
+  const std::vector<int> via_facade = pipeline.predict_batch(windows_);
+  const std::vector<int> via_stack = reference.predict_batch(encoded.view());
+  EXPECT_EQ(via_facade, via_stack);
+
+  // Scalar predict is the same batch-of-one.
+  EXPECT_EQ(pipeline.predict(windows_[0]), via_stack[0]);
+  const SmorePrediction detail = pipeline.predict_detail(windows_[0]);
+  EXPECT_EQ(detail.label, via_stack[0]);
+
+  // evaluate() scores against the windows' own labels.
+  const SmoreEvaluation eval = pipeline.evaluate(windows_);
+  EXPECT_DOUBLE_EQ(eval.accuracy, reference.evaluate(encoded).accuracy);
+}
+
+TEST_F(PipelineTest, FitEncodedEqualsFitOnWindows) {
+  // The shared-encoding escape hatch trains the identical model.
+  const auto encoder = make_test_encoder();
+  Pipeline via_windows(encoder, windows_.num_classes());
+  via_windows.fit(windows_);
+  Pipeline via_encoded(encoder, windows_.num_classes());
+  via_encoded.fit_encoded(via_encoded.encode(windows_));
+  EXPECT_EQ(via_windows.predict_batch(windows_),
+            via_encoded.predict_batch(windows_));
+  // And it drops a stale quantization like fit() does.
+  via_encoded.quantize();
+  via_encoded.fit_encoded(via_encoded.encode(windows_));
+  EXPECT_FALSE(via_encoded.quantized());
+}
+
+TEST_F(PipelineTest, QuantizeBuildsThePackedBackend) {
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  pipeline.fit(windows_);
+  EXPECT_FALSE(pipeline.quantized());
+  EXPECT_EQ(pipeline.packed(), nullptr);
+  EXPECT_THROW((void)pipeline.predict_batch_full(windows_,
+                                                 ServeBackend::kPacked),
+               std::logic_error);
+  pipeline.quantize();
+  ASSERT_TRUE(pipeline.quantized());
+  const BinarySmoreModel reference(pipeline.model());
+  const HvDataset encoded = pipeline.encode(windows_);
+  EXPECT_EQ(pipeline.predict_batch(windows_, ServeBackend::kPacked),
+            reference.predict_batch(encoded.view()));
+}
+
+TEST_F(PipelineTest, CalibrateSetsBothThresholds) {
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  pipeline.fit(windows_);
+  pipeline.quantize();
+  const double before_packed = pipeline.packed()->delta_star();
+  const double delta = pipeline.calibrate(windows_, 0.10);
+  EXPECT_DOUBLE_EQ(pipeline.model().config().delta_star, delta);
+  // The packed threshold is re-derived on the Hamming scale — it moves too
+  // (it almost surely differs from the transferred float δ*).
+  EXPECT_NE(pipeline.packed()->delta_star(), before_packed);
+  // ~10% of the calibration set must now be flagged by the float detector.
+  const SmoreEvaluation eval = pipeline.evaluate(windows_);
+  EXPECT_NEAR(eval.ood_rate, 0.10, 0.06);
+  const SmoreEvaluation packed_eval =
+      pipeline.evaluate(windows_, ServeBackend::kPacked);
+  EXPECT_NEAR(packed_eval.ood_rate, 0.10, 0.06);
+}
+
+TEST_F(PipelineTest, QuantizeAfterCalibrateFlagsTheStaleThreshold) {
+  // The calibrate-then-quantize order discards the calibration: the fresh
+  // packed model carries the cosine-scale float δ*, which over-flags on the
+  // Hamming scale. The pipeline must refuse to ship that state.
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  pipeline.fit(windows_);
+  pipeline.calibrate(windows_, 0.05);
+  EXPECT_FALSE(pipeline.packed_calibration_stale());
+  pipeline.quantize();
+  EXPECT_TRUE(pipeline.packed_calibration_stale());
+  std::stringstream buffer;
+  EXPECT_THROW(pipeline.save(buffer), std::logic_error);
+  // calibrate() repairs it (the canonical quantize-then-calibrate order).
+  pipeline.calibrate(windows_, 0.05);
+  EXPECT_FALSE(pipeline.packed_calibration_stale());
+  std::stringstream ok;
+  pipeline.save(ok);
+  EXPECT_TRUE(Pipeline::load(ok).quantized());
+  // quantize() with no prior calibration transfers the float δ* by design
+  // (documented approximation) — not flagged.
+  Pipeline plain(make_test_encoder(), windows_.num_classes());
+  plain.fit(windows_);
+  plain.quantize();
+  EXPECT_FALSE(plain.packed_calibration_stale());
+}
+
+TEST_F(PipelineTest, RefitDropsTheStaleQuantization) {
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  pipeline.fit(windows_);
+  pipeline.quantize();
+  ASSERT_TRUE(pipeline.quantized());
+  pipeline.fit(windows_);  // packed model described the old weights
+  EXPECT_FALSE(pipeline.quantized());
+}
+
+TEST_F(PipelineTest, LifecycleContracts) {
+  EXPECT_THROW(Pipeline(nullptr, 3), std::invalid_argument);
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  EXPECT_FALSE(pipeline.trained());
+  EXPECT_THROW((void)pipeline.predict(windows_[0]), std::logic_error);
+  EXPECT_THROW(pipeline.quantize(), std::logic_error);
+  EXPECT_THROW(pipeline.calibrate(windows_), std::logic_error);
+  std::stringstream buffer;
+  EXPECT_THROW(pipeline.save(buffer), std::logic_error);
+  EXPECT_EQ(pipeline.dim(), kDim);
+  EXPECT_EQ(pipeline.num_classes(), windows_.num_classes());
+}
+
+TEST_F(PipelineTest, EncoderIsShared) {
+  const auto encoder = make_test_encoder();
+  Pipeline pipeline(encoder, windows_.num_classes());
+  EXPECT_EQ(pipeline.encoder_ptr().get(), encoder.get());
+  // 1 local + 1 pipeline.
+  EXPECT_EQ(encoder.use_count(), 2);
+}
+
+TEST_F(PipelineTest, HeldOutDomainIsFlaggedMoreThanTraining) {
+  // Sanity of the end-to-end facade on the paper's actual mechanism: an
+  // unseen population shifted far from training trips the detector more
+  // often than the training windows do.
+  Pipeline pipeline(make_test_encoder(), windows_.num_classes());
+  pipeline.fit(windows_);
+  pipeline.calibrate(windows_, 0.05);
+  SyntheticSpec shifted = tiny_spec();
+  shifted.domain_shift = 6.0;
+  shifted.seed = 0xd15;
+  const SmoreEvaluation in_dist = pipeline.evaluate(windows_);
+  const SmoreEvaluation out_dist =
+      pipeline.evaluate(generate_dataset(shifted));
+  EXPECT_GT(out_dist.ood_rate, in_dist.ood_rate);
+}
+
+}  // namespace
+}  // namespace smore

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <sstream>
 
 #include "data/synthetic.hpp"
 #include "hdc/hypervector.hpp"
@@ -140,6 +142,40 @@ TEST(HvDatasetCentering, MeanAndSubtract) {
   EXPECT_FLOAT_EQ(d.row(1)[1], -2.0f);
   const std::vector<float> bad(3, 0.0f);
   EXPECT_THROW(d.subtract(bad), std::invalid_argument);
+}
+
+TEST(ProjectionEncoder, DeterministicReconstructionFromSerializedConfig) {
+  // The projection matrix is lazily drawn from the seed, so an encoder
+  // rebuilt from its serialized record must produce bit-identical batch
+  // encodings at any thread count.
+  ProjectionEncoderConfig cfg;
+  cfg.dim = 512;
+  cfg.seed = 0xabcd;
+  const ProjectionEncoder original(cfg);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const std::unique_ptr<Encoder> rebuilt = load_encoder(buffer);
+  const auto* typed = dynamic_cast<const ProjectionEncoder*>(rebuilt.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->config().dim, cfg.dim);
+  EXPECT_EQ(typed->config().seed, cfg.seed);
+
+  const WindowDataset windows = generate_dataset(tiny_spec());
+  HvMatrix ref;
+  original.encode_batch(windows, ref, /*parallel=*/false);
+  for (const bool parallel : {false, true}) {
+    HvMatrix out;
+    rebuilt->encode_batch(windows, out, parallel);
+    ASSERT_EQ(out.rows(), ref.rows());
+    for (std::size_t i = 0; i < ref.rows(); ++i) {
+      const auto a = ref.row(i);
+      const auto b = out.row(i);
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j], b[j]) << "row " << i << " coord " << j;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,15 +1,23 @@
 // Serialization round-trip tests: OnlineHD models (covered in
-// test_onlinehd), descriptor banks, the full SMORE model, and the packed
-// BinarySmoreModel — a deployed edge/serving model must reload
-// bit-identically without retraining (the server boots snapshots from disk).
+// test_onlinehd), descriptor banks, the full SMORE model, the packed
+// BinarySmoreModel, and the Pipeline artifact container — a deployed
+// edge/serving model must reload bit-identically without retraining (the
+// server boots snapshots from disk), and a corrupt artifact must be
+// rejected without unbounded allocations.
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "core/binary_smore.hpp"
 #include "core/domain_descriptor.hpp"
+#include "core/pipeline.hpp"
 #include "core/smore.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
 #include "test_util.hpp"
 
 namespace smore {
@@ -154,6 +162,186 @@ TEST_F(SmoreSerializationTest, BinaryModelTruncatedPayloadThrows) {
   const std::string full = buffer.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(BinarySmoreModel::load(truncated), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline artifact container (DESIGN.md §10): header + encoder section +
+// model section + optional packed section.
+
+class PipelineSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    windows_ = generate_dataset(testing::tiny_spec());
+    EncoderConfig ec;
+    ec.dim = 192;  // not a multiple of 64: exercises packed-row padding
+    pipeline_ = std::make_unique<Pipeline>(
+        std::make_shared<const MultiSensorEncoder>(ec),
+        windows_.num_classes());
+    pipeline_->fit(windows_);
+    pipeline_->quantize();
+    pipeline_->calibrate(windows_, 0.08);  // both scales, after quantize
+  }
+
+  [[nodiscard]] std::string artifact() const {
+    std::stringstream buffer;
+    pipeline_->save(buffer);
+    return buffer.str();
+  }
+
+  /// Expect each per-query output of one batched Algorithm 1 pass to be
+  /// bit-identical between two pipelines, on the given backend.
+  void expect_identical(const Pipeline& a, const Pipeline& b,
+                        ServeBackend backend) const {
+    const SmoreBatchResult ra = a.predict_batch_full(windows_, backend);
+    const SmoreBatchResult rb = b.predict_batch_full(windows_, backend);
+    ASSERT_EQ(ra.labels.size(), rb.labels.size());
+    EXPECT_EQ(ra.labels, rb.labels);
+    EXPECT_EQ(ra.ood, rb.ood);
+    EXPECT_EQ(ra.num_domains, rb.num_domains);
+    for (std::size_t i = 0; i < ra.labels.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ra.max_similarity[i], rb.max_similarity[i]) << i;
+    }
+    for (std::size_t i = 0; i < ra.weights.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ra.weights[i], rb.weights[i]) << i;
+    }
+  }
+
+  WindowDataset windows_;
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(PipelineSerializationTest, RoundTripIsBitIdenticalOnBothBackends) {
+  std::stringstream buffer;
+  pipeline_->save(buffer);
+  const Pipeline loaded = Pipeline::load(buffer);
+  EXPECT_EQ(loaded.dim(), pipeline_->dim());
+  EXPECT_EQ(loaded.num_classes(), pipeline_->num_classes());
+  EXPECT_EQ(loaded.num_domains(), pipeline_->num_domains());
+  ASSERT_TRUE(loaded.quantized());
+  EXPECT_DOUBLE_EQ(loaded.model().config().delta_star,
+                   pipeline_->model().config().delta_star);
+  EXPECT_DOUBLE_EQ(loaded.packed()->delta_star(),
+                   pipeline_->packed()->delta_star());
+  expect_identical(*pipeline_, loaded, ServeBackend::kFloat);
+  expect_identical(*pipeline_, loaded, ServeBackend::kPacked);
+}
+
+TEST_F(PipelineSerializationTest, UnquantizedArtifactHasNoPackedSection) {
+  Pipeline plain(pipeline_->encoder_ptr(), windows_.num_classes());
+  plain.fit(windows_);
+  std::stringstream buffer;
+  plain.save(buffer);
+  const Pipeline loaded = Pipeline::load(buffer);
+  EXPECT_FALSE(loaded.quantized());
+  expect_identical(plain, loaded, ServeBackend::kFloat);
+}
+
+TEST_F(PipelineSerializationTest, TruncatedHeaderThrows) {
+  const std::string full = artifact();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{7}, std::size_t{11}}) {
+    std::stringstream truncated(full.substr(0, keep));
+    EXPECT_THROW(Pipeline::load(truncated), std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(PipelineSerializationTest, GarbledMagicThrows) {
+  std::string full = artifact();
+  full[0] = 'X';
+  std::stringstream garbled(full);
+  EXPECT_THROW(Pipeline::load(garbled), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, ImplausibleSectionCountThrows) {
+  std::string full = artifact();
+  const std::uint32_t bogus = 0x7fffffff;
+  std::memcpy(full.data() + 8, &bogus, sizeof(bogus));  // section-count field
+  std::stringstream garbled(full);
+  EXPECT_THROW(Pipeline::load(garbled), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, OversizedSectionLengthIsRejected) {
+  // Blow up the first section's declared length. The loader must reject via
+  // the consumed-vs-declared check (or EOF) — it never allocates memory
+  // proportional to the declared length, so a 2^60-byte claim is safe.
+  std::string full = artifact();
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(full.data() + 12 + 4, &huge, sizeof(huge));
+  std::stringstream garbled(full);
+  EXPECT_THROW(Pipeline::load(garbled), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, UndersizedSectionLengthIsRejected) {
+  std::string full = artifact();
+  const std::uint64_t tiny = 1;
+  std::memcpy(full.data() + 12 + 4, &tiny, sizeof(tiny));
+  std::stringstream garbled(full);
+  EXPECT_THROW(Pipeline::load(garbled), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, TruncatedPayloadThrows) {
+  const std::string full = artifact();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(Pipeline::load(truncated), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, UnknownSectionIsSkipped) {
+  // Forward compatibility: a newer writer may append sections this reader
+  // does not know. Rebuild the artifact with an extra trailing section and
+  // expect a clean load.
+  std::string full = artifact();
+  const std::uint32_t count = 4;
+  std::memcpy(full.data() + 8, &count, sizeof(count));
+  const std::uint32_t unknown_id = 99;
+  const std::string payload = "future-section-payload";
+  const std::uint64_t length = payload.size();
+  full.append(reinterpret_cast<const char*>(&unknown_id), sizeof(unknown_id));
+  full.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  full.append(payload);
+  std::stringstream extended(full);
+  const Pipeline loaded = Pipeline::load(extended);
+  expect_identical(*pipeline_, loaded, ServeBackend::kPacked);
+}
+
+TEST_F(PipelineSerializationTest, UnderstatedSectionCountThrows) {
+  // A quantized artifact's count corrupted from 3 to 2 must NOT load as a
+  // float-only pipeline (silently dropping the packed section and its
+  // calibration) — trailing bytes after the declared sections are rejected.
+  std::string full = artifact();
+  const std::uint32_t count = 2;
+  std::memcpy(full.data() + 8, &count, sizeof(count));
+  std::stringstream garbled(full);
+  EXPECT_THROW(Pipeline::load(garbled), std::runtime_error);
+}
+
+TEST_F(PipelineSerializationTest, SaveRejectsAStaleQuantization) {
+  // Mutating the float model after quantize() (here: absorbing a new
+  // domain) must not persist an artifact whose two backends disagree.
+  const HvDataset encoded = pipeline_->encode(windows_);
+  pipeline_->model().absorb_labeled(encoded.row(0), encoded.label(0),
+                                    /*domain_id=*/999);
+  std::stringstream buffer;
+  EXPECT_THROW(pipeline_->save(buffer), std::logic_error);
+  pipeline_->quantize();               // refresh the weights…
+  pipeline_->calibrate(windows_, 0.08);  // …and the discarded calibration
+  std::stringstream ok;
+  pipeline_->save(ok);
+  EXPECT_TRUE(Pipeline::load(ok).quantized());
+}
+
+TEST_F(PipelineSerializationTest, MissingModelSectionThrows) {
+  // Header claims one section (the encoder) and the stream ends there: a
+  // structurally valid but incomplete artifact must be rejected.
+  std::string full = artifact();
+  // Keep header + first section only, patch count to 1.
+  std::uint64_t first_len = 0;
+  std::memcpy(&first_len, full.data() + 12 + 4, sizeof(first_len));
+  std::string clipped = full.substr(0, 12 + 4 + 8 + first_len);
+  const std::uint32_t count = 1;
+  std::memcpy(clipped.data() + 8, &count, sizeof(count));
+  std::stringstream incomplete(clipped);
+  EXPECT_THROW(Pipeline::load(incomplete), std::runtime_error);
 }
 
 }  // namespace

@@ -8,10 +8,13 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/binary_smore.hpp"
+#include "core/pipeline.hpp"
 #include "core/smore.hpp"
 #include "data/synthetic.hpp"
 #include "hdc/encoder.hpp"
@@ -126,32 +129,56 @@ TEST_F(ServeTest, SchedulerIsEquivalentToDirectBatchedCall) {
 }
 
 TEST_F(ServeTest, PackedBackendMatchesDirectPackedCall) {
+  // A quantized snapshot serves through its packed backend; the server
+  // itself never selects a representation.
   const auto snap = snapshot(/*quantize=*/true);
+  ASSERT_EQ(snap->backend->kind(), ServeBackend::kPacked);
   const SmoreBatchResult ref =
       snap->packed->predict_batch_full(queries_.view());
   ServerConfig cfg;
   cfg.max_batch = 16;
   cfg.max_delay_us = 100;
-  cfg.backend = ServeBackend::kPacked;
   InferenceServer server(snap, nullptr, cfg);
   expect_matches_reference(server, ref, 4);
 }
 
-TEST_F(ServeTest, PackedBackendRequiresQuantizedSnapshot) {
-  ServerConfig cfg;
-  cfg.backend = ServeBackend::kPacked;
-  EXPECT_THROW(InferenceServer(snapshot(/*quantize=*/false), nullptr, cfg),
-               std::invalid_argument);
+TEST_F(ServeTest, SnapshotInstallsTheMatchingBackend) {
+  const auto float_snap = snapshot(/*quantize=*/false);
+  ASSERT_NE(float_snap->backend, nullptr);
+  EXPECT_EQ(float_snap->backend->kind(), ServeBackend::kFloat);
+  EXPECT_STREQ(float_snap->backend->name(), "float");
+  EXPECT_EQ(float_snap->backend->dim(), kDim);
+  EXPECT_EQ(float_snap->backend->num_domains(),
+            static_cast<std::size_t>(kDomains));
+  EXPECT_EQ(float_snap->backend->footprint_bytes(),
+            float_snap->model->footprint_bytes());
+
+  const auto packed_snap = snapshot(/*quantize=*/true);
+  ASSERT_NE(packed_snap->backend, nullptr);
+  EXPECT_EQ(packed_snap->backend->kind(), ServeBackend::kPacked);
+  EXPECT_STREQ(packed_snap->backend->name(), "packed");
+  EXPECT_EQ(packed_snap->backend->footprint_bytes(),
+            packed_snap->packed->footprint_bytes());
+  // Both answer through the same interface call.
+  const SmoreBatchResult a =
+      float_snap->backend->predict_batch_full(queries_.view());
+  const SmoreBatchResult b =
+      packed_snap->backend->predict_batch_full(queries_.view());
+  EXPECT_EQ(a.labels, float_snap->model->predict_batch(queries_.view()));
+  EXPECT_EQ(b.labels, packed_snap->packed->predict_batch(queries_.view()));
 }
 
 TEST_F(ServeTest, WindowRequestsAreEncodedInBatch) {
   // End-to-end: raw windows in, labels out, against the encoder's own
-  // batch encoding + a direct predict.
+  // batch encoding + a direct predict. The server takes SHARED ownership of
+  // the encoder: the submitting side drops its reference mid-test and the
+  // requests must still encode (no "encoder must outlive the server"
+  // contract).
   const WindowDataset raw = generate_dataset(tiny_spec());
   EncoderConfig ec;
   ec.dim = kDim;
-  const MultiSensorEncoder encoder(ec);
-  const HvDataset encoded = encoder.encode_dataset(raw);
+  auto encoder = std::make_shared<const MultiSensorEncoder>(ec);
+  const HvDataset encoded = encoder->encode_dataset(raw);
   SmoreModel window_model(raw.num_classes(), kDim);
   window_model.fit(encoded);
   const auto snap = ModelSnapshot::make(window_model.clone(), false, 1);
@@ -160,7 +187,8 @@ TEST_F(ServeTest, WindowRequestsAreEncodedInBatch) {
   ServerConfig cfg;
   cfg.max_batch = 8;
   cfg.max_delay_us = 200;
-  InferenceServer server(snap, &encoder, cfg);
+  InferenceServer server(snap, encoder, cfg);
+  encoder.reset();  // the server's shared ownership keeps it alive
   std::vector<std::future<ServeResult>> futures;
   futures.reserve(raw.size());
   for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -180,9 +208,9 @@ TEST_F(ServeTest, MixedWindowShapesCoalesceIntoIndependentGroups) {
       generate_dataset(tiny_spec(3, 3, 2, 48));  // different step count
   EncoderConfig ec;
   ec.dim = kDim;
-  const MultiSensorEncoder encoder(ec);
-  const HvDataset enc_a = encoder.encode_dataset(raw_a);
-  const HvDataset enc_b = encoder.encode_dataset(raw_b);
+  const auto encoder = std::make_shared<const MultiSensorEncoder>(ec);
+  const HvDataset enc_a = encoder->encode_dataset(raw_a);
+  const HvDataset enc_b = encoder->encode_dataset(raw_b);
   SmoreModel window_model(raw_a.num_classes(), kDim);
   window_model.fit(enc_a);
   const auto snap = ModelSnapshot::make(window_model.clone(), false, 1);
@@ -192,7 +220,7 @@ TEST_F(ServeTest, MixedWindowShapesCoalesceIntoIndependentGroups) {
   ServerConfig cfg;
   cfg.max_batch = 16;
   cfg.max_delay_us = 500;
-  InferenceServer server(snap, &encoder, cfg);
+  InferenceServer server(snap, encoder, cfg);
   const std::size_t n = std::min<std::size_t>(24, raw_b.size());
   std::vector<std::future<ServeResult>> fut_a;
   std::vector<std::future<ServeResult>> fut_b;
@@ -310,6 +338,145 @@ TEST_F(ServeTest, PublishRejectsMismatchedSnapshot) {
   other.fit(separable_hv_dataset(kClasses, kDomains, 4, kDim / 2));
   EXPECT_THROW(server.publish(ModelSnapshot::make(std::move(other), false, 9)),
                std::invalid_argument);
+}
+
+TEST_F(ServeTest, ServerBootsFromAPipeline) {
+  // One call from deployable artifact to serving: the snapshot takes the
+  // pipeline's cloned model, its packed backend (δ* calibration preserved),
+  // and shares its encoder for raw-window submission.
+  const WindowDataset raw = generate_dataset(tiny_spec());
+  EncoderConfig ec;
+  ec.dim = kDim;
+  Pipeline pipeline(std::make_shared<const MultiSensorEncoder>(ec),
+                    raw.num_classes());
+  pipeline.fit(raw);
+  pipeline.quantize();
+  const std::vector<int> ref =
+      pipeline.predict_batch(raw, ServeBackend::kPacked);
+
+  InferenceServer server(pipeline, {});
+  ASSERT_NE(server.snapshot()->backend, nullptr);
+  EXPECT_EQ(server.snapshot()->backend->kind(), ServeBackend::kPacked);
+  EXPECT_NE(server.snapshot()->encoder, nullptr);
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    futures.push_back(server.submit(raw[i]));
+  }
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(futures[i].get().label, ref[i]) << "window " << i;
+  }
+}
+
+TEST_F(ServeTest, SnapshotRefusesAStalePackedCalibration) {
+  // calibrate-then-quantize leaves the packed δ* on the cosine scale;
+  // serving it would over-flag OOD and poison every adapted generation.
+  const WindowDataset raw = generate_dataset(tiny_spec());
+  EncoderConfig ec;
+  ec.dim = kDim;
+  Pipeline pipeline(std::make_shared<const MultiSensorEncoder>(ec),
+                    raw.num_classes());
+  pipeline.fit(raw);
+  pipeline.calibrate(raw, 0.05);
+  pipeline.quantize();
+  EXPECT_THROW((void)ModelSnapshot::make(pipeline, 1), std::logic_error);
+  // The float backend of the same pipeline is fine…
+  EXPECT_NE(ModelSnapshot::make(pipeline, 1, /*prefer_packed=*/false),
+            nullptr);
+  // …and recalibrating repairs the packed one.
+  pipeline.calibrate(raw, 0.05);
+  EXPECT_EQ(ModelSnapshot::make(pipeline, 1)->backend->kind(),
+            ServeBackend::kPacked);
+}
+
+TEST_F(ServeTest, SnapshotBootsFromAnArtifactStream) {
+  // Disk → serving: a .smore artifact stream yields a complete snapshot
+  // (packed backend + encoder) with predictions identical to the writer's.
+  const WindowDataset raw = generate_dataset(tiny_spec());
+  EncoderConfig ec;
+  ec.dim = kDim;
+  Pipeline pipeline(std::make_shared<const MultiSensorEncoder>(ec),
+                    raw.num_classes());
+  pipeline.fit(raw);
+  pipeline.quantize();
+  std::stringstream artifact;
+  pipeline.save(artifact);
+
+  const auto snap = ModelSnapshot::from_artifact(artifact, /*version=*/7);
+  EXPECT_EQ(snap->version, 7u);
+  ASSERT_NE(snap->backend, nullptr);
+  EXPECT_EQ(snap->backend->kind(), ServeBackend::kPacked);
+  ASSERT_NE(snap->encoder, nullptr);
+  EXPECT_EQ(snap->encoder->dim(), kDim);
+
+  InferenceServer server(snap, nullptr, {});  // encoder comes from the snap
+  const std::vector<int> ref =
+      pipeline.predict_batch(raw, ServeBackend::kPacked);
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    futures.push_back(server.submit(raw[i]));
+  }
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(futures[i].get().label, ref[i]) << "window " << i;
+  }
+}
+
+TEST_F(ServeTest, AdaptationKeepsTheSnapshotShapeAcrossGenerations) {
+  // After an adaptation round the published generation must keep the old
+  // one's backend kind (re-quantized) and shared encoder — the serving
+  // contract does not change under the operator's feet.
+  const WindowDataset raw = generate_dataset(tiny_spec());
+  EncoderConfig ec;
+  ec.dim = kDim;
+  Pipeline pipeline(std::make_shared<const MultiSensorEncoder>(ec),
+                    raw.num_classes());
+  pipeline.fit(raw);
+  pipeline.quantize();
+  pipeline.calibrate(raw, 0.05);  // packed δ* calibrated on its own scale
+
+  ServerConfig cfg;
+  cfg.adaptation = true;
+  cfg.adapt_min_batch = 16;
+  cfg.adapt_poll_ms = 1;
+  InferenceServer server(pipeline, cfg);
+  const auto boot = server.snapshot();
+
+  // Far-out-of-distribution cluster (mutually similar, unlike training).
+  Rng rng(0x5eed5);
+  std::vector<float> proto(kDim);
+  for (auto& x : proto) x = static_cast<float>(rng.normal() * 2.0);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<float> hv(kDim);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      hv[j] = proto[j] + static_cast<float>(rng.normal(0.0, 0.2));
+    }
+    futures.push_back(server.submit(std::move(hv)));
+  }
+  std::size_t flagged = 0;
+  for (auto& f : futures) flagged += f.get().is_ood ? 1 : 0;
+  if (flagged >= cfg.adapt_min_batch) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.stats().adaptation_rounds == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  server.shutdown();
+  const auto live = server.snapshot();
+  if (server.stats().adaptation_rounds > 0) {
+    EXPECT_GT(live->version, boot->version);
+    ASSERT_NE(live->packed, nullptr);  // re-quantized
+    EXPECT_EQ(live->backend->kind(), ServeBackend::kPacked);
+    EXPECT_EQ(live->encoder, boot->encoder);  // same shared encoder
+    // The Hamming-scale δ* calibration survives re-quantization (a fresh
+    // BinarySmoreModel would have reset it to the cosine-scale float δ*).
+    EXPECT_DOUBLE_EQ(live->packed->delta_star(), boot->packed->delta_star());
+    EXPECT_NE(live->packed->delta_star(),
+              live->model->config().delta_star);
+  }
 }
 
 TEST_F(ServeTest, AdaptationWorkerEnrollsAnUnseenDomainUnderLoad) {

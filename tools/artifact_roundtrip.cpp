@@ -1,0 +1,186 @@
+// Cross-process/cross-host artifact verification tool (the CI round-trip
+// jobs drive this; DESIGN.md §10).
+//
+//   --save:   deterministically generate a dataset, fit + calibrate +
+//             quantize a Pipeline, write the .smore artifact AND an
+//             expectation file holding the per-query outputs of BOTH
+//             backends on a fixed probe set.
+//   --verify: in a fresh process (on CI: a different machine), load the
+//             artifact, regenerate the same probe deterministically, and
+//             compare every label/OOD verdict (exactly) and every δ_max
+//             (within a tiny tolerance for cross-host FP differences).
+//
+// Any accidental change to the artifact format, the encoder reconstruction,
+// or the serialized model state shows up here as a verification failure —
+// before a deployment ever sees it.
+//
+//   ./build/tool_artifact_roundtrip --save   --artifact=m.smore --expect=e.bin
+//   ./build/tool_artifact_roundtrip --verify --artifact=m.smore --expect=e.bin
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "util/cli.hpp"
+#include "util/serial.hpp"
+
+namespace {
+using namespace smore;
+
+constexpr std::uint32_t kExpectMagic = 0x45585054;  // "EXPT"
+constexpr double kSimilarityTolerance = 1e-6;
+
+/// The fixed training/probe workload: everything derives from constants so
+/// --save and --verify agree across processes and hosts.
+struct Workload {
+  WindowDataset train;
+  WindowDataset probe;
+};
+
+Workload make_workload() {
+  SyntheticSpec spec;
+  spec.name = "artifact-roundtrip";
+  spec.activities = 4;
+  spec.subjects = 3;
+  spec.subject_to_domain = {0, 1, 2};
+  spec.channels = 3;
+  spec.window_steps = 32;
+  spec.sample_rate_hz = 50.0;
+  spec.domain_counts = {60, 60, 60};
+  spec.domain_shift = 1.0;
+  spec.seed = 0xa27e;
+  const WindowDataset all = generate_dataset(spec);
+  const Split fold = lodo_split(all, 2);
+  return {take(all, fold.train), take(all, fold.test)};
+}
+
+/// Expectation record: for each backend, labels + ood (exact) and δ_max.
+void write_expectations(const std::string& path, const Pipeline& pipeline,
+                        const WindowDataset& probe) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  serial::write_pod(out, kExpectMagic);
+  for (const ServeBackend backend : {ServeBackend::kFloat,
+                                     ServeBackend::kPacked}) {
+    const SmoreBatchResult r = pipeline.predict_batch_full(probe, backend);
+    serial::write_pod(out, static_cast<std::uint64_t>(r.labels.size()));
+    serial::write_pod(out, static_cast<std::uint64_t>(r.num_domains));
+    for (const int label : r.labels) {
+      serial::write_pod(out, static_cast<std::int32_t>(label));
+    }
+    for (const std::uint8_t o : r.ood) serial::write_pod(out, o);
+    for (const double s : r.max_similarity) serial::write_pod(out, s);
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+int verify_expectations(const std::string& path, const Pipeline& pipeline,
+                        const WindowDataset& probe) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  constexpr const char* ctx = "expectations";
+  if (serial::read_pod<std::uint32_t>(in, ctx) != kExpectMagic) {
+    throw std::runtime_error("expectations: bad magic");
+  }
+  std::size_t mismatches = 0;
+  for (const ServeBackend backend : {ServeBackend::kFloat,
+                                     ServeBackend::kPacked}) {
+    const char* name = backend == ServeBackend::kFloat ? "float" : "packed";
+    const SmoreBatchResult r = pipeline.predict_batch_full(probe, backend);
+    const auto n = serial::read_pod<std::uint64_t>(in, ctx);
+    const auto k = serial::read_pod<std::uint64_t>(in, ctx);
+    if (n != r.labels.size() || k != r.num_domains) {
+      std::fprintf(stderr, "[%s] arity mismatch: expected %llu queries / "
+                   "%llu domains, got %zu / %zu\n",
+                   name, static_cast<unsigned long long>(n),
+                   static_cast<unsigned long long>(k), r.labels.size(),
+                   r.num_domains);
+      return 1;
+    }
+    std::vector<std::int32_t> labels(n);
+    for (auto& l : labels) l = serial::read_pod<std::int32_t>(in, ctx);
+    std::vector<std::uint8_t> ood(n);
+    for (auto& o : ood) o = serial::read_pod<std::uint8_t>(in, ctx);
+    std::vector<double> sims(n);
+    for (auto& s : sims) s = serial::read_pod<double>(in, ctx);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bad_label = labels[i] != r.labels[i];
+      const bool bad_ood = ood[i] != r.ood[i];
+      const bool bad_sim =
+          std::abs(sims[i] - r.max_similarity[i]) > kSimilarityTolerance;
+      if (bad_label || bad_ood || bad_sim) {
+        ++mismatches;
+        if (mismatches <= 5) {
+          std::fprintf(stderr,
+                       "[%s] query %zu: label %d/%d ood %u/%u dmax %.9f/%.9f\n",
+                       name, i, labels[i], r.labels[i], ood[i], r.ood[i],
+                       sims[i], r.max_similarity[i]);
+        }
+      }
+    }
+    std::printf("[%s] %llu queries verified\n", name,
+                static_cast<unsigned long long>(n));
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FAILED: %zu mismatching queries\n", mismatches);
+    return 1;
+  }
+  std::printf("artifact round-trip verified: all predictions match\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smore;
+
+  CliParser cli("Train/verify a .smore Pipeline artifact across processes "
+                "(the CI cross-job round-trip).");
+  cli.flag_bool("save", false, "train and write artifact + expectations")
+      .flag_bool("verify", false, "load artifact and verify expectations")
+      .flag_string("artifact", "model.smore", "artifact path")
+      .flag_string("expect", "expected.bin", "expectations path")
+      .flag_int("dim", 1024, "hyperdimension (save only)");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string artifact_path = cli.get_string("artifact");
+  const std::string expect_path = cli.get_string("expect");
+
+  const Workload workload = make_workload();
+
+  if (cli.get_bool("save")) {
+    EncoderConfig ec;
+    ec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+    ec.seed = 0x5304e;
+    Pipeline pipeline(std::make_shared<const MultiSensorEncoder>(ec),
+                      workload.train.num_classes());
+    pipeline.fit(workload.train);
+    pipeline.quantize();
+    pipeline.calibrate(workload.train, 0.05);  // both scales, after quantize
+    pipeline.save(artifact_path);
+    write_expectations(expect_path, pipeline, workload.probe);
+    std::printf("saved %s (+ %s): d=%zu, %zu domains, %d classes, "
+                "%zu probe windows\n",
+                artifact_path.c_str(), expect_path.c_str(), pipeline.dim(),
+                pipeline.num_domains(), pipeline.num_classes(),
+                workload.probe.size());
+    return 0;
+  }
+  if (cli.get_bool("verify")) {
+    const Pipeline pipeline = Pipeline::load(artifact_path);
+    if (!pipeline.quantized()) {
+      std::fprintf(stderr, "artifact lost its packed section\n");
+      return 1;
+    }
+    return verify_expectations(expect_path, pipeline, workload.probe);
+  }
+  std::fprintf(stderr, "pass --save or --verify\n");
+  return 1;
+}
