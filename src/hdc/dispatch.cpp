@@ -1,0 +1,255 @@
+// Kernel dispatch resolution (see dispatch.hpp). The variant TUs under
+// src/hdc/kernels/ each export one register_<tier>() that overwrites the
+// slots it implements; resolution walks the tier ladder from scalar upward,
+// applying every tier the host supports (optionally capped by SMORE_KERNEL),
+// so each slot ends at the fastest implemented variant and gaps fall back
+// naturally. Which TUs exist is a build-time fact (SMORE_KERNELS_* macros
+// from CMakeLists.txt); which apply is a run-time fact (cpu_features).
+
+#include "hdc/dispatch.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smore::kern {
+
+// Registration hooks exported by the variant TUs. Scalar always exists and
+// fills every slot; the others are compiled only when the toolchain and
+// target architecture allow (CMake defines the matching macro).
+void register_scalar(const CpuFeatures& f, KernelTable& t,
+                     const char** variant);
+#if defined(SMORE_KERNELS_SSE2)
+void register_sse2(const CpuFeatures& f, KernelTable& t, const char** variant);
+#endif
+#if defined(SMORE_KERNELS_AVX2)
+void register_avx2(const CpuFeatures& f, KernelTable& t, const char** variant);
+#endif
+#if defined(SMORE_KERNELS_AVX512)
+void register_avx512(const CpuFeatures& f, KernelTable& t,
+                     const char** variant);
+#endif
+#if defined(SMORE_KERNELS_AVX512VPOPCNT)
+void register_avx512vpopcnt(const CpuFeatures& f, KernelTable& t,
+                            const char** variant);
+#endif
+#if defined(SMORE_KERNELS_NEON)
+void register_neon(const CpuFeatures& f, KernelTable& t, const char** variant);
+#endif
+
+namespace {
+
+bool tier_supported_by(const CpuFeatures& f, IsaTier t) {
+  if (!tier_compiled(t)) return false;
+  switch (t) {
+    case IsaTier::kScalar:
+      return true;
+    case IsaTier::kSse2:
+      return f.sse2;
+    case IsaTier::kAvx2:
+      return f.avx2 && f.fma && f.popcnt;
+    case IsaTier::kAvx512:
+      // Must match the TU's compile flags exactly: -mavx512f -mavx512bw
+      // -mavx512vl plus AVX2-class 256-bit loads and FMA (CMakeLists.txt).
+      return f.avx512f && f.avx512bw && f.avx512vl && f.avx2 && f.fma &&
+             f.popcnt;
+    case IsaTier::kNeon:
+      return f.neon;
+  }
+  return false;
+}
+
+/// Apply one tier's registrations (no-op if its TU is not compiled in).
+void apply_tier(IsaTier t, const CpuFeatures& f, Dispatch& d) {
+  const char** v = d.kernel_variant;
+  switch (t) {
+    case IsaTier::kScalar:
+      register_scalar(f, d.table, v);
+      break;
+    case IsaTier::kSse2:
+#if defined(SMORE_KERNELS_SSE2)
+      register_sse2(f, d.table, v);
+#endif
+      break;
+    case IsaTier::kAvx2:
+#if defined(SMORE_KERNELS_AVX2)
+      register_avx2(f, d.table, v);
+#endif
+      break;
+    case IsaTier::kAvx512:
+#if defined(SMORE_KERNELS_AVX512)
+      register_avx512(f, d.table, v);
+#endif
+#if defined(SMORE_KERNELS_AVX512VPOPCNT)
+      // VPOPCNTDQ is a separate CPUID bit (absent on Skylake-X class
+      // hosts), so its Hamming kernels apply only when the CPU has it.
+      if (f.avx512vpopcntdq) register_avx512vpopcnt(f, d.table, v);
+#endif
+      break;
+    case IsaTier::kNeon:
+#if defined(SMORE_KERNELS_NEON)
+      register_neon(f, d.table, v);
+#endif
+      break;
+  }
+  d.tier = t;
+}
+
+Dispatch resolve() {
+  Dispatch d;
+  d.features = detect_cpu_features();
+
+  IsaTier forced_tier = IsaTier::kScalar;
+  const char* env = std::getenv("SMORE_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    if (parse_tier(env, forced_tier)) {
+      d.forced = true;
+    } else if (std::strcmp(env, "auto") != 0) {
+      std::fprintf(stderr,
+                   "[smore] SMORE_KERNEL=%s not recognized "
+                   "(scalar|sse2|avx2|avx512|neon|auto); using auto\n",
+                   env);
+    }
+  }
+
+  for (int t = 0; t < kNumTiers; ++t) {
+    const auto tier = static_cast<IsaTier>(t);
+    if (d.forced && tier > forced_tier) continue;
+    if (!tier_supported_by(d.features, tier)) continue;
+    apply_tier(tier, d.features, d);
+  }
+  d.clamped = d.forced && !tier_supported_by(d.features, forced_tier);
+  if (d.clamped) {
+    std::fprintf(stderr,
+                 "[smore] SMORE_KERNEL=%s is not executable on this host "
+                 "(compiled=%d); clamped to %s\n",
+                 tier_name(forced_tier),
+                 tier_compiled(forced_tier) ? 1 : 0, tier_name(d.tier));
+  }
+  return d;
+}
+
+// Resolved dispatches are interned (never freed) so references handed out
+// by dispatch() stay valid across reinitialize_dispatch() and LeakSanitizer
+// sees reachable memory. Bounded by the number of reinitialize calls.
+std::mutex g_mutex;
+std::vector<std::unique_ptr<Dispatch>>& interned() {
+  static std::vector<std::unique_ptr<Dispatch>> v;
+  return v;
+}
+std::atomic<const Dispatch*> g_active{nullptr};
+
+}  // namespace
+
+const Dispatch& dispatch() {
+  const Dispatch* d = g_active.load(std::memory_order_acquire);
+  if (d != nullptr) return *d;
+  return reinitialize_dispatch();
+}
+
+const Dispatch& reinitialize_dispatch() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  interned().push_back(std::make_unique<Dispatch>(resolve()));
+  const Dispatch* d = interned().back().get();
+  g_active.store(d, std::memory_order_release);
+  return *d;
+}
+
+bool tier_compiled(IsaTier t) {
+  switch (t) {
+    case IsaTier::kScalar:
+      return true;
+    case IsaTier::kSse2:
+#if defined(SMORE_KERNELS_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case IsaTier::kAvx2:
+#if defined(SMORE_KERNELS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case IsaTier::kAvx512:
+#if defined(SMORE_KERNELS_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case IsaTier::kNeon:
+#if defined(SMORE_KERNELS_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool tier_supported(IsaTier t) {
+  return tier_supported_by(dispatch().features, t);
+}
+
+const char* tier_name(IsaTier t) {
+  switch (t) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kSse2:
+      return "sse2";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+    case IsaTier::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kDot:
+      return "dot";
+    case Kernel::kDotAndNorms:
+      return "dot_and_norms";
+    case Kernel::kDotMatrixTile:
+      return "dot_matrix_tile";
+    case Kernel::kNgramAxpy:
+      return "ngram_axpy";
+    case Kernel::kProjectCosTile:
+      return "project_cos_tile";
+    case Kernel::kSignPackRow:
+      return "sign_pack_row";
+    case Kernel::kHammingBatch:
+      return "hamming_batch";
+    case Kernel::kHammingMatrixTile:
+      return "hamming_matrix_tile";
+  }
+  return "?";
+}
+
+bool parse_tier(const char* s, IsaTier& out) {
+  if (s == nullptr) return false;
+  std::string lower;
+  for (const char* p = s; *p != '\0'; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  for (int t = 0; t < kNumTiers; ++t) {
+    const auto tier = static_cast<IsaTier>(t);
+    if (lower == tier_name(tier)) {
+      out = tier;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace smore::kern

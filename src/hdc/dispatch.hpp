@@ -1,0 +1,126 @@
+#pragma once
+// Runtime CPU-dispatch layer for the hot kernels (DESIGN.md §11).
+//
+// One fat binary carries every SIMD variant the compiler could build
+// (src/hdc/kernels/kernels_*.cpp, each compiled per-TU with explicit arch
+// flags — never -march=native); at first use this layer detects the host
+// CPU (util/cpu_features.hpp) and resolves ONE function pointer per kernel
+// slot to the fastest variant the host can execute. ops.hpp / ops_binary.hpp
+// route their public entry points through the resolved table, so every
+// caller — float stack, packed stack, serving, benches — gets the fast path
+// with no build-time arch choice and no SIGILL risk on older hosts.
+//
+// Every variant is pinned bit-identical to the scalar reference
+// (kernels_generic.hpp documents why that is achievable; test_dispatch.cpp
+// enforces it), so dispatch is purely a speed decision: results do not
+// depend on the host, the tier, or the thread count.
+//
+// The environment variable SMORE_KERNEL forces a tier for testing/triage:
+//   SMORE_KERNEL=scalar|sse2|avx2|avx512|neon|auto
+// A forced tier caps the resolution ladder (kernels a tier does not
+// implement fall back to the best lower tier, exactly as they would on a
+// CPU of that generation). Forcing a tier the host cannot execute clamps to
+// the best supported tier and flags `clamped`.
+//
+// This header is intentionally light (no intrinsics, no kernel includes) so
+// ops.hpp can include it everywhere.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.hpp"
+
+namespace smore::kern {
+
+/// Dispatch tiers, ordered by preference. On x86 the ladder is
+/// scalar < sse2 < avx2 < avx512; on ARM it is scalar < neon. Higher tiers
+/// overwrite the slots they implement; unimplemented slots keep the best
+/// lower-tier variant.
+enum class IsaTier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+  kNeon = 4,
+};
+inline constexpr int kNumTiers = 5;
+
+/// Dispatched kernel slots (one function pointer each; see KernelTable).
+enum class Kernel : int {
+  kDot = 0,
+  kDotAndNorms,
+  kDotMatrixTile,
+  kNgramAxpy,
+  kProjectCosTile,
+  kSignPackRow,
+  kHammingBatch,
+  kHammingMatrixTile,
+};
+inline constexpr std::size_t kNumKernels = 8;
+
+/// Stable names for tools/logs ("dot", "ngram_axpy", ...).
+const char* kernel_name(Kernel k);
+/// Stable tier names ("scalar", "sse2", ...).
+const char* tier_name(IsaTier t);
+/// Parse a SMORE_KERNEL value; returns false for unknown strings ("auto"
+/// and "" are not tiers and also return false).
+bool parse_tier(const char* s, IsaTier& out);
+
+/// The resolved per-kernel function pointers. Signatures mirror the
+/// canonical references in kernels_generic.hpp, including each one's output
+/// indexing convention (dot_matrix_tile absolute rows, hamming_matrix_tile
+/// tile-relative rows).
+struct KernelTable {
+  double (*dot)(const float* a, const float* b, std::size_t n);
+  void (*dot_and_norms)(const float* a, const float* b, std::size_t n,
+                        double& ab, double& aa, double& bb);
+  void (*dot_matrix_tile)(const float* queries, std::size_t q_begin,
+                          std::size_t q_end, const float* prototypes,
+                          std::size_t np, std::size_t dim, double* out);
+  void (*ngram_axpy)(const float* const* levels, const std::size_t* shifts,
+                     std::size_t n_factors, std::size_t d, float weight,
+                     float* acc);
+  void (*project_cos_tile)(const float* x, std::size_t q_begin,
+                           std::size_t q_end, const float* wt, std::size_t dp,
+                           std::size_t features, const float* bias,
+                           float* out);
+  void (*sign_pack_row)(const float* v, std::size_t dim, std::uint64_t* out);
+  void (*hamming_batch)(const std::uint64_t* q, const std::uint64_t* prototypes,
+                        std::size_t np, std::size_t nw, std::size_t* out);
+  void (*hamming_matrix_tile)(const std::uint64_t* queries,
+                              std::size_t q_begin, std::size_t q_end,
+                              const std::uint64_t* prototypes, std::size_t np,
+                              std::size_t nw, std::size_t* out);
+};
+
+/// The resolution result: the table plus everything a triage log wants.
+struct Dispatch {
+  KernelTable table;
+  IsaTier tier = IsaTier::kScalar;  ///< highest tier that won any slot
+  CpuFeatures features;             ///< detected host mask
+  /// Winning variant name per kernel slot, indexed by Kernel. A tier that
+  /// implements a slot with an extension records it verbatim (the AVX-512
+  /// Hamming kernels report "avx512vpopcntdq").
+  const char* kernel_variant[kNumKernels] = {};
+  bool forced = false;   ///< SMORE_KERNEL named a tier
+  bool clamped = false;  ///< the named tier exceeded host capability
+};
+
+/// The active dispatch, resolved once on first use (thread-safe). Reads
+/// SMORE_KERNEL at resolution time.
+const Dispatch& dispatch();
+
+/// Re-resolve from the environment. Test/tool hook: callers must ensure no
+/// kernel is concurrently executing. Previous Dispatch objects stay alive
+/// (they are interned), so stale references remain valid.
+const Dispatch& reinitialize_dispatch();
+
+/// Was this tier's variant TU compiled into the binary? (scalar: always.)
+bool tier_compiled(IsaTier t);
+/// Compiled AND executable on this host's CPU.
+bool tier_supported(IsaTier t);
+
+/// The active kernel table — the one-liner the ops wrappers use.
+inline const KernelTable& table() { return dispatch().table; }
+
+}  // namespace smore::kern

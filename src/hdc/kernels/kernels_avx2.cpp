@@ -1,0 +1,230 @@
+// AVX2+FMA tier (Haswell 2013 onward; compiled with explicit -mavx2 -mfma
+// -mpopcnt on a portable -march=x86-64 base — see CMakeLists.txt). Registers
+// every slot:
+//
+//  - dot family: the 8 canonical chains map onto two 4×double registers
+//    (chains 0-3 in ymm lo, 4-7 in ymm hi). Products are exact (float-
+//    sourced doubles), so _mm256_fmadd_pd's single rounding equals the
+//    reference's mul-then-add — bit-identical, and one instruction.
+//  - dot_matrix_tile additionally register-blocks kDotBlock prototypes per
+//    query sweep (pure scheduling: per-pair chain order is untouched).
+//  - ngram_axpy / project_cos_tile: the generic element-wise bodies
+//    force-inlined here so GCC auto-vectorizes them 8-wide; with
+//    -ffp-contract=off that is bit-identical to scalar.
+//  - sign_pack_row: 8 mask bits per VCMPPS/VMOVMSKPS (GE ordered, NaN → 0).
+//  - hamming family: the generic bodies recompiled with hardware POPCNT
+//    (std::popcount lowers to one instruction instead of a bit-trick chain).
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace smore::kern {
+
+namespace {
+
+/// Convert 8 floats to 2×4 doubles: lo = chains 0-3, hi = chains 4-7.
+inline void cvt8(const float* p, __m256d& lo, __m256d& hi) {
+  const __m256 v = _mm256_loadu_ps(p);
+  lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+double dot_avx2(const float* a, const float* b, std::size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();  // chains 0-3
+  __m256d acc_hi = _mm256_setzero_pd();  // chains 4-7
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    __m256d alo, ahi, blo, bhi;
+    cvt8(a + i, alo, ahi);
+    cvt8(b + i, blo, bhi);
+    acc_lo = _mm256_fmadd_pd(alo, blo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(ahi, bhi, acc_hi);
+  }
+  double s[kDotChains];
+  _mm256_storeu_pd(s + 0, acc_lo);
+  _mm256_storeu_pd(s + 4, acc_hi);
+  for (; i < n; ++i) {
+    s[i & (kDotChains - 1)] += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce8(s);
+}
+
+void dot_and_norms_avx2(const float* a, const float* b, std::size_t n,
+                        double& ab, double& aa, double& bb) {
+  __m256d ab_lo = _mm256_setzero_pd(), ab_hi = _mm256_setzero_pd();
+  __m256d aa_lo = _mm256_setzero_pd(), aa_hi = _mm256_setzero_pd();
+  __m256d bb_lo = _mm256_setzero_pd(), bb_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    __m256d alo, ahi, blo, bhi;
+    cvt8(a + i, alo, ahi);
+    cvt8(b + i, blo, bhi);
+    ab_lo = _mm256_fmadd_pd(alo, blo, ab_lo);
+    ab_hi = _mm256_fmadd_pd(ahi, bhi, ab_hi);
+    aa_lo = _mm256_fmadd_pd(alo, alo, aa_lo);
+    aa_hi = _mm256_fmadd_pd(ahi, ahi, aa_hi);
+    bb_lo = _mm256_fmadd_pd(blo, blo, bb_lo);
+    bb_hi = _mm256_fmadd_pd(bhi, bhi, bb_hi);
+  }
+  double sab[kDotChains], saa[kDotChains], sbb[kDotChains];
+  _mm256_storeu_pd(sab + 0, ab_lo);
+  _mm256_storeu_pd(sab + 4, ab_hi);
+  _mm256_storeu_pd(saa + 0, aa_lo);
+  _mm256_storeu_pd(saa + 4, aa_hi);
+  _mm256_storeu_pd(sbb + 0, bb_lo);
+  _mm256_storeu_pd(sbb + 4, bb_hi);
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    sab[i & (kDotChains - 1)] += ai * bi;
+    saa[i & (kDotChains - 1)] += ai * ai;
+    sbb[i & (kDotChains - 1)] += bi * bi;
+  }
+  ab = reduce8(sab);
+  aa = reduce8(saa);
+  bb = reduce8(sbb);
+}
+
+/// kDotBlock prototypes against one query in a single sweep: 4×2 accumulator
+/// registers plus the shared query load. Each prototype's chains accumulate
+/// in canonical order — the block only re-uses the query registers.
+void dot_block4_avx2(const float* q, const float* p0, const float* p1,
+                     const float* p2, const float* p3, std::size_t dim,
+                     double* out) {
+  __m256d acc[kDotBlock][2];
+  for (std::size_t r = 0; r < kDotBlock; ++r) {
+    acc[r][0] = _mm256_setzero_pd();
+    acc[r][1] = _mm256_setzero_pd();
+  }
+  const float* rows[kDotBlock] = {p0, p1, p2, p3};
+  std::size_t i = 0;
+  for (; i + kDotChains <= dim; i += kDotChains) {
+    __m256d qlo, qhi, plo, phi;
+    cvt8(q + i, qlo, qhi);
+    for (std::size_t r = 0; r < kDotBlock; ++r) {
+      cvt8(rows[r] + i, plo, phi);
+      acc[r][0] = _mm256_fmadd_pd(qlo, plo, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(qhi, phi, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < kDotBlock; ++r) {
+    double s[kDotChains];
+    _mm256_storeu_pd(s + 0, acc[r][0]);
+    _mm256_storeu_pd(s + 4, acc[r][1]);
+    for (std::size_t t = i; t < dim; ++t) {
+      s[t & (kDotChains - 1)] += static_cast<double>(q[t]) * rows[r][t];
+    }
+    out[r] = reduce8(s);
+  }
+}
+
+void dot_batch_avx2(const float* q, const float* prototypes, std::size_t np,
+                    std::size_t dim, double* out) {
+  std::size_t p = 0;
+  for (; p + kDotBlock <= np; p += kDotBlock) {
+    dot_block4_avx2(q, prototypes + (p + 0) * dim, prototypes + (p + 1) * dim,
+                    prototypes + (p + 2) * dim, prototypes + (p + 3) * dim,
+                    dim, out + p);
+  }
+  for (; p < np; ++p) out[p] = dot_avx2(q, prototypes + p * dim, dim);
+}
+
+void dot_matrix_tile_avx2(const float* queries, std::size_t q_begin,
+                          std::size_t q_end, const float* prototypes,
+                          std::size_t np, std::size_t dim, double* out) {
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      dot_batch_avx2(queries + q * dim, panel_rows, panel, dim,
+                     out + q * np + p);
+    }
+  }
+}
+
+void ngram_axpy_avx2(const float* const* levels, const std::size_t* shifts,
+                     std::size_t n_factors, std::size_t d, float weight,
+                     float* acc) {
+  generic::ngram_axpy(levels, shifts, n_factors, d, weight, acc);
+}
+
+void project_cos_tile_avx2(const float* x, std::size_t q_begin,
+                           std::size_t q_end, const float* wt, std::size_t dp,
+                           std::size_t features, const float* bias,
+                           float* out) {
+  generic::project_cos_tile(x, q_begin, q_end, wt, dp, features, bias, out);
+}
+
+void sign_pack_row_avx2(const float* v, std::size_t dim, std::uint64_t* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 64 <= dim; j += 64) {
+    std::uint64_t word = 0;
+    for (int c = 0; c < 8; ++c) {
+      const int m = _mm256_movemask_ps(
+          _mm256_cmp_ps(_mm256_loadu_ps(v + j + 8 * c), zero, _CMP_GE_OQ));
+      word |= static_cast<std::uint64_t>(static_cast<unsigned>(m))
+              << (8 * c);
+    }
+    out[j >> 6] = word;
+  }
+  if (j < dim) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; j + b < dim; ++b) {
+      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
+    }
+    out[j >> 6] = word;  // padding bits stay zero
+  }
+}
+
+void hamming_batch_avx2(const std::uint64_t* q, const std::uint64_t* prototypes,
+                        std::size_t np, std::size_t nw, std::size_t* out) {
+  generic::hamming_batch(q, prototypes, np, nw, out);
+}
+
+void hamming_matrix_tile_avx2(const std::uint64_t* queries,
+                              std::size_t q_begin, std::size_t q_end,
+                              const std::uint64_t* prototypes, std::size_t np,
+                              std::size_t nw, std::size_t* out) {
+  generic::hamming_matrix_tile(queries, q_begin, q_end, prototypes, np, nw,
+                               out);
+}
+
+}  // namespace
+
+void register_avx2(const CpuFeatures& /*features*/, KernelTable& t,
+                   const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.dot = dot_avx2;
+  set(Kernel::kDot, "avx2");
+  t.dot_and_norms = dot_and_norms_avx2;
+  set(Kernel::kDotAndNorms, "avx2");
+  t.dot_matrix_tile = dot_matrix_tile_avx2;
+  set(Kernel::kDotMatrixTile, "avx2");
+  t.ngram_axpy = ngram_axpy_avx2;
+  set(Kernel::kNgramAxpy, "avx2");
+  t.project_cos_tile = project_cos_tile_avx2;
+  set(Kernel::kProjectCosTile, "avx2");
+  t.sign_pack_row = sign_pack_row_avx2;
+  set(Kernel::kSignPackRow, "avx2");
+  t.hamming_batch = hamming_batch_avx2;
+  set(Kernel::kHammingBatch, "avx2+popcnt");
+  t.hamming_matrix_tile = hamming_matrix_tile_avx2;
+  set(Kernel::kHammingMatrixTile, "avx2+popcnt");
+}
+
+}  // namespace smore::kern
+
+#else  // non-x86
+
+namespace smore::kern {
+void register_avx2(const CpuFeatures&, KernelTable&, const char**) {}
+}  // namespace smore::kern
+
+#endif

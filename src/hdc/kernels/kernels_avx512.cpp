@@ -1,0 +1,195 @@
+// AVX-512F tier (compiled with explicit -mavx512f -mavx512bw -mavx512vl
+// -mavx2 -mfma -mpopcnt on a portable -march=x86-64 base — see
+// CMakeLists.txt). The 8 canonical chains fill exactly one 8×double zmm
+// register, which is what makes the chain count 8 in the first place: one
+// VCVTPS2PD + one VFMADD231PD per 8 elements, with the fixed-tree lane
+// reduction equal to reduce8() by construction. Products are exact
+// (float-sourced doubles), so the FMA's single rounding matches the
+// reference's mul-then-add.
+//
+// sign_pack_row is the 16-bit-mask kernel that used to sit behind a
+// compile-time __AVX512F__ guard in ops_binary.hpp — the SIGILL migration
+// trap this dispatch layer exists to remove. Hamming kernels are NOT here:
+// they live in kernels_avx512vpopcnt.cpp so VPOPCNTDQ instructions cannot
+// leak into functions this tier runs on CPUs without that extension
+// (Skylake-X has AVX-512F but no VPOPCNTDQ).
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+// GCC 12 false positive (PR105593): unmasked AVX-512 intrinsics carry an
+// undefined merge operand that -Wmaybe-uninitialized flags under -O3.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace smore::kern {
+
+namespace {
+
+/// Convert 8 floats to 8 doubles; lane k = chain k.
+inline __m512d cvt8(const float* p) {
+  return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+}
+
+double dot_avx512(const float* a, const float* b, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();  // chains 0-7
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    acc = _mm512_fmadd_pd(cvt8(a + i), cvt8(b + i), acc);
+  }
+  double s[kDotChains];
+  _mm512_storeu_pd(s, acc);
+  for (; i < n; ++i) {
+    s[i & (kDotChains - 1)] += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce8(s);
+}
+
+void dot_and_norms_avx512(const float* a, const float* b, std::size_t n,
+                          double& ab, double& aa, double& bb) {
+  __m512d acc_ab = _mm512_setzero_pd();
+  __m512d acc_aa = _mm512_setzero_pd();
+  __m512d acc_bb = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    const __m512d av = cvt8(a + i);
+    const __m512d bv = cvt8(b + i);
+    acc_ab = _mm512_fmadd_pd(av, bv, acc_ab);
+    acc_aa = _mm512_fmadd_pd(av, av, acc_aa);
+    acc_bb = _mm512_fmadd_pd(bv, bv, acc_bb);
+  }
+  double sab[kDotChains], saa[kDotChains], sbb[kDotChains];
+  _mm512_storeu_pd(sab, acc_ab);
+  _mm512_storeu_pd(saa, acc_aa);
+  _mm512_storeu_pd(sbb, acc_bb);
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    sab[i & (kDotChains - 1)] += ai * bi;
+    saa[i & (kDotChains - 1)] += ai * ai;
+    sbb[i & (kDotChains - 1)] += bi * bi;
+  }
+  ab = reduce8(sab);
+  aa = reduce8(saa);
+  bb = reduce8(sbb);
+}
+
+/// kDotBlock prototypes per query sweep: four zmm accumulators share each
+/// query load. Per-pair chain order is canonical; only scheduling changes.
+void dot_block4_avx512(const float* q, const float* p0, const float* p1,
+                       const float* p2, const float* p3, std::size_t dim,
+                       double* out) {
+  __m512d acc[kDotBlock] = {_mm512_setzero_pd(), _mm512_setzero_pd(),
+                            _mm512_setzero_pd(), _mm512_setzero_pd()};
+  const float* rows[kDotBlock] = {p0, p1, p2, p3};
+  std::size_t i = 0;
+  for (; i + kDotChains <= dim; i += kDotChains) {
+    const __m512d qv = cvt8(q + i);
+    for (std::size_t r = 0; r < kDotBlock; ++r) {
+      acc[r] = _mm512_fmadd_pd(qv, cvt8(rows[r] + i), acc[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kDotBlock; ++r) {
+    double s[kDotChains];
+    _mm512_storeu_pd(s, acc[r]);
+    for (std::size_t t = i; t < dim; ++t) {
+      s[t & (kDotChains - 1)] += static_cast<double>(q[t]) * rows[r][t];
+    }
+    out[r] = reduce8(s);
+  }
+}
+
+void dot_batch_avx512(const float* q, const float* prototypes, std::size_t np,
+                      std::size_t dim, double* out) {
+  std::size_t p = 0;
+  for (; p + kDotBlock <= np; p += kDotBlock) {
+    dot_block4_avx512(q, prototypes + (p + 0) * dim,
+                      prototypes + (p + 1) * dim, prototypes + (p + 2) * dim,
+                      prototypes + (p + 3) * dim, dim, out + p);
+  }
+  for (; p < np; ++p) out[p] = dot_avx512(q, prototypes + p * dim, dim);
+}
+
+void dot_matrix_tile_avx512(const float* queries, std::size_t q_begin,
+                            std::size_t q_end, const float* prototypes,
+                            std::size_t np, std::size_t dim, double* out) {
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      dot_batch_avx512(queries + q * dim, panel_rows, panel, dim,
+                       out + q * np + p);
+    }
+  }
+}
+
+void ngram_axpy_avx512(const float* const* levels, const std::size_t* shifts,
+                       std::size_t n_factors, std::size_t d, float weight,
+                       float* acc) {
+  generic::ngram_axpy(levels, shifts, n_factors, d, weight, acc);
+}
+
+void project_cos_tile_avx512(const float* x, std::size_t q_begin,
+                             std::size_t q_end, const float* wt,
+                             std::size_t dp, std::size_t features,
+                             const float* bias, float* out) {
+  generic::project_cos_tile(x, q_begin, q_end, wt, dp, features, bias, out);
+}
+
+void sign_pack_row_avx512(const float* v, std::size_t dim,
+                          std::uint64_t* out) {
+  // 16 mask bits per VCMPPS (GE ordered: NaN → 0, matching the scalar
+  // comparison), four compares per output word.
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 64 <= dim; j += 64) {
+    std::uint64_t word = 0;
+    for (int c = 0; c < 4; ++c) {
+      const __mmask16 m = _mm512_cmp_ps_mask(
+          _mm512_loadu_ps(v + j + 16 * c), zero, _CMP_GE_OQ);
+      word |= static_cast<std::uint64_t>(m) << (16 * c);
+    }
+    out[j >> 6] = word;
+  }
+  if (j < dim) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; j + b < dim; ++b) {
+      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
+    }
+    out[j >> 6] = word;  // padding bits stay zero
+  }
+}
+
+}  // namespace
+
+void register_avx512(const CpuFeatures& /*features*/, KernelTable& t,
+                     const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.dot = dot_avx512;
+  set(Kernel::kDot, "avx512");
+  t.dot_and_norms = dot_and_norms_avx512;
+  set(Kernel::kDotAndNorms, "avx512");
+  t.dot_matrix_tile = dot_matrix_tile_avx512;
+  set(Kernel::kDotMatrixTile, "avx512");
+  t.ngram_axpy = ngram_axpy_avx512;
+  set(Kernel::kNgramAxpy, "avx512");
+  t.project_cos_tile = project_cos_tile_avx512;
+  set(Kernel::kProjectCosTile, "avx512");
+  t.sign_pack_row = sign_pack_row_avx512;
+  set(Kernel::kSignPackRow, "avx512");
+}
+
+}  // namespace smore::kern
+
+#else  // non-x86
+
+namespace smore::kern {
+void register_avx512(const CpuFeatures&, KernelTable&, const char**) {}
+}  // namespace smore::kern
+
+#endif

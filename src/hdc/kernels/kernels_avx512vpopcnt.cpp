@@ -1,0 +1,131 @@
+// AVX-512 VPOPCNTDQ tier: the Hamming kernels only, in their own TU so
+// VPOPCNTQ instructions cannot leak into functions the base AVX-512 tier
+// runs on CPUs without this extension (it is a separate CPUID bit —
+// Skylake-X lacks it; Ice Lake onward has it). dispatch.cpp applies this
+// registration on top of register_avx512 only when the bit is present.
+//
+// Distances are exact integer popcount sums, so any accumulation order and
+// width is identical to the scalar reference — dispatch here is purely a
+// throughput decision: one VPOPCNTQ handles 8 words (512 bits) per cycle
+// against scalar POPCNT's one word.
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+// GCC 12 false positive (PR105593): unmasked AVX-512 intrinsics carry an
+// undefined merge operand that -Wmaybe-uninitialized flags under -O3.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace smore::kern {
+
+namespace {
+
+/// XOR+popcount over nw packed words, 8 words per VPOPCNTQ.
+inline std::uint64_t hamming_words_vp(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      std::size_t nw) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + 8 <= nw; w += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + w),
+                                       _mm512_loadu_si512(b + w));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < nw; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+void hamming_batch_vp(const std::uint64_t* q, const std::uint64_t* prototypes,
+                      std::size_t np, std::size_t nw, std::size_t* out) {
+  std::size_t p = 0;
+  for (; p + kHammingBlock <= np; p += kHammingBlock) {
+    const std::uint64_t* p0 = prototypes + (p + 0) * nw;
+    const std::uint64_t* p1 = prototypes + (p + 1) * nw;
+    const std::uint64_t* p2 = prototypes + (p + 2) * nw;
+    const std::uint64_t* p3 = prototypes + (p + 3) * nw;
+    __m512i a0 = _mm512_setzero_si512();
+    __m512i a1 = _mm512_setzero_si512();
+    __m512i a2 = _mm512_setzero_si512();
+    __m512i a3 = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+      const __m512i qv = _mm512_loadu_si512(q + w);
+      a0 = _mm512_add_epi64(
+          a0, _mm512_popcnt_epi64(
+                  _mm512_xor_si512(qv, _mm512_loadu_si512(p0 + w))));
+      a1 = _mm512_add_epi64(
+          a1, _mm512_popcnt_epi64(
+                  _mm512_xor_si512(qv, _mm512_loadu_si512(p1 + w))));
+      a2 = _mm512_add_epi64(
+          a2, _mm512_popcnt_epi64(
+                  _mm512_xor_si512(qv, _mm512_loadu_si512(p2 + w))));
+      a3 = _mm512_add_epi64(
+          a3, _mm512_popcnt_epi64(
+                  _mm512_xor_si512(qv, _mm512_loadu_si512(p3 + w))));
+    }
+    std::uint64_t t0 = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(a0));
+    std::uint64_t t1 = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(a1));
+    std::uint64_t t2 = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(a2));
+    std::uint64_t t3 = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(a3));
+    for (; w < nw; ++w) {
+      const std::uint64_t qw = q[w];
+      t0 += static_cast<std::uint64_t>(std::popcount(qw ^ p0[w]));
+      t1 += static_cast<std::uint64_t>(std::popcount(qw ^ p1[w]));
+      t2 += static_cast<std::uint64_t>(std::popcount(qw ^ p2[w]));
+      t3 += static_cast<std::uint64_t>(std::popcount(qw ^ p3[w]));
+    }
+    out[p + 0] = static_cast<std::size_t>(t0);
+    out[p + 1] = static_cast<std::size_t>(t1);
+    out[p + 2] = static_cast<std::size_t>(t2);
+    out[p + 3] = static_cast<std::size_t>(t3);
+  }
+  for (; p < np; ++p) {
+    out[p] = static_cast<std::size_t>(
+        hamming_words_vp(q, prototypes + p * nw, nw));
+  }
+}
+
+void hamming_matrix_tile_vp(const std::uint64_t* queries, std::size_t q_begin,
+                            std::size_t q_end, const std::uint64_t* prototypes,
+                            std::size_t np, std::size_t nw, std::size_t* out) {
+  for (std::size_t p = 0; p < np; p += kBitPanelRows) {
+    const std::size_t panel =
+        p + kBitPanelRows <= np ? kBitPanelRows : np - p;
+    const std::uint64_t* panel_rows = prototypes + p * nw;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      hamming_batch_vp(queries + q * nw, panel_rows, panel, nw,
+                       out + (q - q_begin) * np + p);
+    }
+  }
+}
+
+}  // namespace
+
+void register_avx512vpopcnt(const CpuFeatures& /*features*/, KernelTable& t,
+                            const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.hamming_batch = hamming_batch_vp;
+  set(Kernel::kHammingBatch, "avx512vpopcntdq");
+  t.hamming_matrix_tile = hamming_matrix_tile_vp;
+  set(Kernel::kHammingMatrixTile, "avx512vpopcntdq");
+}
+
+}  // namespace smore::kern
+
+#else  // non-x86
+
+namespace smore::kern {
+void register_avx512vpopcnt(const CpuFeatures&, KernelTable&, const char**) {}
+}  // namespace smore::kern
+
+#endif

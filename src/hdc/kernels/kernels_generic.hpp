@@ -1,0 +1,441 @@
+#pragma once
+// Canonical portable implementations of the dispatched hot kernels
+// (DESIGN.md §11). These functions are the SPEC: every SIMD variant in the
+// sibling kernels_*.cpp TUs must reproduce their results bit for bit, and
+// tests/test_dispatch.cpp pins each compiled-in variant to them.
+//
+// Bit-identity across ISA variants rests on three invariants:
+//
+//  1. **Canonical chain order.** Every float→double reduction accumulates
+//     into kDotChains = 8 interleaved partial sums — chain k sums elements
+//     i ≡ k (mod 8) in ascending i — and collapses them with the fixed tree
+//     reduce8(). Eight chains map exactly onto one 8×double AVX-512 register
+//     (two AVX2 registers, four SSE2 / NEON registers), so a SIMD variant is
+//     a re-*packing* of the same additions, never a re-*association*.
+//  2. **Exact products.** The doubles being accumulated are products of
+//     float-sourced values: a 24-bit × 24-bit significand product fits in
+//     53 bits, so the double multiply is exact and hardware FMA (one
+//     rounding) equals mul-then-add (the multiply never rounds). Variants
+//     may therefore use FMA freely *in double*; float-precision kernels
+//     (ngram_axpy) must not introduce contraction, which the project-wide
+//     -ffp-contract=off guarantees (see CMakeLists.txt).
+//  3. **Scheduling-only blocking.** Register blocking over prototypes,
+//     cache panels, and thread tiles reorder which (query, prototype) pair
+//     is computed when — never the arithmetic inside a pair. Packed-path
+//     distances are exact integers, so any evaluation order is identical.
+//
+// This header is self-contained over raw pointers (no repo types) so the
+// per-ISA TUs can include it without dragging repo headers under exotic
+// compile flags. ops.hpp re-exports the public names.
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+// Force-inline: the per-ISA TUs register file-static wrappers around these
+// functions, and the wrapper must receive its own copy compiled under that
+// TU's arch flags. A plain `inline` body is a COMDAT symbol the linker
+// deduplicates across TUs — which copy survives is unspecified, so a
+// "recompiled under -mavx2" registration could silently resolve to baseline
+// code (results would still be bit-identical; the speed would not).
+#if defined(__GNUC__) || defined(__clang__)
+#define SMORE_KERN_INLINE inline __attribute__((always_inline))
+#else
+#define SMORE_KERN_INLINE inline
+#endif
+
+namespace smore::kern {
+
+// ---------------------------------------------------------------- contracts
+
+/// Accumulator chains per float→double reduction (see header comment).
+inline constexpr std::size_t kDotChains = 8;
+
+/// Prototype rows per register block in the dot/hamming batch kernels.
+inline constexpr std::size_t kDotBlock = 4;
+/// Prototype rows per cache panel in the float matrix drivers. At d = 4096
+/// floats a panel is 8 × 16 KiB = 128 KiB — comfortably L2-resident while a
+/// tile of queries streams against it.
+inline constexpr std::size_t kPanelRows = 8;
+/// Query rows per parallel work item (grain of the ThreadPool split).
+inline constexpr std::size_t kRowTile = 64;
+
+/// Prototype rows per register block in hamming_batch.
+inline constexpr std::size_t kHammingBlock = 4;
+/// Prototype rows per cache panel in the Hamming matrix drivers. At
+/// d = 8192 bits a panel is 16 × 1 KiB = 16 KiB — L1-resident while a tile
+/// of queries streams against it.
+inline constexpr std::size_t kBitPanelRows = 16;
+/// Query rows per parallel work item (grain of the ThreadPool split).
+inline constexpr std::size_t kBitRowTile = 64;
+
+/// Maximum factor count the fused n-gram kernel accepts (the encoder falls
+/// back to the multi-pass pipeline for longer grams; real configs use 2-5).
+inline constexpr std::size_t kNgramFusedMaxFactors = 8;
+
+/// Queries per tile of the projection kernel (bounds the accumulator block:
+/// kProjQueryTile × kProjColBlock doubles = 32 KiB, L1-resident).
+inline constexpr std::size_t kProjQueryTile = 8;
+/// Output columns per block of the projection kernel (one W^T row segment of
+/// 2 KiB streams against the whole query tile).
+inline constexpr std::size_t kProjColBlock = 512;
+
+/// The canonical collapse of the kDotChains partial sums: a fixed binary
+/// tree, never a left fold, so it matches how SIMD variants reduce lanes.
+SMORE_KERN_INLINE double reduce8(const double* s) noexcept {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+/// Fast double-precision cosine for the projection epilogue: Cody-Waite
+/// range reduction to [-π/4, π/4] plus Taylor kernels evaluated by Horner.
+/// Max absolute error ≈ 2e-14 — four orders of magnitude below the float
+/// output resolution, so the encodings are unchanged at float precision —
+/// and, unlike the libm call, it is branch-light and inlines, so the
+/// epilogue loop pipelines instead of serializing on 41M function calls.
+/// Precondition: |x| < ~1e9 (the projections are O(‖x‖·‖w‖), far smaller).
+/// This is the single shared epilogue of every project_cos_tile variant —
+/// per-ISA TUs recompile it but may not replace it, and with contraction
+/// off its pure-double arithmetic is identical under any flags.
+SMORE_KERN_INLINE float cos_fast(double x) noexcept {
+  constexpr double kTwoOverPi = 0.63661977236758134308;
+  constexpr double kPio2Hi = 1.57079632679489655800e+00;
+  constexpr double kPio2Lo = 6.12323399573676603587e-17;
+  const double kd = std::round(x * kTwoOverPi);
+  double r = x - kd * kPio2Hi;
+  r -= kd * kPio2Lo;
+  const double r2 = r * r;
+  // Taylor to r^14 (cos) / r^13 (sin): next-term error < 1.1e-15 on the
+  // reduced range.
+  const double c =
+      1.0 +
+      r2 * (-1.0 / 2 +
+            r2 * (1.0 / 24 +
+                  r2 * (-1.0 / 720 +
+                        r2 * (1.0 / 40320 +
+                              r2 * (-1.0 / 3628800 +
+                                    r2 * (1.0 / 479001600 +
+                                          r2 * (-1.0 / 87178291200.0)))))));
+  const double s =
+      r * (1.0 +
+           r2 * (-1.0 / 6 +
+                 r2 * (1.0 / 120 +
+                       r2 * (-1.0 / 5040 +
+                             r2 * (1.0 / 362880 +
+                                   r2 * (-1.0 / 39916800 +
+                                         r2 * (1.0 / 6227020800.0)))))));
+  switch (static_cast<long long>(kd) & 3) {
+    case 0:
+      return static_cast<float>(c);
+    case 1:
+      return static_cast<float>(-s);
+    case 2:
+      return static_cast<float>(-c);
+    default:
+      return static_cast<float>(s);
+  }
+}
+
+namespace generic {
+
+// ------------------------------------------------------------ float kernels
+
+/// Canonical dot product over n contiguous floats, accumulated in double
+/// (exact products, see header) across kDotChains interleaved chains.
+SMORE_KERN_INLINE double dot(const float* a, const float* b, std::size_t n) noexcept {
+  assert(a != nullptr && b != nullptr);
+  double s[kDotChains] = {};
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    for (std::size_t k = 0; k < kDotChains; ++k) {
+      s[k] += static_cast<double>(a[i + k]) * b[i + k];
+    }
+  }
+  for (; i < n; ++i) {
+    s[i & (kDotChains - 1)] += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce8(s);
+}
+
+/// Fused dot product and squared norms: one pass over both arrays computing
+/// <a,b>, <a,a>, and <b,b> simultaneously in canonical chain order. Each
+/// loaded element feeds three accumulator families, so cosine costs one
+/// memory sweep instead of three.
+SMORE_KERN_INLINE void dot_and_norms(const float* a, const float* b, std::size_t n,
+                          double& ab, double& aa, double& bb) noexcept {
+  assert(a != nullptr && b != nullptr);
+  double sab[kDotChains] = {};
+  double saa[kDotChains] = {};
+  double sbb[kDotChains] = {};
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    for (std::size_t k = 0; k < kDotChains; ++k) {
+      const double ai = a[i + k];
+      const double bi = b[i + k];
+      sab[k] += ai * bi;
+      saa[k] += ai * ai;
+      sbb[k] += bi * bi;
+    }
+  }
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    sab[i & (kDotChains - 1)] += ai * bi;
+    saa[i & (kDotChains - 1)] += ai * ai;
+    sbb[i & (kDotChains - 1)] += bi * bi;
+  }
+  ab = reduce8(sab);
+  aa = reduce8(saa);
+  bb = reduce8(sbb);
+}
+
+/// out[p] = <q, P_p> for the np row-major rows of P. One canonical dot per
+/// prototype: register blocking over prototypes is a variant concern (it is
+/// pure scheduling), so the reference stays the obvious loop.
+SMORE_KERN_INLINE void dot_batch(const float* q, const float* prototypes, std::size_t np,
+                      std::size_t dim, double* out) noexcept {
+  assert(q != nullptr && out != nullptr);
+  assert(np == 0 || prototypes != nullptr);
+  for (std::size_t p = 0; p < np; ++p) {
+    out[p] = dot(q, prototypes + p * dim, dim);
+  }
+}
+
+/// Serial core shared by the float matrix drivers: dots of queries
+/// [q_begin, q_end) against all np prototypes, written to out (row-major
+/// [nq × np], ABSOLUTE row indexing: query q lands in row q). Prototypes are
+/// walked in L2-resident panels in the outer loop so each panel is re-used
+/// by every query of the tile.
+SMORE_KERN_INLINE void dot_matrix_tile(const float* queries, std::size_t q_begin,
+                            std::size_t q_end, const float* prototypes,
+                            std::size_t np, std::size_t dim,
+                            double* out) noexcept {
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      dot_batch(queries + q * dim, panel_rows, panel, dim, out + q * np + p);
+    }
+  }
+}
+
+/// acc[j] += weight * Π_p (ρ^{shifts[p]} levels[p])[j]  — the fused n-gram
+/// bind-and-bundle. `levels[p]` is a d-float level hypervector and
+/// `shifts[p]` its graded-permutation rotation (shifts[p] < d). The rotated
+/// reads are resolved by splitting [0, d) at every wrap point, so each
+/// segment is a straight multiply chain over n_factors fixed-offset streams —
+/// vectorizable, no index arithmetic, no gram temporary. Products are formed
+/// in ascending factor order, matching the rotate→hadamard→axpy pipeline
+/// bit for bit. All arithmetic is element-wise float (no reductions), so any
+/// vectorization is bit-identical as long as contraction stays off.
+SMORE_KERN_INLINE void ngram_axpy(const float* const* levels, const std::size_t* shifts,
+                       std::size_t n_factors, std::size_t d, float weight,
+                       float* acc) noexcept {
+  assert(levels != nullptr && shifts != nullptr && acc != nullptr);
+  assert(n_factors >= 1 && n_factors <= kNgramFusedMaxFactors);
+
+  // Segment boundaries: 0, every non-zero shift (its wrap point), d.
+  std::size_t bounds[kNgramFusedMaxFactors + 2];
+  std::size_t nb = 0;
+  bounds[nb++] = 0;
+  for (std::size_t p = 0; p < n_factors; ++p) {
+    assert(shifts[p] < d);
+    if (shifts[p] != 0) bounds[nb++] = shifts[p];
+  }
+  bounds[nb++] = d;
+  // Insertion sort: nb <= n_factors + 2 <= 10, cheaper than std::sort here.
+  for (std::size_t i = 1; i < nb; ++i) {
+    const std::size_t v = bounds[i];
+    std::size_t j = i;
+    for (; j > 0 && bounds[j - 1] > v; --j) bounds[j] = bounds[j - 1];
+    bounds[j] = v;
+  }
+
+  const float* ptr[kNgramFusedMaxFactors];
+  for (std::size_t seg = 0; seg + 1 < nb; ++seg) {
+    const std::size_t a = bounds[seg];
+    const std::size_t b = bounds[seg + 1];
+    if (a == b) continue;
+    // Within [a, b) each factor reads from one fixed offset:
+    // (ρ^k L)[j] = L[j - k] for j >= k, L[j + d - k] for j < k.
+    for (std::size_t p = 0; p < n_factors; ++p) {
+      ptr[p] = a >= shifts[p] ? levels[p] - shifts[p]
+                              : levels[p] + (d - shifts[p]);
+    }
+    float* __restrict y = acc;
+    switch (n_factors) {
+      case 1: {
+        const float* __restrict l0 = ptr[0];
+        for (std::size_t j = a; j < b; ++j) y[j] += weight * l0[j];
+        break;
+      }
+      case 2: {
+        const float* __restrict l0 = ptr[0];
+        const float* __restrict l1 = ptr[1];
+        for (std::size_t j = a; j < b; ++j) y[j] += weight * (l0[j] * l1[j]);
+        break;
+      }
+      case 3: {
+        const float* __restrict l0 = ptr[0];
+        const float* __restrict l1 = ptr[1];
+        const float* __restrict l2 = ptr[2];
+        for (std::size_t j = a; j < b; ++j) {
+          y[j] += weight * ((l0[j] * l1[j]) * l2[j]);
+        }
+        break;
+      }
+      default: {
+        for (std::size_t j = a; j < b; ++j) {
+          float prod = ptr[0][j];
+          for (std::size_t p = 1; p < n_factors; ++p) prod *= ptr[p][j];
+          y[j] += weight * prod;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Serial core of the batched random-projection encode: queries
+/// [q_begin, q_end) (at most kProjQueryTile of them) through
+/// out[q][j] = cos(bias[j] + <X_q, W_j>). X is [nq × features] row-major;
+/// `wt` is the TRANSPOSED projection, row-major [features × dp], so the
+/// kernel runs feature-major: for each output-column block, acc_q[j] starts
+/// at bias[j] and accumulates x_q[f] · W^T[f][j] over f — broadcast-scalar
+/// streams with no reduction dependency (element-wise over j, so any vector
+/// width is bit-identical). Per-output summation order is fixed (bias, then
+/// f ascending, in double), independent of all blocking.
+SMORE_KERN_INLINE void project_cos_tile(const float* x, std::size_t q_begin,
+                             std::size_t q_end, const float* wt,
+                             std::size_t dp, std::size_t features,
+                             const float* bias, float* out) noexcept {
+  assert(q_end - q_begin <= kProjQueryTile);
+  const std::size_t rows = q_end - q_begin;
+  double acc[kProjQueryTile][kProjColBlock];
+  for (std::size_t j0 = 0; j0 < dp; j0 += kProjColBlock) {
+    const std::size_t jb = std::min(kProjColBlock, dp - j0);
+    for (std::size_t q = 0; q < rows; ++q) {
+      for (std::size_t j = 0; j < jb; ++j) {
+        acc[q][j] = static_cast<double>(bias[j0 + j]);
+      }
+    }
+    for (std::size_t f = 0; f < features; ++f) {
+      const float* __restrict w_row = wt + f * dp + j0;
+      for (std::size_t q = 0; q < rows; ++q) {
+        const double xf = x[(q_begin + q) * features + f];
+        double* __restrict a = acc[q];
+        for (std::size_t j = 0; j < jb; ++j) {
+          a[j] += xf * static_cast<double>(w_row[j]);
+        }
+      }
+    }
+    for (std::size_t q = 0; q < rows; ++q) {
+      float* orow = out + (q_begin + q) * dp + j0;
+      for (std::size_t j = 0; j < jb; ++j) {
+        orow[j] = cos_fast(acc[q][j]);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- packed kernels
+
+/// Hamming distance between two packed rows of nw words (padding bits zero
+/// in both, the BitMatrix invariant). Two accumulator chains let the
+/// compiler pipeline the popcounts. Distances are exact integers, so
+/// variants may use any accumulation order.
+SMORE_KERN_INLINE std::size_t hamming_words(const std::uint64_t* a,
+                                 const std::uint64_t* b,
+                                 std::size_t nw) noexcept {
+  assert(a != nullptr && b != nullptr);
+  std::uint64_t acc0 = 0;
+  std::uint64_t acc1 = 0;
+  std::size_t w = 0;
+  for (; w + 2 <= nw; w += 2) {
+    acc0 += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+    acc1 += static_cast<std::uint64_t>(std::popcount(a[w + 1] ^ b[w + 1]));
+  }
+  if (w < nw) acc0 += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  return static_cast<std::size_t>(acc0 + acc1);
+}
+
+/// out[p] = hamming(q, P_p) for the np packed rows of P. Prototypes are
+/// processed four at a time so one sweep of the query row feeds four
+/// independent XOR+popcount chains.
+SMORE_KERN_INLINE void hamming_batch(const std::uint64_t* q,
+                          const std::uint64_t* prototypes, std::size_t np,
+                          std::size_t nw, std::size_t* out) noexcept {
+  assert(q != nullptr && out != nullptr);
+  assert(np == 0 || prototypes != nullptr);
+  std::size_t p = 0;
+  for (; p + kHammingBlock <= np; p += kHammingBlock) {
+    const std::uint64_t* p0 = prototypes + (p + 0) * nw;
+    const std::uint64_t* p1 = prototypes + (p + 1) * nw;
+    const std::uint64_t* p2 = prototypes + (p + 2) * nw;
+    const std::uint64_t* p3 = prototypes + (p + 3) * nw;
+    std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      const std::uint64_t qw = q[w];
+      a0 += static_cast<std::uint64_t>(std::popcount(qw ^ p0[w]));
+      a1 += static_cast<std::uint64_t>(std::popcount(qw ^ p1[w]));
+      a2 += static_cast<std::uint64_t>(std::popcount(qw ^ p2[w]));
+      a3 += static_cast<std::uint64_t>(std::popcount(qw ^ p3[w]));
+    }
+    out[p + 0] = static_cast<std::size_t>(a0);
+    out[p + 1] = static_cast<std::size_t>(a1);
+    out[p + 2] = static_cast<std::size_t>(a2);
+    out[p + 3] = static_cast<std::size_t>(a3);
+  }
+  for (; p < np; ++p) out[p] = hamming_words(q, prototypes + p * nw, nw);
+}
+
+/// Serial core shared by the Hamming matrix drivers: distances of queries
+/// [q_begin, q_end) against all np prototypes, written to out (row-major
+/// [(q_end - q_begin) × np], TILE-RELATIVE row indexing: query q lands in
+/// row q - q_begin). Prototypes are walked in cache panels in the outer
+/// loop so each panel is re-used by every query of the tile.
+SMORE_KERN_INLINE void hamming_matrix_tile(const std::uint64_t* queries,
+                                std::size_t q_begin, std::size_t q_end,
+                                const std::uint64_t* prototypes,
+                                std::size_t np, std::size_t nw,
+                                std::size_t* out) noexcept {
+  for (std::size_t p = 0; p < np; p += kBitPanelRows) {
+    const std::size_t panel =
+        p + kBitPanelRows <= np ? kBitPanelRows : np - p;
+    const std::uint64_t* panel_rows = prototypes + p * nw;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      hamming_batch(queries + q * nw, panel_rows, panel, nw,
+                    out + (q - q_begin) * np + p);
+    }
+  }
+}
+
+/// Sign-quantize one float row into packed bits: bit j = (v[j] >= 0.0f),
+/// exactly the BinaryVector predicate (NaN packs as 0, matching the scalar
+/// comparison). Padding bits of the last word are written zero. Each word is
+/// built from 64 branch-free shift-ORs; the SIMD variants form the same
+/// mask bits with vector compares.
+SMORE_KERN_INLINE void sign_pack_row(const float* v, std::size_t dim,
+                          std::uint64_t* out) noexcept {
+  assert(dim == 0 || (v != nullptr && out != nullptr));
+  std::size_t j = 0;
+  for (; j + 64 <= dim; j += 64) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
+    }
+    out[j >> 6] = word;
+  }
+  if (j < dim) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; j + b < dim; ++b) {
+      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
+    }
+    out[j >> 6] = word;  // padding bits stay zero
+  }
+}
+
+}  // namespace generic
+}  // namespace smore::kern

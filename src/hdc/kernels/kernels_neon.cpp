@@ -1,0 +1,197 @@
+// NEON tier (AArch64; Advanced SIMD is architectural baseline there, so
+// this TU needs no extra arch flags and CMake compiles it only for ARM
+// targets). The 8 canonical chains map onto four 2×double registers (chain
+// pair (2k, 2k+1) in register k); FMLA in double is exact-product FMA,
+// equal to the reference's mul-then-add (see kernels_generic.hpp).
+// Hamming uses VCNT (per-byte popcount) + the pairwise-add widening ladder.
+// ngram_axpy / project_cos_tile are the generic element-wise bodies
+// force-inlined here for NEON auto-vectorization — bit-identical with
+// contraction off.
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace smore::kern {
+
+namespace {
+
+/// Convert 4 floats to 2 double pairs: lo = {p[0], p[1]}, hi = {p[2], p[3]}.
+inline void cvt4(const float* p, float64x2_t& lo, float64x2_t& hi) {
+  const float32x4_t v = vld1q_f32(p);
+  lo = vcvt_f64_f32(vget_low_f32(v));
+  hi = vcvt_high_f64_f32(v);
+}
+
+double dot_neon(const float* a, const float* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);  // chains 0,1
+  float64x2_t acc1 = vdupq_n_f64(0.0);  // chains 2,3
+  float64x2_t acc2 = vdupq_n_f64(0.0);  // chains 4,5
+  float64x2_t acc3 = vdupq_n_f64(0.0);  // chains 6,7
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    float64x2_t a01, a23, a45, a67, b01, b23, b45, b67;
+    cvt4(a + i, a01, a23);
+    cvt4(a + i + 4, a45, a67);
+    cvt4(b + i, b01, b23);
+    cvt4(b + i + 4, b45, b67);
+    acc0 = vfmaq_f64(acc0, a01, b01);
+    acc1 = vfmaq_f64(acc1, a23, b23);
+    acc2 = vfmaq_f64(acc2, a45, b45);
+    acc3 = vfmaq_f64(acc3, a67, b67);
+  }
+  double s[kDotChains];
+  vst1q_f64(s + 0, acc0);
+  vst1q_f64(s + 2, acc1);
+  vst1q_f64(s + 4, acc2);
+  vst1q_f64(s + 6, acc3);
+  for (; i < n; ++i) {
+    s[i & (kDotChains - 1)] += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce8(s);
+}
+
+void dot_and_norms_neon(const float* a, const float* b, std::size_t n,
+                        double& ab, double& aa, double& bb) {
+  float64x2_t accab[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  float64x2_t accaa[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  float64x2_t accbb[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    float64x2_t av[4], bv[4];
+    cvt4(a + i, av[0], av[1]);
+    cvt4(a + i + 4, av[2], av[3]);
+    cvt4(b + i, bv[0], bv[1]);
+    cvt4(b + i + 4, bv[2], bv[3]);
+    for (int k = 0; k < 4; ++k) {
+      accab[k] = vfmaq_f64(accab[k], av[k], bv[k]);
+      accaa[k] = vfmaq_f64(accaa[k], av[k], av[k]);
+      accbb[k] = vfmaq_f64(accbb[k], bv[k], bv[k]);
+    }
+  }
+  double sab[kDotChains], saa[kDotChains], sbb[kDotChains];
+  for (int k = 0; k < 4; ++k) {
+    vst1q_f64(sab + 2 * k, accab[k]);
+    vst1q_f64(saa + 2 * k, accaa[k]);
+    vst1q_f64(sbb + 2 * k, accbb[k]);
+  }
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    sab[i & (kDotChains - 1)] += ai * bi;
+    saa[i & (kDotChains - 1)] += ai * ai;
+    sbb[i & (kDotChains - 1)] += bi * bi;
+  }
+  ab = reduce8(sab);
+  aa = reduce8(saa);
+  bb = reduce8(sbb);
+}
+
+void dot_matrix_tile_neon(const float* queries, std::size_t q_begin,
+                          std::size_t q_end, const float* prototypes,
+                          std::size_t np, std::size_t dim, double* out) {
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      const float* qrow = queries + q * dim;
+      double* orow = out + q * np + p;
+      for (std::size_t r = 0; r < panel; ++r) {
+        orow[r] = dot_neon(qrow, panel_rows + r * dim, dim);
+      }
+    }
+  }
+}
+
+void ngram_axpy_neon(const float* const* levels, const std::size_t* shifts,
+                     std::size_t n_factors, std::size_t d, float weight,
+                     float* acc) {
+  generic::ngram_axpy(levels, shifts, n_factors, d, weight, acc);
+}
+
+void project_cos_tile_neon(const float* x, std::size_t q_begin,
+                           std::size_t q_end, const float* wt, std::size_t dp,
+                           std::size_t features, const float* bias,
+                           float* out) {
+  generic::project_cos_tile(x, q_begin, q_end, wt, dp, features, bias, out);
+}
+
+/// XOR+popcount over nw packed words, 2 words (16 bytes) per VCNT.
+inline std::uint64_t hamming_words_neon(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t nw) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + 2 <= nw; w += 2) {
+    const uint8x16_t x = vreinterpretq_u8_u64(
+        veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w)));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(x)))));
+  }
+  std::uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  if (w < nw) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+void hamming_batch_neon(const std::uint64_t* q, const std::uint64_t* prototypes,
+                        std::size_t np, std::size_t nw, std::size_t* out) {
+  for (std::size_t p = 0; p < np; ++p) {
+    out[p] = static_cast<std::size_t>(
+        hamming_words_neon(q, prototypes + p * nw, nw));
+  }
+}
+
+void hamming_matrix_tile_neon(const std::uint64_t* queries,
+                              std::size_t q_begin, std::size_t q_end,
+                              const std::uint64_t* prototypes, std::size_t np,
+                              std::size_t nw, std::size_t* out) {
+  for (std::size_t p = 0; p < np; p += kBitPanelRows) {
+    const std::size_t panel =
+        p + kBitPanelRows <= np ? kBitPanelRows : np - p;
+    const std::uint64_t* panel_rows = prototypes + p * nw;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      hamming_batch_neon(queries + q * nw, panel_rows, panel, nw,
+                         out + (q - q_begin) * np + p);
+    }
+  }
+}
+
+}  // namespace
+
+void register_neon(const CpuFeatures& /*features*/, KernelTable& t,
+                   const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.dot = dot_neon;
+  set(Kernel::kDot, "neon");
+  t.dot_and_norms = dot_and_norms_neon;
+  set(Kernel::kDotAndNorms, "neon");
+  t.dot_matrix_tile = dot_matrix_tile_neon;
+  set(Kernel::kDotMatrixTile, "neon");
+  t.ngram_axpy = ngram_axpy_neon;
+  set(Kernel::kNgramAxpy, "neon");
+  t.project_cos_tile = project_cos_tile_neon;
+  set(Kernel::kProjectCosTile, "neon");
+  t.hamming_batch = hamming_batch_neon;
+  set(Kernel::kHammingBatch, "neon");
+  t.hamming_matrix_tile = hamming_matrix_tile_neon;
+  set(Kernel::kHammingMatrixTile, "neon");
+}
+
+}  // namespace smore::kern
+
+#else  // non-AArch64
+
+namespace smore::kern {
+void register_neon(const CpuFeatures&, KernelTable&, const char**) {}
+}  // namespace smore::kern
+
+#endif

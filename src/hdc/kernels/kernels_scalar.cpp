@@ -1,0 +1,94 @@
+// Scalar tier: registers the canonical reference implementations
+// (kernels_generic.hpp) for every slot. This TU is compiled with explicit
+// portable arch flags (see CMakeLists.txt) even when the rest of the build
+// uses -march=native, so a binary migrated to an older host can always fall
+// back to instructions that host executes. It is also the tier SMORE_KERNEL=
+// scalar forces, which is how the equivalence suites pin every other
+// variant.
+//
+// Each slot gets a file-static wrapper (not the generic symbol itself):
+// the generic functions are force-inlined into these wrappers, giving this
+// TU its own portable compilation of every kernel with internal linkage —
+// no COMDAT copy from some -march=native TU can be substituted at link time.
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+namespace smore::kern {
+
+namespace {
+
+double dot_scalar(const float* a, const float* b, std::size_t n) {
+  return generic::dot(a, b, n);
+}
+
+void dot_and_norms_scalar(const float* a, const float* b, std::size_t n,
+                          double& ab, double& aa, double& bb) {
+  generic::dot_and_norms(a, b, n, ab, aa, bb);
+}
+
+void dot_matrix_tile_scalar(const float* queries, std::size_t q_begin,
+                            std::size_t q_end, const float* prototypes,
+                            std::size_t np, std::size_t dim, double* out) {
+  generic::dot_matrix_tile(queries, q_begin, q_end, prototypes, np, dim, out);
+}
+
+void ngram_axpy_scalar(const float* const* levels, const std::size_t* shifts,
+                       std::size_t n_factors, std::size_t d, float weight,
+                       float* acc) {
+  generic::ngram_axpy(levels, shifts, n_factors, d, weight, acc);
+}
+
+void project_cos_tile_scalar(const float* x, std::size_t q_begin,
+                             std::size_t q_end, const float* wt,
+                             std::size_t dp, std::size_t features,
+                             const float* bias, float* out) {
+  generic::project_cos_tile(x, q_begin, q_end, wt, dp, features, bias, out);
+}
+
+void sign_pack_row_scalar(const float* v, std::size_t dim,
+                          std::uint64_t* out) {
+  generic::sign_pack_row(v, dim, out);
+}
+
+void hamming_batch_scalar(const std::uint64_t* q,
+                          const std::uint64_t* prototypes, std::size_t np,
+                          std::size_t nw, std::size_t* out) {
+  generic::hamming_batch(q, prototypes, np, nw, out);
+}
+
+void hamming_matrix_tile_scalar(const std::uint64_t* queries,
+                                std::size_t q_begin, std::size_t q_end,
+                                const std::uint64_t* prototypes,
+                                std::size_t np, std::size_t nw,
+                                std::size_t* out) {
+  generic::hamming_matrix_tile(queries, q_begin, q_end, prototypes, np, nw,
+                               out);
+}
+
+}  // namespace
+
+void register_scalar(const CpuFeatures& /*features*/, KernelTable& t,
+                     const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.dot = dot_scalar;
+  set(Kernel::kDot, "scalar");
+  t.dot_and_norms = dot_and_norms_scalar;
+  set(Kernel::kDotAndNorms, "scalar");
+  t.dot_matrix_tile = dot_matrix_tile_scalar;
+  set(Kernel::kDotMatrixTile, "scalar");
+  t.ngram_axpy = ngram_axpy_scalar;
+  set(Kernel::kNgramAxpy, "scalar");
+  t.project_cos_tile = project_cos_tile_scalar;
+  set(Kernel::kProjectCosTile, "scalar");
+  t.sign_pack_row = sign_pack_row_scalar;
+  set(Kernel::kSignPackRow, "scalar");
+  t.hamming_batch = hamming_batch_scalar;
+  set(Kernel::kHammingBatch, "scalar");
+  t.hamming_matrix_tile = hamming_matrix_tile_scalar;
+  set(Kernel::kHammingMatrixTile, "scalar");
+}
+
+}  // namespace smore::kern

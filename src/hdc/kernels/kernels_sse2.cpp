@@ -1,0 +1,163 @@
+// SSE2 tier (x86-64 baseline, compiled with portable flags — see
+// CMakeLists.txt). Covers the float dot family plus sign packing; everything
+// else keeps the scalar registration. Every kernel reproduces the canonical
+// chain order of kernels_generic.hpp exactly: the 8 accumulation chains map
+// onto four 2×double registers (chain pair (2k, 2k+1) lives in xmm k), and
+// SSE2 has no FMA, so each step is the same convert→multiply→add the scalar
+// reference performs — bit-identical by construction, and pinned by
+// tests/test_dispatch.cpp.
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+namespace smore::kern {
+
+namespace {
+
+/// Convert 4 floats to 2 double pairs: lo = {p[0], p[1]}, hi = {p[2], p[3]}.
+inline void cvt4(const float* p, __m128d& lo, __m128d& hi) {
+  const __m128 v = _mm_loadu_ps(p);
+  lo = _mm_cvtps_pd(v);
+  hi = _mm_cvtps_pd(_mm_movehl_ps(v, v));
+}
+
+double dot_sse2(const float* a, const float* b, std::size_t n) {
+  __m128d acc0 = _mm_setzero_pd();  // chains 0,1
+  __m128d acc1 = _mm_setzero_pd();  // chains 2,3
+  __m128d acc2 = _mm_setzero_pd();  // chains 4,5
+  __m128d acc3 = _mm_setzero_pd();  // chains 6,7
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    __m128d a01, a23, a45, a67, b01, b23, b45, b67;
+    cvt4(a + i, a01, a23);
+    cvt4(a + i + 4, a45, a67);
+    cvt4(b + i, b01, b23);
+    cvt4(b + i + 4, b45, b67);
+    acc0 = _mm_add_pd(acc0, _mm_mul_pd(a01, b01));
+    acc1 = _mm_add_pd(acc1, _mm_mul_pd(a23, b23));
+    acc2 = _mm_add_pd(acc2, _mm_mul_pd(a45, b45));
+    acc3 = _mm_add_pd(acc3, _mm_mul_pd(a67, b67));
+  }
+  double s[kDotChains];
+  _mm_storeu_pd(s + 0, acc0);
+  _mm_storeu_pd(s + 2, acc1);
+  _mm_storeu_pd(s + 4, acc2);
+  _mm_storeu_pd(s + 6, acc3);
+  for (; i < n; ++i) {
+    s[i & (kDotChains - 1)] += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce8(s);
+}
+
+void dot_and_norms_sse2(const float* a, const float* b, std::size_t n,
+                        double& ab, double& aa, double& bb) {
+  __m128d accab[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                      _mm_setzero_pd()};
+  __m128d accaa[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                      _mm_setzero_pd()};
+  __m128d accbb[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                      _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + kDotChains <= n; i += kDotChains) {
+    __m128d av[4], bv[4];
+    cvt4(a + i, av[0], av[1]);
+    cvt4(a + i + 4, av[2], av[3]);
+    cvt4(b + i, bv[0], bv[1]);
+    cvt4(b + i + 4, bv[2], bv[3]);
+    for (int k = 0; k < 4; ++k) {
+      accab[k] = _mm_add_pd(accab[k], _mm_mul_pd(av[k], bv[k]));
+      accaa[k] = _mm_add_pd(accaa[k], _mm_mul_pd(av[k], av[k]));
+      accbb[k] = _mm_add_pd(accbb[k], _mm_mul_pd(bv[k], bv[k]));
+    }
+  }
+  double sab[kDotChains], saa[kDotChains], sbb[kDotChains];
+  for (int k = 0; k < 4; ++k) {
+    _mm_storeu_pd(sab + 2 * k, accab[k]);
+    _mm_storeu_pd(saa + 2 * k, accaa[k]);
+    _mm_storeu_pd(sbb + 2 * k, accbb[k]);
+  }
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    sab[i & (kDotChains - 1)] += ai * bi;
+    saa[i & (kDotChains - 1)] += ai * ai;
+    sbb[i & (kDotChains - 1)] += bi * bi;
+  }
+  ab = reduce8(sab);
+  aa = reduce8(saa);
+  bb = reduce8(sbb);
+}
+
+void dot_matrix_tile_sse2(const float* queries, std::size_t q_begin,
+                          std::size_t q_end, const float* prototypes,
+                          std::size_t np, std::size_t dim, double* out) {
+  // Same panel walk as the reference; SSE2 has too few registers for a
+  // multi-prototype block on top of 4 accumulators, so each pair is one
+  // dot_sse2 call. Blocking is scheduling-only either way.
+  for (std::size_t p = 0; p < np; p += kPanelRows) {
+    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
+    const float* panel_rows = prototypes + p * dim;
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      const float* qrow = queries + q * dim;
+      double* orow = out + q * np + p;
+      for (std::size_t r = 0; r < panel; ++r) {
+        orow[r] = dot_sse2(qrow, panel_rows + r * dim, dim);
+      }
+    }
+  }
+}
+
+void sign_pack_row_sse2(const float* v, std::size_t dim, std::uint64_t* out) {
+  // bit j = (v[j] >= 0.0f): CMPGE (ordered, NaN → false, matching the
+  // scalar comparison) + MOVMSKPS builds 4 bits per compare, 16 compares
+  // per output word.
+  const __m128 zero = _mm_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 64 <= dim; j += 64) {
+    std::uint64_t word = 0;
+    for (int c = 0; c < 16; ++c) {
+      const int m =
+          _mm_movemask_ps(_mm_cmpge_ps(_mm_loadu_ps(v + j + 4 * c), zero));
+      word |= static_cast<std::uint64_t>(m) << (4 * c);
+    }
+    out[j >> 6] = word;
+  }
+  if (j < dim) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; j + b < dim; ++b) {
+      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
+    }
+    out[j >> 6] = word;  // padding bits stay zero
+  }
+}
+
+}  // namespace
+
+void register_sse2(const CpuFeatures& /*features*/, KernelTable& t,
+                   const char** variant) {
+  const auto set = [variant](Kernel k, const char* name) {
+    variant[static_cast<int>(k)] = name;
+  };
+  t.dot = dot_sse2;
+  set(Kernel::kDot, "sse2");
+  t.dot_and_norms = dot_and_norms_sse2;
+  set(Kernel::kDotAndNorms, "sse2");
+  t.dot_matrix_tile = dot_matrix_tile_sse2;
+  set(Kernel::kDotMatrixTile, "sse2");
+  t.sign_pack_row = sign_pack_row_sse2;
+  set(Kernel::kSignPackRow, "sse2");
+}
+
+}  // namespace smore::kern
+
+#else  // non-x86: TU compiled empty (CMake should exclude it anyway)
+
+namespace smore::kern {
+void register_sse2(const CpuFeatures&, KernelTable&, const char**) {}
+}  // namespace smore::kern
+
+#endif

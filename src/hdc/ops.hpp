@@ -1,11 +1,24 @@
 #pragma once
 // Low-level dense kernels for hyperdimensional computing.
 //
-// Everything in the HDC layer reduces to a handful of element-wise loops over
-// contiguous float arrays. They are kept header-inline so the compiler can
-// vectorize them at every call site; all higher-level operations
-// (bundle / bind / permute / cosine, encoding, classifier updates) are built
-// from these.
+// Two layers live here:
+//
+//  * Element-wise primitives (axpy, hadamard, rotate, lerp, ...): header-
+//    inline loops the compiler vectorizes at every call site. With
+//    -ffp-contract=off (project-wide) their float arithmetic is identical
+//    under any per-TU arch flags.
+//  * Reduction/matrix kernels (dot family, ngram_axpy, project_cos_matrix):
+//    the hot kernels of encode and inference. Their entry points route
+//    through the runtime CPU-dispatch table (hdc/dispatch.hpp): one fat
+//    binary carries scalar/SSE2/AVX2/AVX-512/NEON variants and resolves the
+//    fastest the host can execute at first use. Every variant is pinned
+//    bit-identical to the canonical reference in
+//    hdc/kernels/kernels_generic.hpp, so dispatch never changes results —
+//    across hosts, tiers (SMORE_KERNEL=...), or thread counts.
+//
+// The matrix drivers keep the three-level blocking scheme (register blocks
+// inside the dispatched tile kernels; L2-resident prototype panels; query
+// row tiles over the global ThreadPool writing disjoint output slots).
 //
 // Preconditions are asserted, not thrown: dimensional agreement is a class
 // invariant of the callers (see Hypervector), so violations are programming
@@ -17,30 +30,28 @@
 #include <cstddef>
 #include <vector>
 
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smore::ops {
 
-/// Dot product over n contiguous floats (accumulated in double for
-/// stability). Four independent accumulators break the loop-carried
-/// dependency so the compiler can pipeline/vectorize the float->double
-/// converts — this is the hottest kernel of HDC inference (every cosine is
-/// one dot per class).
+// Blocking constants and the shared cos epilogue are defined once next to
+// the canonical kernels; re-exported here for existing callers.
+using smore::kern::cos_fast;
+using smore::kern::kDotBlock;
+using smore::kern::kNgramFusedMaxFactors;
+using smore::kern::kPanelRows;
+using smore::kern::kProjColBlock;
+using smore::kern::kProjQueryTile;
+using smore::kern::kRowTile;
+
+/// Dot product over n contiguous floats, accumulated in double across the
+/// canonical chain layout (kernels_generic.hpp) — the hottest kernel of HDC
+/// inference (every cosine is one dot per class). Dispatched.
 inline double dot(const float* a, const float* b, std::size_t n) noexcept {
   assert(a != nullptr && b != nullptr);
-  double acc0 = 0.0;
-  double acc1 = 0.0;
-  double acc2 = 0.0;
-  double acc3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += static_cast<double>(a[i]) * b[i];
-    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
-    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
-    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
-  }
-  for (; i < n; ++i) acc0 += static_cast<double>(a[i]) * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return kern::table().dot(a, b, n);
 }
 
 /// Euclidean norm.
@@ -102,34 +113,14 @@ inline void hadamard_rotated(const float* src, std::size_t n, std::size_t k,
 
 /// Fused dot product and squared norms: one pass over both arrays computing
 /// <a,b>, <a,a>, and <b,b> simultaneously. Each loaded element feeds three
-/// accumulator chains, so cosine costs one memory sweep instead of the three
-/// a naive nrm2(a) + nrm2(b) + dot(a,b) sequence would make.
+/// accumulator families, so cosine costs one memory sweep instead of the
+/// three a naive nrm2(a) + nrm2(b) + dot(a,b) sequence would make. The
+/// chains match `dot` exactly, so the fused ab equals dot(a, b) bit for
+/// bit. Dispatched.
 inline void dot_and_norms(const float* a, const float* b, std::size_t n,
                           double& ab, double& aa, double& bb) noexcept {
   assert(a != nullptr && b != nullptr);
-  double ab0 = 0.0, ab1 = 0.0;
-  double aa0 = 0.0, aa1 = 0.0;
-  double bb0 = 0.0, bb1 = 0.0;
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const double a0 = a[i], a1 = a[i + 1];
-    const double b0 = b[i], b1 = b[i + 1];
-    ab0 += a0 * b0;
-    ab1 += a1 * b1;
-    aa0 += a0 * a0;
-    aa1 += a1 * a1;
-    bb0 += b0 * b0;
-    bb1 += b1 * b1;
-  }
-  for (; i < n; ++i) {
-    const double ai = a[i], bi = b[i];
-    ab0 += ai * bi;
-    aa0 += ai * ai;
-    bb0 += bi * bi;
-  }
-  ab = ab0 + ab1;
-  aa = aa0 + aa1;
-  bb = bb0 + bb1;
+  kern::table().dot_and_norms(a, b, n, ab, aa, bb);
 }
 
 /// Cosine similarity; returns 0 when either vector is all-zero (the HDC
@@ -158,75 +149,32 @@ inline void lerp(const float* a, const float* b, float t, float* out,
 // time, every pair re-streams the query row and pays a call + allocation per
 // query. The kernels below treat the whole problem as a
 // [n_queries × n_prototypes] matrix product over row-major blocks:
-//   * register blocking: dot_batch computes four prototype dots per sweep of
-//     the query row, so each loaded query element feeds four FMA chains;
-//   * cache blocking: the matrix drivers walk prototypes in panels small
-//     enough to stay L2-resident across a whole tile of queries;
+//   * register blocking lives inside the dispatched tile kernel (each loaded
+//     query element feeds kDotBlock prototype chains on tiers with the
+//     registers for it);
+//   * cache blocking: prototypes are walked in panels small enough to stay
+//     L2-resident across a whole tile of queries;
 //   * thread blocking: query row tiles are distributed over the global
 //     ThreadPool; outputs land in disjoint pre-sized slots, so the result is
 //     bit-identical for any thread count.
 
-/// Number of prototype rows per register block in dot_batch.
-inline constexpr std::size_t kDotBlock = 4;
-/// Prototype rows per cache panel in the matrix drivers. At d = 4096 floats a
-/// panel is 8 × 16 KiB = 128 KiB — comfortably L2-resident while a tile of
-/// queries streams against it.
-inline constexpr std::size_t kPanelRows = 8;
-/// Query rows per parallel work item (grain of the ThreadPool split).
-inline constexpr std::size_t kRowTile = 64;
-
-/// out[p] = <q, P_p> for the np row-major rows of P. Prototypes are processed
-/// four at a time so one sweep of the query row feeds four independent
-/// accumulator chains (the register-blocking step of the matrix kernels).
+/// out[p] = <q, P_p> for the np row-major rows of P: a one-query tile of the
+/// dispatched matrix kernel (register blocking included).
 inline void dot_batch(const float* q, const float* prototypes, std::size_t np,
                       std::size_t dim, double* out) noexcept {
   assert(q != nullptr && out != nullptr);
   assert(np == 0 || prototypes != nullptr);
-  std::size_t p = 0;
-  for (; p + kDotBlock <= np; p += kDotBlock) {
-    const float* p0 = prototypes + (p + 0) * dim;
-    const float* p1 = prototypes + (p + 1) * dim;
-    const float* p2 = prototypes + (p + 2) * dim;
-    const float* p3 = prototypes + (p + 3) * dim;
-    // Two accumulators per prototype (even/odd elements): eight independent
-    // FMA chains, enough to hide the fused-multiply-add latency.
-    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
-    std::size_t j = 0;
-    for (; j + 2 <= dim; j += 2) {
-      const double qe = q[j];
-      const double qo = q[j + 1];
-      a0 += qe * p0[j];
-      b0 += qo * p0[j + 1];
-      a1 += qe * p1[j];
-      b1 += qo * p1[j + 1];
-      a2 += qe * p2[j];
-      b2 += qo * p2[j + 1];
-      a3 += qe * p3[j];
-      b3 += qo * p3[j + 1];
-    }
-    for (; j < dim; ++j) {
-      const double qj = q[j];
-      a0 += qj * p0[j];
-      a1 += qj * p1[j];
-      a2 += qj * p2[j];
-      a3 += qj * p3[j];
-    }
-    out[p + 0] = a0 + b0;
-    out[p + 1] = a1 + b1;
-    out[p + 2] = a2 + b2;
-    out[p + 3] = a3 + b3;
-  }
-  for (; p < np; ++p) out[p] = dot(q, prototypes + p * dim, dim);
+  kern::table().dot_matrix_tile(q, 0, 1, prototypes, np, dim, out);
 }
 
 /// Squared Euclidean norm of each of the np row-major rows.
 inline void nrm2_sq_rows(const float* rows, std::size_t np, std::size_t dim,
                          double* out) noexcept {
   assert(np == 0 || (rows != nullptr && out != nullptr));
+  const auto dot_fn = kern::table().dot;
   for (std::size_t p = 0; p < np; ++p) {
     const float* r = rows + p * dim;
-    out[p] = dot(r, r, dim);
+    out[p] = dot_fn(r, r, dim);
   }
 }
 
@@ -234,19 +182,13 @@ namespace detail {
 
 /// Serial core shared by the matrix drivers: dots of queries [q_begin, q_end)
 /// against all np prototypes, written to out (row-major [nq × np], absolute
-/// row indexing). Prototypes are walked in L2-resident panels in the outer
-/// loop so each panel is re-used by every query of the tile.
+/// row indexing). Dispatched; see kernels_generic.hpp for the reference.
 inline void dot_matrix_tile(const float* queries, std::size_t q_begin,
                             std::size_t q_end, const float* prototypes,
                             std::size_t np, std::size_t dim,
                             double* out) noexcept {
-  for (std::size_t p = 0; p < np; p += kPanelRows) {
-    const std::size_t panel = p + kPanelRows <= np ? kPanelRows : np - p;
-    const float* panel_rows = prototypes + p * dim;
-    for (std::size_t q = q_begin; q < q_end; ++q) {
-      dot_batch(queries + q * dim, panel_rows, panel, dim, out + q * np + p);
-    }
-  }
+  kern::table().dot_matrix_tile(queries, q_begin, q_end, prototypes, np, dim,
+                                out);
 }
 
 }  // namespace detail
@@ -259,15 +201,16 @@ inline void dot_matrix(const float* queries, std::size_t nq,
                        const float* prototypes, std::size_t np,
                        std::size_t dim, double* out, bool parallel = true) {
   if (nq == 0 || np == 0) return;
+  const auto& table = kern::table();
   if (!parallel || nq <= kRowTile) {
-    detail::dot_matrix_tile(queries, 0, nq, prototypes, np, dim, out);
+    table.dot_matrix_tile(queries, 0, nq, prototypes, np, dim, out);
     return;
   }
   const std::size_t tiles = (nq + kRowTile - 1) / kRowTile;
   parallel_for(tiles, [&](std::size_t t) {
     const std::size_t begin = t * kRowTile;
     const std::size_t end = begin + kRowTile < nq ? begin + kRowTile : nq;
-    detail::dot_matrix_tile(queries, begin, end, prototypes, np, dim, out);
+    table.dot_matrix_tile(queries, begin, end, prototypes, np, dim, out);
   });
 }
 
@@ -283,6 +226,7 @@ inline void similarity_matrix(const float* queries, std::size_t nq,
                               const double* p_norms_sq = nullptr,
                               bool parallel = true) {
   if (nq == 0 || np == 0) return;
+  const auto& table = kern::table();
   std::vector<double> scratch;
   if (p_norms_sq == nullptr) {
     scratch.resize(np);
@@ -291,10 +235,10 @@ inline void similarity_matrix(const float* queries, std::size_t nq,
   }
 
   const auto tile = [&](std::size_t q_begin, std::size_t q_end) {
-    detail::dot_matrix_tile(queries, q_begin, q_end, prototypes, np, dim, out);
+    table.dot_matrix_tile(queries, q_begin, q_end, prototypes, np, dim, out);
     for (std::size_t q = q_begin; q < q_end; ++q) {
       const float* qrow = queries + q * dim;
-      const double q_norm_sq = dot(qrow, qrow, dim);
+      const double q_norm_sq = table.dot(qrow, qrow, dim);
       double* row = out + q * np;
       if (q_norm_sq == 0.0) {
         for (std::size_t p = 0; p < np; ++p) row[p] = 0.0;
@@ -334,151 +278,25 @@ inline void similarity_matrix(const float* queries, std::size_t nq,
 // Both keep the exact arithmetic order of their scalar counterparts, so
 // batched results are bit-identical to the per-window paths.
 
-/// Maximum factor count the fused n-gram kernel accepts (the encoder falls
-/// back to the multi-pass pipeline for longer grams; real configs use 2-5).
-inline constexpr std::size_t kNgramFusedMaxFactors = 8;
-
 /// acc[j] += weight * Π_p (ρ^{shifts[p]} levels[p])[j]  — the fused n-gram
-/// bind-and-bundle. `levels[p]` is a d-float level hypervector and
-/// `shifts[p]` its graded-permutation rotation (shifts[p] < d). The rotated
-/// reads are resolved by splitting [0, d) at every wrap point, so each
-/// segment is a straight multiply chain over n_factors fixed-offset streams —
-/// vectorizable, no index arithmetic, no gram temporary. Products are formed
-/// in ascending factor order, matching the rotate→hadamard→axpy pipeline
-/// bit for bit.
+/// bind-and-bundle (see kernels_generic.hpp for the reference and the
+/// segment-splitting scheme). Dispatched: higher tiers recompile the
+/// element-wise body at their vector width, bit-identical with contraction
+/// off.
 inline void ngram_axpy(const float* const* levels, const std::size_t* shifts,
                        std::size_t n_factors, std::size_t d, float weight,
                        float* acc) noexcept {
   assert(levels != nullptr && shifts != nullptr && acc != nullptr);
   assert(n_factors >= 1 && n_factors <= kNgramFusedMaxFactors);
-
-  // Segment boundaries: 0, every non-zero shift (its wrap point), d.
-  std::size_t bounds[kNgramFusedMaxFactors + 2];
-  std::size_t nb = 0;
-  bounds[nb++] = 0;
-  for (std::size_t p = 0; p < n_factors; ++p) {
-    assert(shifts[p] < d);
-    if (shifts[p] != 0) bounds[nb++] = shifts[p];
-  }
-  bounds[nb++] = d;
-  // Insertion sort: nb <= n_factors + 2 <= 10, cheaper than std::sort here.
-  for (std::size_t i = 1; i < nb; ++i) {
-    const std::size_t v = bounds[i];
-    std::size_t j = i;
-    for (; j > 0 && bounds[j - 1] > v; --j) bounds[j] = bounds[j - 1];
-    bounds[j] = v;
-  }
-
-  const float* ptr[kNgramFusedMaxFactors];
-  for (std::size_t seg = 0; seg + 1 < nb; ++seg) {
-    const std::size_t a = bounds[seg];
-    const std::size_t b = bounds[seg + 1];
-    if (a == b) continue;
-    // Within [a, b) each factor reads from one fixed offset:
-    // (ρ^k L)[j] = L[j - k] for j >= k, L[j + d - k] for j < k.
-    for (std::size_t p = 0; p < n_factors; ++p) {
-      ptr[p] = a >= shifts[p] ? levels[p] - shifts[p]
-                              : levels[p] + (d - shifts[p]);
-    }
-    float* __restrict y = acc;
-    switch (n_factors) {
-      case 1: {
-        const float* __restrict l0 = ptr[0];
-        for (std::size_t j = a; j < b; ++j) y[j] += weight * l0[j];
-        break;
-      }
-      case 2: {
-        const float* __restrict l0 = ptr[0];
-        const float* __restrict l1 = ptr[1];
-        for (std::size_t j = a; j < b; ++j) y[j] += weight * (l0[j] * l1[j]);
-        break;
-      }
-      case 3: {
-        const float* __restrict l0 = ptr[0];
-        const float* __restrict l1 = ptr[1];
-        const float* __restrict l2 = ptr[2];
-        for (std::size_t j = a; j < b; ++j) {
-          y[j] += weight * ((l0[j] * l1[j]) * l2[j]);
-        }
-        break;
-      }
-      default: {
-        for (std::size_t j = a; j < b; ++j) {
-          float prod = ptr[0][j];
-          for (std::size_t p = 1; p < n_factors; ++p) prod *= ptr[p][j];
-          y[j] += weight * prod;
-        }
-        break;
-      }
-    }
-  }
+  kern::table().ngram_axpy(levels, shifts, n_factors, d, weight, acc);
 }
-
-/// Fast double-precision cosine for the projection epilogue: Cody-Waite
-/// range reduction to [-π/4, π/4] plus Taylor kernels evaluated by Horner.
-/// Max absolute error ≈ 2e-14 — four orders of magnitude below the float
-/// output resolution, so the encodings are unchanged at float precision —
-/// and, unlike the libm call, it is branch-light and inlines, so the
-/// epilogue loop pipelines instead of serializing on 41M function calls.
-/// Precondition: |x| < ~1e9 (the projections are O(‖x‖·‖w‖), far smaller).
-inline float cos_fast(double x) noexcept {
-  constexpr double kTwoOverPi = 0.63661977236758134308;
-  constexpr double kPio2Hi = 1.57079632679489655800e+00;
-  constexpr double kPio2Lo = 6.12323399573676603587e-17;
-  const double kd = std::round(x * kTwoOverPi);
-  double r = x - kd * kPio2Hi;
-  r -= kd * kPio2Lo;
-  const double r2 = r * r;
-  // Taylor to r^14 (cos) / r^13 (sin): next-term error < 1.1e-15 on the
-  // reduced range.
-  const double c =
-      1.0 +
-      r2 * (-1.0 / 2 +
-            r2 * (1.0 / 24 +
-                  r2 * (-1.0 / 720 +
-                        r2 * (1.0 / 40320 +
-                              r2 * (-1.0 / 3628800 +
-                                    r2 * (1.0 / 479001600 +
-                                          r2 * (-1.0 / 87178291200.0)))))));
-  const double s =
-      r * (1.0 +
-           r2 * (-1.0 / 6 +
-                 r2 * (1.0 / 120 +
-                       r2 * (-1.0 / 5040 +
-                             r2 * (1.0 / 362880 +
-                                   r2 * (-1.0 / 39916800 +
-                                         r2 * (1.0 / 6227020800.0)))))));
-  switch (static_cast<long long>(kd) & 3) {
-    case 0:
-      return static_cast<float>(c);
-    case 1:
-      return static_cast<float>(-s);
-    case 2:
-      return static_cast<float>(-c);
-    default:
-      return static_cast<float>(s);
-  }
-}
-
-/// Queries per tile of the projection kernel (bounds the accumulator block:
-/// kProjQueryTile × kProjColBlock doubles = 32 KiB, L1-resident).
-inline constexpr std::size_t kProjQueryTile = 8;
-/// Output columns per block of the projection kernel (one W^T row segment of
-/// 2 KiB streams against the whole query tile).
-inline constexpr std::size_t kProjColBlock = 512;
 
 /// out[q][j] = cos(bias[j] + <X_q, W_j>), row-major [nq × dp]: the batched
 /// random-projection encode (flatten → project → cos). X is [nq × features]
 /// row-major (flattened windows); `wt` is the TRANSPOSED projection, row-major
-/// [features × dp], so the kernel runs feature-major: for each output-column
-/// block, acc_q[j] starts at bias[j] and accumulates x_q[f] · W^T[f][j] over
-/// f — broadcast-scalar FMA streams with no reduction dependency, exactly the
-/// orientation this shape wants (many windows × small F × large D; the
-/// row-dot orientation re-streams the whole projection per window). Blocking:
-/// queries in tiles of kProjQueryTile share each streamed W^T row segment,
-/// accumulators stay L1-resident, and the cos epilogue runs per block while
-/// the accumulators are hot. Per-output summation order is fixed (bias, then
-/// f ascending, in double), independent of all blocking — results are
+/// [features × dp], so the kernel runs feature-major (see kernels_generic.hpp
+/// for the blocking and the fixed per-output summation order). Queries run in
+/// tiles of kProjQueryTile over the global ThreadPool; results are
 /// bit-identical for any thread count and for the parallel flag.
 inline void project_cos_matrix(const float* x, std::size_t nq, const float* wt,
                                std::size_t dp, std::size_t features,
@@ -486,40 +304,13 @@ inline void project_cos_matrix(const float* x, std::size_t nq, const float* wt,
                                bool parallel = true) {
   if (nq == 0 || dp == 0) return;
   assert(x != nullptr && wt != nullptr && bias != nullptr && out != nullptr);
-  const auto tile = [&](std::size_t q_begin, std::size_t q_end) {
-    const std::size_t rows = q_end - q_begin;
-    double acc[kProjQueryTile][kProjColBlock];
-    for (std::size_t j0 = 0; j0 < dp; j0 += kProjColBlock) {
-      const std::size_t jb = std::min(kProjColBlock, dp - j0);
-      for (std::size_t q = 0; q < rows; ++q) {
-        for (std::size_t j = 0; j < jb; ++j) {
-          acc[q][j] = static_cast<double>(bias[j0 + j]);
-        }
-      }
-      for (std::size_t f = 0; f < features; ++f) {
-        const float* __restrict w_row = wt + f * dp + j0;
-        for (std::size_t q = 0; q < rows; ++q) {
-          const double xf = x[(q_begin + q) * features + f];
-          double* __restrict a = acc[q];
-          for (std::size_t j = 0; j < jb; ++j) {
-            a[j] += xf * static_cast<double>(w_row[j]);
-          }
-        }
-      }
-      for (std::size_t q = 0; q < rows; ++q) {
-        float* orow = out + (q_begin + q) * dp + j0;
-        for (std::size_t j = 0; j < jb; ++j) {
-          orow[j] = cos_fast(acc[q][j]);
-        }
-      }
-    }
-  };
+  const auto& table = kern::table();
   const std::size_t tiles = (nq + kProjQueryTile - 1) / kProjQueryTile;
   const auto run_tile = [&](std::size_t t) {
     const std::size_t begin = t * kProjQueryTile;
     const std::size_t end =
         begin + kProjQueryTile < nq ? begin + kProjQueryTile : nq;
-    tile(begin, end);
+    table.project_cos_tile(x, begin, end, wt, dp, features, bias, out);
   };
   if (!parallel || tiles == 1) {
     for (std::size_t t = 0; t < tiles; ++t) run_tile(t);

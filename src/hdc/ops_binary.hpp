@@ -6,19 +6,19 @@
 // replace cosine with Hamming similarity: a similarity query then touches
 // d/64 machine words instead of d floats. These kernels are the bit
 // counterparts of ops.hpp's float engines and follow the same architecture:
-//   * register blocking: hamming_batch computes four prototype distances per
-//     sweep of the query row, so each loaded query word feeds four
-//     XOR+popcount chains;
-//   * cache blocking: the matrix drivers walk prototypes in panels that stay
-//     L1/L2-resident across a whole tile of queries;
-//   * thread blocking: query row tiles are distributed over the global
-//     ThreadPool into disjoint pre-sized output slots. Distances are exact
-//     integers, so results are bit-identical for any thread count and any
-//     blocking — the kernels equal the scalar BinaryVector::hamming loop
-//     word for word.
-// Under -march=native the popcount loops auto-vectorize (AVX-512
-// VPOPCNTDQ where available); the sign packer has an explicit AVX-512
-// mask-compare path because the bit-scatter loop does not auto-vectorize.
+// the entry points route through the runtime CPU-dispatch table
+// (hdc/dispatch.hpp) — hardware POPCNT on any modern x86, 512-bit VPOPCNTQ
+// where the CPU has AVX-512 VPOPCNTDQ, NEON VCNT on ARM, all selected at
+// startup from one fat binary. (The AVX-512 sign packer used to sit behind a
+// compile-time __AVX512F__ guard right here, which made -march=native
+// binaries SIGILL on older hosts; runtime dispatch removes that trap.)
+// Distances are exact integers, so every variant and any blocking or thread
+// count produces identical results — the kernels equal the scalar
+// BinaryVector::hamming loop word for word.
+//
+// Matrix drivers keep the three-level blocking scheme: register blocks
+// inside the dispatched tile kernels, L1-resident prototype panels, query
+// row tiles over the global ThreadPool into disjoint output slots.
 //
 // Precondition (asserted, not thrown): every packed row keeps its padding
 // bits — bits [dim, words·64) — zero, the BitMatrix invariant. Whole-word
@@ -32,94 +32,53 @@
 #include <vector>
 
 #include "hdc/bit_matrix.hpp"
+#include "hdc/dispatch.hpp"
 #include "hdc/hv_matrix.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
 #include "util/thread_pool.hpp"
-
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
 
 namespace smore::ops {
 
-/// Prototype rows per register block in hamming_batch.
-inline constexpr std::size_t kHammingBlock = 4;
-/// Prototype rows per cache panel in the Hamming matrix drivers. At
-/// d = 8192 bits a panel is 16 × 1 KiB = 16 KiB — L1-resident while a tile
-/// of queries streams against it.
-inline constexpr std::size_t kBitPanelRows = 16;
-/// Query rows per parallel work item (grain of the ThreadPool split).
-inline constexpr std::size_t kBitRowTile = 64;
+// Blocking constants are defined once next to the canonical kernels;
+// re-exported here for existing callers.
+using smore::kern::kBitPanelRows;
+using smore::kern::kBitRowTile;
+using smore::kern::kHammingBlock;
 
 /// Hamming distance between two packed rows of nw words (padding bits zero
-/// in both). Two accumulator chains let the compiler pipeline/vectorize the
-/// popcounts — this is the bit analogue of ops::dot.
+/// in both) — the bit analogue of ops::dot. Single-pair reference helper;
+/// the batched paths below are the dispatched ones.
 inline std::size_t hamming_words(const std::uint64_t* a,
                                  const std::uint64_t* b,
                                  std::size_t nw) noexcept {
   assert(a != nullptr && b != nullptr);
-  std::uint64_t acc0 = 0;
-  std::uint64_t acc1 = 0;
-  std::size_t w = 0;
-  for (; w + 2 <= nw; w += 2) {
-    acc0 += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
-    acc1 += static_cast<std::uint64_t>(std::popcount(a[w + 1] ^ b[w + 1]));
-  }
-  if (w < nw) acc0 += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
-  return static_cast<std::size_t>(acc0 + acc1);
+  return kern::generic::hamming_words(a, b, nw);
 }
 
-/// out[p] = hamming(q, P_p) for the np packed rows of P. Prototypes are
-/// processed four at a time so one sweep of the query row feeds four
-/// independent XOR+popcount chains (the register-blocking step of the
-/// matrix drivers).
+/// out[p] = hamming(q, P_p) for the np packed rows of P (register-blocked:
+/// each loaded query word feeds kHammingBlock XOR+popcount chains).
+/// Dispatched.
 inline void hamming_batch(const std::uint64_t* q,
                           const std::uint64_t* prototypes, std::size_t np,
                           std::size_t nw, std::size_t* out) noexcept {
   assert(q != nullptr && out != nullptr);
   assert(np == 0 || prototypes != nullptr);
-  std::size_t p = 0;
-  for (; p + kHammingBlock <= np; p += kHammingBlock) {
-    const std::uint64_t* p0 = prototypes + (p + 0) * nw;
-    const std::uint64_t* p1 = prototypes + (p + 1) * nw;
-    const std::uint64_t* p2 = prototypes + (p + 2) * nw;
-    const std::uint64_t* p3 = prototypes + (p + 3) * nw;
-    std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-    for (std::size_t w = 0; w < nw; ++w) {
-      const std::uint64_t qw = q[w];
-      a0 += static_cast<std::uint64_t>(std::popcount(qw ^ p0[w]));
-      a1 += static_cast<std::uint64_t>(std::popcount(qw ^ p1[w]));
-      a2 += static_cast<std::uint64_t>(std::popcount(qw ^ p2[w]));
-      a3 += static_cast<std::uint64_t>(std::popcount(qw ^ p3[w]));
-    }
-    out[p + 0] = static_cast<std::size_t>(a0);
-    out[p + 1] = static_cast<std::size_t>(a1);
-    out[p + 2] = static_cast<std::size_t>(a2);
-    out[p + 3] = static_cast<std::size_t>(a3);
-  }
-  for (; p < np; ++p) out[p] = hamming_words(q, prototypes + p * nw, nw);
+  kern::table().hamming_batch(q, prototypes, np, nw, out);
 }
 
 namespace detail {
 
 /// Serial core shared by the Hamming matrix drivers: distances of queries
 /// [q_begin, q_end) against all np prototypes, written to out (row-major
-/// [(q_end - q_begin) × np], tile-relative row indexing: query q lands in
-/// row q - q_begin). Prototypes are walked in cache panels in the outer
-/// loop so each panel is re-used by every query of the tile.
+/// [(q_end - q_begin) × np], tile-relative row indexing). Dispatched; see
+/// kernels_generic.hpp for the reference and the panel scheme.
 inline void hamming_matrix_tile(const std::uint64_t* queries,
                                 std::size_t q_begin, std::size_t q_end,
                                 const std::uint64_t* prototypes,
                                 std::size_t np, std::size_t nw,
                                 std::size_t* out) noexcept {
-  for (std::size_t p = 0; p < np; p += kBitPanelRows) {
-    const std::size_t panel =
-        p + kBitPanelRows <= np ? kBitPanelRows : np - p;
-    const std::uint64_t* panel_rows = prototypes + p * nw;
-    for (std::size_t q = q_begin; q < q_end; ++q) {
-      hamming_batch(queries + q * nw, panel_rows, panel, nw,
-                    out + (q - q_begin) * np + p);
-    }
-  }
+  kern::table().hamming_matrix_tile(queries, q_begin, q_end, prototypes, np,
+                                    nw, out);
 }
 
 }  // namespace detail
@@ -134,16 +93,17 @@ inline void hamming_matrix(const std::uint64_t* queries, std::size_t nq,
                            std::size_t nw, std::size_t* out,
                            bool parallel = true) {
   if (nq == 0 || np == 0) return;
+  const auto& table = kern::table();
   if (!parallel || nq <= kBitRowTile) {
-    detail::hamming_matrix_tile(queries, 0, nq, prototypes, np, nw, out);
+    table.hamming_matrix_tile(queries, 0, nq, prototypes, np, nw, out);
     return;
   }
   const std::size_t tiles = (nq + kBitRowTile - 1) / kBitRowTile;
   parallel_for(tiles, [&](std::size_t t) {
     const std::size_t begin = t * kBitRowTile;
     const std::size_t end = begin + kBitRowTile < nq ? begin + kBitRowTile : nq;
-    detail::hamming_matrix_tile(queries, begin, end, prototypes, np, nw,
-                                out + begin * np);
+    table.hamming_matrix_tile(queries, begin, end, prototypes, np, nw,
+                              out + begin * np);
   });
 }
 
@@ -169,14 +129,15 @@ inline void binary_similarity_matrix(const std::uint64_t* queries,
                                      std::size_t dim, double* out,
                                      bool parallel = true) {
   if (nq == 0 || np == 0) return;
+  const auto& table = kern::table();
   const double scale = dim == 0 ? 0.0 : 2.0 / static_cast<double>(dim);
   const auto tile = [&](std::size_t q_begin, std::size_t q_end) {
     // Panelled distances for the whole tile first (prototype panels stay
     // L1-resident across the tile, as in hamming_matrix), then the
     // distance→similarity epilogue while the integers are hot.
     std::vector<std::size_t> dist((q_end - q_begin) * np);
-    detail::hamming_matrix_tile(queries, q_begin, q_end, prototypes, np, nw,
-                                dist.data());
+    table.hamming_matrix_tile(queries, q_begin, q_end, prototypes, np, nw,
+                              dist.data());
     for (std::size_t q = q_begin; q < q_end; ++q) {
       const std::size_t* drow = dist.data() + (q - q_begin) * np;
       double* row = out + q * np;
@@ -209,43 +170,13 @@ inline void binary_similarity_matrix(BitView queries, BitView prototypes,
 
 /// Sign-quantize one float row into packed bits: bit j = (v[j] >= 0.0f),
 /// exactly the BinaryVector predicate. Padding bits of the last word are
-/// written zero. The AVX-512 path forms 16 mask bits per compare
-/// (quantization is the dominant cost of the scalar binary path — the
-/// bit-scatter loop runs ~15× slower); the portable path builds each word
-/// from 64 branch-free shift-ORs.
+/// written zero. Dispatched: vector-compare mask kernels where the host has
+/// them (quantization is the dominant cost of the scalar binary path — the
+/// bit-scatter loop runs ~15× slower than the AVX-512 mask form).
 inline void sign_pack_row(const float* v, std::size_t dim,
                           std::uint64_t* out) noexcept {
   assert(dim == 0 || (v != nullptr && out != nullptr));
-  std::size_t j = 0;
-#if defined(__AVX512F__)
-  const __m512 zero = _mm512_setzero_ps();
-  for (; j + 64 <= dim; j += 64) {
-    const std::uint64_t m0 =
-        _mm512_cmp_ps_mask(_mm512_loadu_ps(v + j), zero, _CMP_GE_OQ);
-    const std::uint64_t m1 =
-        _mm512_cmp_ps_mask(_mm512_loadu_ps(v + j + 16), zero, _CMP_GE_OQ);
-    const std::uint64_t m2 =
-        _mm512_cmp_ps_mask(_mm512_loadu_ps(v + j + 32), zero, _CMP_GE_OQ);
-    const std::uint64_t m3 =
-        _mm512_cmp_ps_mask(_mm512_loadu_ps(v + j + 48), zero, _CMP_GE_OQ);
-    out[j >> 6] = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
-  }
-#else
-  for (; j + 64 <= dim; j += 64) {
-    std::uint64_t word = 0;
-    for (std::size_t b = 0; b < 64; ++b) {
-      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
-    }
-    out[j >> 6] = word;
-  }
-#endif
-  if (j < dim) {
-    std::uint64_t word = 0;
-    for (std::size_t b = 0; j + b < dim; ++b) {
-      word |= static_cast<std::uint64_t>(v[j + b] >= 0.0f) << b;
-    }
-    out[j >> 6] = word;  // padding bits stay zero
-  }
+  kern::table().sign_pack_row(v, dim, out);
 }
 
 /// Batch sign quantization: pack every float row of src into the
@@ -257,9 +188,10 @@ inline void sign_pack_matrix(const float* src, std::size_t rows,
                              std::size_t nw, bool parallel = true) {
   assert(nw >= BitMatrix::words_for(dim));
   if (rows == 0) return;
+  const auto pack_fn = kern::table().sign_pack_row;
   const auto tile = [&](std::size_t r_begin, std::size_t r_end) {
     for (std::size_t r = r_begin; r < r_end; ++r) {
-      sign_pack_row(src + r * dim, dim, out + r * nw);
+      pack_fn(src + r * dim, dim, out + r * nw);
     }
   };
   if (!parallel || rows <= kBitRowTile) {

@@ -1,0 +1,108 @@
+// Host CPU capability detection (see cpu_features.hpp). x86 uses CPUID plus
+// the XGETBV extended-state check; AArch64 reports NEON unconditionally (it
+// is architectural baseline there). Unknown architectures report an empty
+// mask, which resolves every kernel to the portable scalar reference.
+
+#include "util/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+#include <cstdint>
+
+namespace smore {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XGETBV(0): which register states the OS saves/restores. Issued only after
+/// CPUID reports OSXSAVE, so the instruction itself is always available.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv (encoded for old gas)
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures detect_x86() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+
+  f.sse2 = (edx & (1u << 26)) != 0;
+  f.sse42 = (ecx & (1u << 20)) != 0;
+  f.popcnt = (ecx & (1u << 23)) != 0;
+  f.fma = (ecx & (1u << 12)) != 0;
+
+  // AVX needs CPU support AND the OS saving xmm+ymm state (XCR0 bits 1|2);
+  // AVX-512 additionally needs opmask + zmm hi256 + hi16-zmm (bits 5|6|7).
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool cpu_avx = (ecx & (1u << 28)) != 0;
+  bool ymm_enabled = false;
+  bool zmm_enabled = false;
+  if (osxsave) {
+    const std::uint64_t xcr0 = xgetbv0();
+    ymm_enabled = (xcr0 & 0x6) == 0x6;
+    zmm_enabled = ymm_enabled && (xcr0 & 0xe0) == 0xe0;
+  }
+  f.avx = cpu_avx && ymm_enabled;
+  if (!f.avx) f.fma = false;  // FMA uses ymm state
+
+  unsigned int eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0) {
+    f.avx2 = f.avx && (ebx7 & (1u << 5)) != 0;
+    f.avx512f = zmm_enabled && (ebx7 & (1u << 16)) != 0;
+    f.avx512bw = f.avx512f && (ebx7 & (1u << 30)) != 0;
+    f.avx512vl = f.avx512f && (ebx7 & (1u << 31)) != 0;
+    f.avx512vpopcntdq = f.avx512f && (ecx7 & (1u << 14)) != 0;
+  }
+  return f;
+}
+
+#endif  // x86
+
+}  // namespace
+
+CpuFeatures detect_cpu_features() {
+#if defined(__x86_64__) || defined(__i386__)
+  return detect_x86();
+#elif defined(__aarch64__)
+  CpuFeatures f;
+  f.neon = true;  // Advanced SIMD is AArch64 architectural baseline
+  return f;
+#elif defined(__ARM_NEON)
+  CpuFeatures f;
+  f.neon = true;  // 32-bit ARM built with NEON enabled
+  return f;
+#else
+  return CpuFeatures{};
+#endif
+}
+
+std::string to_string(const CpuFeatures& f) {
+  std::string s;
+  const auto add = [&s](bool on, const char* name) {
+    if (!on) return;
+    if (!s.empty()) s += ' ';
+    s += name;
+  };
+  add(f.sse2, "sse2");
+  add(f.sse42, "sse4.2");
+  add(f.popcnt, "popcnt");
+  add(f.avx, "avx");
+  add(f.fma, "fma");
+  add(f.avx2, "avx2");
+  add(f.avx512f, "avx512f");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vl, "avx512vl");
+  add(f.avx512vpopcntdq, "avx512vpopcntdq");
+  add(f.neon, "neon");
+  if (s.empty()) s = "(none)";
+  return s;
+}
+
+}  // namespace smore

@@ -1,0 +1,48 @@
+#pragma once
+// Host CPU capability detection for the runtime kernel dispatch layer
+// (DESIGN.md §11).
+//
+// One binary ships every compiled-in SIMD variant of the hot kernels; at
+// startup the dispatch layer (hdc/dispatch.hpp) reads this feature mask and
+// wires each kernel slot to the fastest variant the host can execute. The
+// mask answers "may this instruction set be USED", not just "does the CPU
+// advertise it": on x86 that includes the XGETBV check that the OS actually
+// saves/restores the wide register state (a kernel that disables AVX-512
+// state must make us fall back to AVX2 even on AVX-512 silicon).
+//
+// This TU is compiled WITHOUT ISA-specific flags (see CMakeLists.txt): it
+// must run on the oldest host the binary can reach, because it executes
+// before any dispatch decision exists.
+
+#include <string>
+
+namespace smore {
+
+/// Usable-SIMD mask of the host CPU (instruction support AND OS-enabled
+/// register state). Fields are ordered roughly by ISA generation.
+struct CpuFeatures {
+  // x86 tiers. sse2 is architectural baseline on x86-64 but detected anyway
+  // so the mask is honest on 32-bit builds.
+  bool sse2 = false;
+  bool sse42 = false;
+  bool popcnt = false;  ///< hardware POPCNT (SSE4.2 era; the Hamming path)
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512vpopcntdq = false;  ///< vectorized popcount (Ice Lake+)
+  // ARM.
+  bool neon = false;  ///< Advanced SIMD (baseline on AArch64)
+};
+
+/// Detect the host's usable features (uncached; tools/tests may call this
+/// directly, everything else should go through kern::dispatch()).
+CpuFeatures detect_cpu_features();
+
+/// Space-separated list of the set features, e.g. "sse2 sse4.2 popcnt avx
+/// fma avx2" — for fleet triage logs and tools/cpu_features.
+std::string to_string(const CpuFeatures& f);
+
+}  // namespace smore

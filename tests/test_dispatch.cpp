@@ -1,0 +1,387 @@
+// Dispatch-layer equivalence suite (DESIGN.md §11): every compiled-in,
+// host-executable kernel variant must be BIT-identical to the canonical
+// scalar reference in kernels_generic.hpp — at ragged dimensions (vector
+// tails), at every blocking boundary, serial and parallel. The tests force
+// each tier via SMORE_KERNEL + reinitialize_dispatch() and compare the
+// public ops:: entry points (which route through the table) against the
+// generic:: reference called directly.
+//
+// Also pinned: the resolution semantics themselves — forced-tier capping
+// with fallback, clamping when a tier is not executable, unknown values
+// falling back to auto, and variant bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hdc/dispatch.hpp"
+#include "hdc/kernels/kernels_generic.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/ops_binary.hpp"
+
+namespace {
+
+using smore::kern::IsaTier;
+
+/// Save/restore SMORE_KERNEL around every test so a failing test cannot
+/// leak a forced tier into the rest of the binary's tests.
+class KernelEnvGuard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* v = std::getenv("SMORE_KERNEL");
+    had_ = v != nullptr;
+    if (had_) saved_ = v;
+  }
+  void TearDown() override {
+    if (had_) {
+      ::setenv("SMORE_KERNEL", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SMORE_KERNEL");
+    }
+    smore::kern::reinitialize_dispatch();
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+void force_tier(IsaTier t) {
+  ::setenv("SMORE_KERNEL", smore::kern::tier_name(t), 1);
+  const auto& d = smore::kern::reinitialize_dispatch();
+  ASSERT_TRUE(d.forced);
+  ASSERT_FALSE(d.clamped);
+  ASSERT_EQ(d.tier, t);
+}
+
+std::vector<IsaTier> executable_tiers() {
+  std::vector<IsaTier> tiers;
+  for (int t = 0; t < smore::kern::kNumTiers; ++t) {
+    const auto tier = static_cast<IsaTier>(t);
+    if (smore::kern::tier_supported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+/// Bit-level equality: catches -0.0 vs +0.0 and last-ulp drift that
+/// EXPECT_DOUBLE_EQ would wave through.
+::testing::AssertionResult BitsEq(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof a) == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (delta " << a - b << ")";
+}
+::testing::AssertionResult BitsEqF(float a, float b) {
+  if (std::memcmp(&a, &b, sizeof a) == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (delta " << a - b << ")";
+}
+
+std::vector<float> random_floats(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  if (n > 2) v[n / 2] = 0.0f;  // exercise the ==0 sign-pack boundary
+  return v;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng();
+  return v;
+}
+
+// Ragged sizes straddling every boundary: chain count (8), pack word (64),
+// panel (8 rows), row tile (64), plus a large-odd size.
+constexpr std::size_t kDims[] = {1, 7, 63, 64, 65, 127, 192, 1000};
+
+using DispatchEquivalence = KernelEnvGuard;
+using DispatchSemantics = KernelEnvGuard;
+
+TEST_F(DispatchEquivalence, DotFamilyMatchesScalarBitwise) {
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+    for (const std::size_t dim : kDims) {
+      SCOPED_TRACE(dim);
+      const auto a = random_floats(dim, 1);
+      const auto b = random_floats(dim, 2);
+      EXPECT_TRUE(BitsEq(smore::kern::generic::dot(a.data(), b.data(), dim),
+                         smore::ops::dot(a.data(), b.data(), dim)));
+
+      double ab_ref, aa_ref, bb_ref, ab, aa, bb;
+      smore::kern::generic::dot_and_norms(a.data(), b.data(), dim, ab_ref,
+                                          aa_ref, bb_ref);
+      smore::ops::dot_and_norms(a.data(), b.data(), dim, ab, aa, bb);
+      EXPECT_TRUE(BitsEq(ab_ref, ab));
+      EXPECT_TRUE(BitsEq(aa_ref, aa));
+      EXPECT_TRUE(BitsEq(bb_ref, bb));
+      // The fused dot must equal the plain dot (shared chain contract).
+      EXPECT_TRUE(BitsEq(smore::ops::dot(a.data(), b.data(), dim), ab));
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, DotBatchAndMatrixMatchScalarBitwise) {
+  constexpr std::size_t kDim = 193;  // odd: every variant runs its tail
+  constexpr std::size_t kNp = 13;    // ragged vs kDotBlock=4 and panels
+  constexpr std::size_t kNq = 130;   // 3 thread tiles (kRowTile=64)
+  const auto protos = random_floats(kNp * kDim, 3);
+  const auto queries = random_floats(kNq * kDim, 4);
+
+  std::vector<double> ref(kNq * kNp);
+  smore::kern::generic::dot_matrix_tile(queries.data(), 0, kNq, protos.data(),
+                                        kNp, kDim, ref.data());
+
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+
+    std::vector<double> batch(kNp);
+    smore::ops::dot_batch(queries.data(), protos.data(), kNp, kDim,
+                          batch.data());
+    for (std::size_t p = 0; p < kNp; ++p) {
+      EXPECT_TRUE(BitsEq(ref[p], batch[p])) << "p=" << p;
+    }
+
+    for (const bool parallel : {false, true}) {
+      std::vector<double> out(kNq * kNp, -1.0);
+      smore::ops::dot_matrix(queries.data(), kNq, protos.data(), kNp, kDim,
+                             out.data(), parallel);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_TRUE(BitsEq(ref[i], out[i]))
+            << "i=" << i << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, SimilarityMatrixMatchesScalarBitwise) {
+  constexpr std::size_t kDim = 127;
+  constexpr std::size_t kNp = 9;
+  constexpr std::size_t kNq = 70;  // one full + one partial thread tile
+  const auto protos = random_floats(kNp * kDim, 5);
+  auto queries = random_floats(kNq * kDim, 6);
+  // A zero query row pins the zero-vector convention per tier.
+  std::fill_n(queries.begin() + 2 * kDim, kDim, 0.0f);
+
+  std::vector<double> ref;
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+    for (const bool parallel : {false, true}) {
+      std::vector<double> out(kNq * kNp, -2.0);
+      smore::ops::similarity_matrix(queries.data(), kNq, protos.data(), kNp,
+                                    kDim, out.data(), nullptr, parallel);
+      if (ref.empty()) {
+        ref = out;  // first executable tier is scalar: the reference
+        continue;
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_TRUE(BitsEq(ref[i], out[i]))
+            << "i=" << i << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, NgramAxpyMatchesScalarBitwise) {
+  constexpr std::size_t kD = 250;
+  for (const std::size_t n_factors : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{3}, std::size_t{5}}) {
+    SCOPED_TRACE(n_factors);
+    std::vector<std::vector<float>> levels_store;
+    std::vector<const float*> levels;
+    std::vector<std::size_t> shifts;
+    for (std::size_t p = 0; p < n_factors; ++p) {
+      levels_store.push_back(random_floats(kD, 10 + static_cast<unsigned>(p)));
+      levels.push_back(levels_store.back().data());
+      shifts.push_back((p * 37) % kD);  // includes shift 0
+    }
+    auto ref = random_floats(kD, 20);
+    smore::kern::generic::ngram_axpy(levels.data(), shifts.data(), n_factors,
+                                     kD, 0.75f, ref.data());
+
+    for (const auto tier : executable_tiers()) {
+      SCOPED_TRACE(smore::kern::tier_name(tier));
+      force_tier(tier);
+      auto acc = random_floats(kD, 20);  // same seed: same starting state
+      smore::ops::ngram_axpy(levels.data(), shifts.data(), n_factors, kD,
+                             0.75f, acc.data());
+      for (std::size_t j = 0; j < kD; ++j) {
+        ASSERT_TRUE(BitsEqF(ref[j], acc[j])) << "j=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, ProjectCosMatrixMatchesScalarBitwise) {
+  constexpr std::size_t kNq = 19;       // 3 ragged query tiles (tile=8)
+  constexpr std::size_t kFeatures = 37;
+  constexpr std::size_t kDp = 700;      // ragged vs kProjColBlock=512
+  const auto x = random_floats(kNq * kFeatures, 30);
+  const auto wt = random_floats(kFeatures * kDp, 31);
+  const auto bias = random_floats(kDp, 32);
+
+  std::vector<float> ref(kNq * kDp);
+  for (std::size_t q = 0; q < kNq; q += smore::ops::kProjQueryTile) {
+    const std::size_t end = std::min(q + smore::ops::kProjQueryTile, kNq);
+    smore::kern::generic::project_cos_tile(x.data(), q, end, wt.data(), kDp,
+                                           kFeatures, bias.data(), ref.data());
+  }
+
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+    for (const bool parallel : {false, true}) {
+      std::vector<float> out(kNq * kDp, -3.0f);
+      smore::ops::project_cos_matrix(x.data(), kNq, wt.data(), kDp, kFeatures,
+                                     bias.data(), out.data(), parallel);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_TRUE(BitsEqF(ref[i], out[i]))
+            << "i=" << i << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, SignPackMatchesScalarBitwise) {
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+    for (const std::size_t dim : kDims) {
+      SCOPED_TRACE(dim);
+      auto v = random_floats(dim, 40);
+      v[0] = std::numeric_limits<float>::quiet_NaN();  // NaN packs as 0
+      if (dim > 3) v[3] = -0.0f;                       // -0.0f >= 0.0f: 1
+      const std::size_t nw = (dim + 63) / 64;
+      std::vector<std::uint64_t> ref(nw, ~0ull), out(nw, ~0ull);
+      smore::kern::generic::sign_pack_row(v.data(), dim, ref.data());
+      smore::ops::sign_pack_row(v.data(), dim, out.data());
+      EXPECT_EQ(ref, out);
+    }
+    // Batch driver, serial and parallel (130 rows: 3 row tiles).
+    constexpr std::size_t kRows = 130, kDim = 100;
+    const auto block = random_floats(kRows * kDim, 41);
+    const std::size_t nw = (kDim + 63) / 64;
+    std::vector<std::uint64_t> ref(kRows * nw, ~0ull);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      smore::kern::generic::sign_pack_row(block.data() + r * kDim, kDim,
+                                          ref.data() + r * nw);
+    }
+    for (const bool parallel : {false, true}) {
+      std::vector<std::uint64_t> out(kRows * nw, ~0ull);
+      smore::ops::sign_pack_matrix(block.data(), kRows, kDim, out.data(), nw,
+                                   parallel);
+      EXPECT_EQ(ref, out) << "parallel=" << parallel;
+    }
+  }
+}
+
+TEST_F(DispatchEquivalence, HammingFamilyMatchesScalarBitwise) {
+  constexpr std::size_t kNw = 19;  // ragged vs the 8-word VPOPCNTQ chunk
+  constexpr std::size_t kNp = 13;  // ragged vs kHammingBlock=4 and panels
+  constexpr std::size_t kNq = 130;
+  const auto protos = random_words(kNp * kNw, 50);
+  const auto queries = random_words(kNq * kNw, 51);
+
+  std::vector<std::size_t> ref(kNq * kNp);
+  smore::kern::generic::hamming_matrix_tile(queries.data(), 0, kNq,
+                                            protos.data(), kNp, kNw,
+                                            ref.data());
+
+  for (const auto tier : executable_tiers()) {
+    SCOPED_TRACE(smore::kern::tier_name(tier));
+    force_tier(tier);
+
+    std::vector<std::size_t> batch(kNp);
+    smore::ops::hamming_batch(queries.data(), protos.data(), kNp, kNw,
+                              batch.data());
+    for (std::size_t p = 0; p < kNp; ++p) EXPECT_EQ(ref[p], batch[p]);
+
+    for (const bool parallel : {false, true}) {
+      std::vector<std::size_t> out(kNq * kNp, 9999);
+      smore::ops::hamming_matrix(queries.data(), kNq, protos.data(), kNp, kNw,
+                                 out.data(), parallel);
+      ASSERT_EQ(ref, out) << "parallel=" << parallel;
+
+      std::vector<double> sim(kNq * kNp);
+      smore::ops::binary_similarity_matrix(queries.data(), kNq, protos.data(),
+                                           kNp, kNw, kNw * 64 - 3, sim.data(),
+                                           parallel);
+      for (std::size_t i = 0; i < sim.size(); ++i) {
+        const double expect =
+            1.0 - 2.0 / static_cast<double>(kNw * 64 - 3) *
+                      static_cast<double>(ref[i]);
+        ASSERT_TRUE(BitsEq(expect, sim[i])) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(DispatchSemantics, ForcedTierCapsLadderWithFallback) {
+  for (const auto tier : executable_tiers()) {
+    force_tier(tier);
+    const auto& d = smore::kern::dispatch();
+    EXPECT_EQ(d.tier, tier);
+    // Every slot must be filled — tiers that skip a kernel fall back to a
+    // lower variant, never to a null pointer.
+    EXPECT_NE(d.table.dot, nullptr);
+    EXPECT_NE(d.table.dot_and_norms, nullptr);
+    EXPECT_NE(d.table.dot_matrix_tile, nullptr);
+    EXPECT_NE(d.table.ngram_axpy, nullptr);
+    EXPECT_NE(d.table.project_cos_tile, nullptr);
+    EXPECT_NE(d.table.sign_pack_row, nullptr);
+    EXPECT_NE(d.table.hamming_batch, nullptr);
+    EXPECT_NE(d.table.hamming_matrix_tile, nullptr);
+    for (std::size_t k = 0; k < smore::kern::kNumKernels; ++k) {
+      EXPECT_NE(d.kernel_variant[k], nullptr) << "slot " << k;
+    }
+  }
+}
+
+TEST_F(DispatchSemantics, UnknownValueFallsBackToAuto) {
+  ::setenv("SMORE_KERNEL", "warp9", 1);
+  const auto& d = smore::kern::reinitialize_dispatch();
+  EXPECT_FALSE(d.forced);
+  EXPECT_FALSE(d.clamped);
+
+  ::unsetenv("SMORE_KERNEL");
+  const auto& auto_d = smore::kern::reinitialize_dispatch();
+  EXPECT_EQ(d.tier, auto_d.tier);
+}
+
+TEST_F(DispatchSemantics, UnexecutableForcedTierClamps) {
+  // Find a tier this binary cannot execute (on x86 that is neon; on ARM,
+  // any x86 tier). If every tier is somehow executable, there is nothing
+  // to clamp — skip.
+  for (int t = smore::kern::kNumTiers - 1; t >= 0; --t) {
+    const auto tier = static_cast<IsaTier>(t);
+    if (smore::kern::tier_supported(tier)) continue;
+    ::setenv("SMORE_KERNEL", smore::kern::tier_name(tier), 1);
+    const auto& d = smore::kern::reinitialize_dispatch();
+    EXPECT_TRUE(d.forced);
+    EXPECT_TRUE(d.clamped);
+    // Clamped resolution still lands on a fully working table.
+    EXPECT_NE(d.table.dot, nullptr);
+    const auto a = random_floats(100, 60), b = random_floats(100, 61);
+    EXPECT_TRUE(BitsEq(smore::kern::generic::dot(a.data(), b.data(), 100),
+                       smore::ops::dot(a.data(), b.data(), 100)));
+    return;
+  }
+  GTEST_SKIP() << "every compiled tier is executable on this host";
+}
+
+TEST_F(DispatchSemantics, ScalarTierAlwaysExecutable) {
+  EXPECT_TRUE(smore::kern::tier_compiled(IsaTier::kScalar));
+  EXPECT_TRUE(smore::kern::tier_supported(IsaTier::kScalar));
+}
+
+}  // namespace
