@@ -291,4 +291,56 @@ Pipeline Pipeline::load(const std::string& path) {
   return load(in);
 }
 
+ArtifactInfo Pipeline::probe(std::istream& in) {
+  constexpr const char* ctx = "Pipeline::probe";
+  const auto magic = serial::read_pod<std::uint32_t>(in, ctx);
+  const auto version = serial::read_pod<std::uint32_t>(in, ctx);
+  if (magic != kPipelineMagic || version != kPipelineFormatVersion) {
+    throw std::runtime_error("Pipeline::probe: bad magic/version");
+  }
+  const auto sections = serial::read_pod<std::uint32_t>(in, ctx);
+  if (sections < 2 || sections > kMaxSections) {
+    throw std::runtime_error("Pipeline::probe: implausible section count");
+  }
+
+  ArtifactInfo info;
+  info.format_version = version;
+  info.sections.reserve(sections);
+  for (std::uint32_t s = 0; s < sections; ++s) {
+    ArtifactSection section;
+    section.id = serial::read_pod<std::uint32_t>(in, ctx);
+    section.bytes = serial::read_pod<std::uint64_t>(in, ctx);
+    if (info.has_section(section.id)) {
+      throw std::runtime_error("Pipeline::probe: duplicate section");
+    }
+    // Skip the payload the same way load() skips unknown sections: ignore()
+    // streams past without allocating, and gcount catches truncation even
+    // on non-seekable streams.
+    in.ignore(static_cast<std::streamsize>(section.bytes));
+    if (in.bad() ||
+        static_cast<std::uint64_t>(in.gcount()) != section.bytes) {
+      throw std::runtime_error("Pipeline::probe: truncated section");
+    }
+    info.sections.push_back(section);
+    info.payload_bytes += section.bytes;
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(
+        "Pipeline::probe: trailing bytes after the declared sections");
+  }
+  if (!info.has_section(kSectionEncoder) || !info.has_section(kSectionModel)) {
+    throw std::runtime_error(
+        "Pipeline::probe: artifact is missing the encoder or model section");
+  }
+  return info;
+}
+
+ArtifactInfo Pipeline::probe(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Pipeline::probe: cannot open " + path);
+  }
+  return probe(in);
+}
+
 }  // namespace smore

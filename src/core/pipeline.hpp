@@ -50,6 +50,33 @@
 
 namespace smore {
 
+/// One section of a probed `.smore` artifact (id + declared payload bytes).
+struct ArtifactSection {
+  std::uint32_t id = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Cheap artifact metadata: what Pipeline::probe() learns from the header
+/// and the section table alone — no model is deserialized, no allocation is
+/// proportional to the file. The multi-tenant ModelRegistry uses this to
+/// validate an artifact and size it for its memory budget before paying for
+/// a full load (serve/registry.hpp); `payload_bytes` is the registry's
+/// resident-cost proxy when nothing better is known.
+struct ArtifactInfo {
+  std::uint32_t format_version = 0;
+  std::vector<ArtifactSection> sections;
+  std::uint64_t payload_bytes = 0;  ///< sum of declared section payloads
+
+  [[nodiscard]] bool has_section(std::uint32_t id) const noexcept {
+    for (const ArtifactSection& s : sections) {
+      if (s.id == id) return true;
+    }
+    return false;
+  }
+  /// True when the artifact carries a packed (quantized) model section.
+  [[nodiscard]] bool has_packed() const noexcept { return has_section(3); }
+};
+
 /// The end-to-end SMORE pipeline: encoder + model + calibration (+ packed).
 /// Move-only; the encoder is shared (serving snapshots alias it).
 class Pipeline {
@@ -141,6 +168,16 @@ class Pipeline {
   /// std::runtime_error on corrupt input.
   static Pipeline load(std::istream& in);
   static Pipeline load(const std::string& path);
+
+  /// Walk the header and section table WITHOUT parsing any payload: the
+  /// cheap open used by lazy loaders (the registry's cold-tenant path) to
+  /// reject a corrupt artifact and learn its size before committing to a
+  /// full deserialization. Validates magic/version, the section count, each
+  /// declared length against the actual bytes present, and the
+  /// no-trailing-bytes rule — the same structural checks as load(), minus
+  /// the section parsers. Throws std::runtime_error on corrupt input.
+  static ArtifactInfo probe(std::istream& in);
+  static ArtifactInfo probe(const std::string& path);
 
   [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
   [[nodiscard]] std::shared_ptr<const Encoder> encoder_ptr() const noexcept {

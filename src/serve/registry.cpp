@@ -1,0 +1,114 @@
+#include "serve/registry.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/pipeline.hpp"
+
+namespace smore {
+
+TenantModel::TenantModel(std::string tenant,
+                         std::shared_ptr<const ModelSnapshot> boot)
+    : tenant_(std::move(tenant)) {
+  if (boot == nullptr || boot->model == nullptr) {
+    throw std::invalid_argument("TenantModel: null boot snapshot");
+  }
+  dim_ = boot->model->dim();
+  generations_.publish(std::move(boot));
+}
+
+bool TenantModel::publish(std::shared_ptr<const ModelSnapshot> snap) {
+  if (snap == nullptr || snap->model == nullptr) {
+    throw std::invalid_argument("TenantModel::publish: null snapshot");
+  }
+  if (snap->model->dim() != dim_) {
+    throw std::invalid_argument(
+        "TenantModel::publish: snapshot dimension mismatch for tenant " +
+        tenant_);
+  }
+  return generations_.publish(std::move(snap));
+}
+
+std::size_t snapshot_resident_bytes(const ModelSnapshot& snap) {
+  std::size_t bytes = 0;
+  if (snap.model != nullptr) bytes += snap.model->footprint_bytes();
+  if (snap.packed != nullptr) bytes += snap.packed->footprint_bytes();
+  // The encoder's basis is the remaining large block; encoders that share a
+  // basis across tenants are still charged per tenant — the budget is a
+  // bound, and double-charging shared state only makes it conservative.
+  if (snap.encoder != nullptr) {
+    bytes += snap.encoder->dim() * sizeof(float);
+  }
+  return bytes;
+}
+
+ModelRegistry::ModelRegistry(ArtifactOpener opener, RegistryConfig config)
+    : config_(config),
+      opener_(std::move(opener)),
+      cache_({/*shards=*/config.cache_shards,
+              /*byte_budget=*/config.byte_budget}) {
+  if (!opener_) {
+    throw std::invalid_argument("ModelRegistry: empty ArtifactOpener");
+  }
+}
+
+ModelRegistry::ArtifactOpener ModelRegistry::directory_source(
+    std::string dir) {
+  return [dir = std::move(dir)](const std::string& tenant) {
+    const std::string path = dir + "/" + tenant + ".smore";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("ModelRegistry: cannot open artifact " + path);
+    }
+    // Structural validation first: probe() walks the section table without
+    // allocating payload-proportional memory, so a corrupt or truncated
+    // artifact is rejected before the expensive deserialization starts.
+    (void)Pipeline::probe(in);
+    in.clear();
+    in.seekg(0, std::ios::beg);
+    return ModelSnapshot::from_artifact(in, /*version=*/1);
+  };
+}
+
+std::shared_ptr<TenantModel> ModelRegistry::acquire(const std::string& tenant) {
+  return cache_.get_or_load(tenant, [this](const std::string& key) {
+    std::shared_ptr<const ModelSnapshot> boot = opener_(key);
+    auto model = std::make_shared<TenantModel>(key, boot);
+    return std::make_pair(std::move(model), snapshot_resident_bytes(*boot));
+  });
+}
+
+std::shared_ptr<TenantModel> ModelRegistry::resident(
+    const std::string& tenant) {
+  return cache_.peek(tenant);
+}
+
+bool ModelRegistry::publish(const std::string& tenant,
+                            std::shared_ptr<const ModelSnapshot> snap) {
+  std::shared_ptr<TenantModel> model = cache_.peek(tenant);
+  if (model == nullptr) return false;
+  return model->publish(std::move(snap));
+}
+
+bool ModelRegistry::evict(const std::string& tenant) {
+  return cache_.erase(tenant);
+}
+
+RegistryStats ModelRegistry::stats() const {
+  const ShardedLruStats c = cache_.stats();
+  RegistryStats s;
+  s.hits = c.hits;
+  s.misses = c.misses;
+  s.loads = c.loads;
+  s.load_failures = c.load_failures;
+  s.evictions = c.evictions;
+  s.single_flight_waits = c.single_flight_waits;
+  s.resident_tenants = c.resident;
+  s.resident_bytes = c.resident_bytes;
+  s.peak_resident_bytes = c.peak_resident_bytes;
+  s.byte_budget = config_.byte_budget;
+  return s;
+}
+
+}  // namespace smore

@@ -1,0 +1,401 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "hdc/hv_matrix.hpp"
+
+namespace smore {
+
+namespace {
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A future already fulfilled with just a status (late-submit path).
+std::future<ServeResult> ready_status(ServeStatus status) {
+  std::promise<ServeResult> p;
+  ServeResult r;
+  r.status = status;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+/// A future already fulfilled with an exception (artifact-load failure:
+/// the error surfaces to THIS request, never process-wide).
+std::future<ServeResult> ready_error(std::exception_ptr error) {
+  std::promise<ServeResult> p;
+  p.set_exception(std::move(error));
+  return p.get_future();
+}
+}  // namespace
+
+MultiTenantServer::MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
+                                     MultiTenantConfig config)
+    : config_(config), registry_(std::move(registry)) {
+  if (registry_ == nullptr) {
+    throw std::invalid_argument("MultiTenantServer: null registry");
+  }
+  config_.num_shards = std::max<std::size_t>(1, config_.num_shards);
+  config_.workers_per_shard = std::max<std::size_t>(1, config_.workers_per_shard);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  config_.shard_queue_capacity =
+      std::max<std::size_t>(1, config_.shard_queue_capacity);
+
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_.shard_queue_capacity));
+  }
+  slot_shards_.resize(kSlotShards);
+  for (auto& s : slot_shards_) s = std::make_unique<SlotShard>();
+
+  const std::size_t total = config_.num_shards * config_.workers_per_shard;
+  worker_latency_.reserve(total);
+  for (std::size_t w = 0; w < total; ++w) {
+    worker_latency_.push_back(std::make_unique<WorkerLatency>());
+  }
+  workers_.reserve(total);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    for (std::size_t w = 0; w < config_.workers_per_shard; ++w) {
+      const std::size_t index = s * config_.workers_per_shard + w;
+      workers_.emplace_back([this, s, index] { worker_loop(s, index); });
+    }
+  }
+}
+
+MultiTenantServer::~MultiTenantServer() { shutdown(); }
+
+std::shared_ptr<MultiTenantServer::TenantSlot> MultiTenantServer::slot_of(
+    const std::string& tenant) {
+  SlotShard& shard =
+      *slot_shards_[std::hash<std::string>{}(tenant) % kSlotShards];
+  const std::scoped_lock lock(shard.m);
+  auto it = shard.map.find(tenant);
+  if (it != shard.map.end()) return it->second;
+  auto slot = std::make_shared<TenantSlot>(tenant);
+  shard.map.emplace(tenant, slot);
+  tenants_seen_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+MultiTenantServer::Shard& MultiTenantServer::shard_of(
+    const std::string& tenant) {
+  // Same hash as the slot map, different modulus: one tenant's traffic
+  // always lands on one shard, where its micro-batches coalesce.
+  return *shards_[std::hash<std::string>{}(tenant) % shards_.size()];
+}
+
+std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
+    const std::string& tenant, std::vector<float> hv, bool blocking,
+    ServeStatus* shed_reason) {
+  std::shared_ptr<TenantSlot> slot = slot_of(tenant);
+  if (shut_down_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (blocking) return ready_status(ServeStatus::kShuttingDown);
+    if (shed_reason != nullptr) *shed_reason = ServeStatus::kShuttingDown;
+    return std::nullopt;
+  }
+
+  // Admission control: the in-flight count is bumped BEFORE the quota test
+  // (fetch_add is the reservation; losers roll back) so concurrent
+  // submitters cannot all pass the same reading. Blocking submit() skips
+  // the test — the queue bound already applies backpressure to it — but
+  // still counts, so its traffic is visible to concurrent try_submits.
+  const std::uint64_t inflight =
+      slot->inflight.fetch_add(1, std::memory_order_relaxed);
+  if (!blocking && config_.fair && config_.tenant_inflight_quota != 0 &&
+      inflight >= config_.tenant_inflight_quota) {
+    slot->inflight.fetch_sub(1, std::memory_order_relaxed);
+    slot->shed_quota.fetch_add(1, std::memory_order_relaxed);
+    shed_quota_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_reason != nullptr) *shed_reason = ServeStatus::kShedTenantQuota;
+    return std::nullopt;
+  }
+
+  // Resolve the model (cold tenants load here, single-flight). The loader's
+  // exception is delivered on the request's own future — admission
+  // succeeded, the TENANT is broken, and only its requests see that.
+  std::shared_ptr<TenantModel> model;
+  try {
+    model = registry_->acquire(tenant);
+  } catch (...) {
+    slot->inflight.fetch_sub(1, std::memory_order_relaxed);
+    slot->load_failures.fetch_add(1, std::memory_order_relaxed);
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(std::current_exception());
+  }
+  if (hv.size() != model->dim()) {
+    slot->inflight.fetch_sub(1, std::memory_order_relaxed);
+    throw std::invalid_argument(
+        "MultiTenantServer::submit: dimension mismatch for tenant " + tenant);
+  }
+
+  Request req;
+  req.slot = slot;
+  req.model = std::move(model);
+  req.hv = std::move(hv);
+  req.submit_time = std::chrono::steady_clock::now();
+  std::future<ServeResult> fut = req.promise.get_future();
+  Shard& shard = shard_of(tenant);
+  // On refusal the queue has already consumed the moved request (promise
+  // included) — do not touch `req` or `fut` past this point on those paths.
+  const bool accepted = blocking ? shard.queue.push(std::move(req))
+                                 : shard.queue.try_push(std::move(req));
+  if (!accepted) {
+    slot->inflight.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (blocking || shard.queue.closed()) {
+      // A blocking push only refuses when the queue closed mid-wait.
+      if (blocking) return ready_status(ServeStatus::kShuttingDown);
+      if (shed_reason != nullptr) *shed_reason = ServeStatus::kShuttingDown;
+      return std::nullopt;
+    }
+    slot->shed_queue.fetch_add(1, std::memory_order_relaxed);
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_reason != nullptr) *shed_reason = ServeStatus::kShedQueueFull;
+    return std::nullopt;
+  }
+  slot->submitted.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+std::future<ServeResult> MultiTenantServer::submit(const std::string& tenant,
+                                                   std::vector<float> hv) {
+  return *do_submit(tenant, std::move(hv), /*blocking=*/true, nullptr);
+}
+
+std::optional<std::future<ServeResult>> MultiTenantServer::try_submit(
+    const std::string& tenant, std::vector<float> hv,
+    ServeStatus* shed_reason) {
+  return do_submit(tenant, std::move(hv), /*blocking=*/false, shed_reason);
+}
+
+void MultiTenantServer::worker_loop(std::size_t shard_index,
+                                    std::size_t worker_index) {
+  Shard& shard = *shards_[shard_index];
+  const std::chrono::microseconds delay(config_.max_delay_us);
+
+  // Worker-local staging: arrivals (any tenant, FIFO off the shard queue)
+  // are grouped per tenant here, because a batch cannot mix tenants. The
+  // rotation ring realizes drain fairness: one micro-batch per pending
+  // tenant per turn. Invariant (fair mode): a tenant is in the ring iff its
+  // group exists (groups are erased when drained).
+  struct Group {
+    std::deque<Request> q;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::deque<std::string> rotation;
+  std::size_t pending = 0;
+  std::vector<Request> incoming;
+  std::vector<Request> batch;
+  incoming.reserve(config_.max_batch);
+  batch.reserve(config_.max_batch);
+
+  for (;;) {
+    incoming.clear();
+    if (pending == 0) {
+      // Idle: block for the first arrival (pop_batch also coalesces
+      // stragglers for max_delay_us). 0 means closed AND drained — with no
+      // pending work left, the shard is fully served.
+      if (shard.queue.pop_batch(incoming, config_.max_batch, delay) == 0) {
+        return;
+      }
+    } else {
+      // Work in hand: top up without sleeping, then keep draining. After
+      // close this returns 0 and the loop finishes the pending groups —
+      // graceful shutdown fulfills every future across all shards.
+      shard.queue.try_pop_batch(incoming, config_.max_batch);
+    }
+    for (Request& r : incoming) {
+      Group& g = groups[r.slot->tenant];
+      if (g.q.empty() && config_.fair) rotation.push_back(r.slot->tenant);
+      g.q.push_back(std::move(r));
+      ++pending;
+    }
+
+    // Pick the tenant to serve this turn.
+    std::string tenant;
+    if (config_.fair) {
+      tenant = std::move(rotation.front());
+      rotation.pop_front();
+    } else {
+      // Throughput-greedy baseline: serve the LARGEST pending group —
+      // maximizing batch fill maximizes aggregate q/s, and is exactly the
+      // policy that starves the tail: a Zipf-head tenant's group refills
+      // faster than a tail tenant's singleton can ever become the largest.
+      // Ties break toward the older front request so equal-depth groups
+      // still drain in arrival order. The bench quantifies the tail p99
+      // this policy buys its throughput with.
+      auto best = groups.begin();
+      for (auto it = std::next(groups.begin()); it != groups.end(); ++it) {
+        if (it->second.q.size() > best->second.q.size() ||
+            (it->second.q.size() == best->second.q.size() &&
+             it->second.q.front().submit_time <
+                 best->second.q.front().submit_time)) {
+          best = it;
+        }
+      }
+      tenant = best->first;
+    }
+
+    auto git = groups.find(tenant);
+    Group& g = git->second;
+    batch.clear();
+    const std::size_t take = std::min(config_.max_batch, g.q.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(g.q.front()));
+      g.q.pop_front();
+    }
+    pending -= take;
+    if (g.q.empty()) {
+      groups.erase(git);
+    } else if (config_.fair) {
+      rotation.push_back(tenant);  // back of the ring: others go first
+    }
+    process_batch(batch, worker_index);
+  }
+}
+
+void MultiTenantServer::process_batch(std::vector<Request>& batch,
+                                      std::size_t worker_index) {
+  const std::size_t n = batch.size();
+  TenantSlot& slot = *batch.front().slot;
+  // All requests of a batch share one tenant; the snapshot is grabbed once
+  // (RCU read) and pins the model generation for the whole batch.
+  const auto snap = batch.front().model->snapshot();
+  const std::size_t dim = snap->backend->dim();
+  const auto batch_start = std::chrono::steady_clock::now();
+
+  HvMatrix queries(n, dim);
+  for (std::size_t i = 0; i < n; ++i) queries.set_row(i, batch[i].hv);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_rows_.fetch_add(n, std::memory_order_relaxed);
+
+  SmoreBatchResult result;
+  try {
+    result = snap->backend->predict_batch_full(queries.view());
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Request& req : batch) req.promise.set_exception(error);
+    slot.inflight.fetch_sub(n, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::size_t k = result.num_domains;
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t flagged = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ServeResult r;
+    r.status = ServeStatus::kOk;
+    r.label = result.labels[i];
+    r.is_ood = result.ood[i] != 0;
+    r.max_similarity = result.max_similarity[i];
+    r.weights.assign(
+        result.weights.begin() + static_cast<std::ptrdiff_t>(i * k),
+        result.weights.begin() + static_cast<std::ptrdiff_t>((i + 1) * k));
+    r.latency_seconds = seconds_between(batch[i].submit_time, now);
+    r.snapshot_version = snap->version;
+    if (r.is_ood) ++flagged;
+    batch[i].promise.set_value(std::move(r));
+  }
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  slot.completed.fetch_add(n, std::memory_order_relaxed);
+  if (flagged != 0) {
+    ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
+    slot.ood.fetch_add(flagged, std::memory_order_relaxed);
+  }
+
+  {
+    // One lock for both per-tenant histograms: queue wait is what fairness
+    // changes (time spent behind other tenants), service time is what the
+    // kernel costs — the bench reads them separately.
+    const std::scoped_lock lock(slot.m);
+    for (std::size_t i = 0; i < n; ++i) {
+      slot.queue_wait.record(
+          seconds_between(batch[i].submit_time, batch_start));
+      slot.service.record(seconds_between(batch_start, now));
+      slot.latency.record(seconds_between(batch[i].submit_time, now));
+    }
+  }
+  {
+    auto& wl = *worker_latency_[worker_index];
+    const std::scoped_lock lock(wl.m);
+    for (std::size_t i = 0; i < n; ++i) {
+      wl.histogram.record(seconds_between(batch[i].submit_time, now));
+    }
+  }
+  slot.inflight.fetch_sub(n, std::memory_order_relaxed);
+}
+
+void MultiTenantServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    shut_down_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) shard->queue.close();
+    for (auto& w : workers_) w.join();
+  });
+}
+
+MultiTenantStats MultiTenantServer::stats() const {
+  MultiTenantStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_tenant_quota = shed_quota_.load(std::memory_order_relaxed);
+  s.load_failures = load_failures_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  s.ood_flagged = ood_flagged_.load(std::memory_order_relaxed);
+  s.tenants_seen = tenants_seen_.load(std::memory_order_relaxed);
+  s.mean_batch_fill =
+      s.batches != 0
+          ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)
+          : 0.0;
+  LatencyHistogram merged;
+  for (const auto& wl : worker_latency_) {
+    const std::scoped_lock lock(wl->m);
+    merged.merge(wl->histogram);
+  }
+  s.latency = LatencySummary::from(merged);
+  s.registry = registry_->stats();
+  return s;
+}
+
+std::vector<TenantServerStats> MultiTenantServer::tenant_stats() const {
+  std::vector<TenantServerStats> out;
+  for (const auto& shard : slot_shards_) {
+    const std::scoped_lock lock(shard->m);
+    for (const auto& [tenant, slot] : shard->map) {
+      TenantServerStats t;
+      t.tenant = tenant;
+      t.submitted = slot->submitted.load(std::memory_order_relaxed);
+      t.completed = slot->completed.load(std::memory_order_relaxed);
+      t.shed_queue_full = slot->shed_queue.load(std::memory_order_relaxed);
+      t.shed_tenant_quota = slot->shed_quota.load(std::memory_order_relaxed);
+      t.load_failures = slot->load_failures.load(std::memory_order_relaxed);
+      t.ood_flagged = slot->ood.load(std::memory_order_relaxed);
+      t.inflight = slot->inflight.load(std::memory_order_relaxed);
+      {
+        const std::scoped_lock slot_lock(slot->m);
+        t.queue_wait = slot->queue_wait;
+        t.service = slot->service;
+        t.latency = slot->latency;
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantServerStats& a, const TenantServerStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+}  // namespace smore

@@ -1,0 +1,235 @@
+#pragma once
+// MultiTenantServer: tenant routing, per-shard worker groups, and fair
+// admission control over the ModelRegistry (DESIGN.md §12).
+//
+// The single-tenant InferenceServer (serve/server.hpp) scales one model to
+// many clients. A fleet inverts the problem: many tenants, each with its own
+// model, sharing one machine. Three mechanisms make that safe:
+//
+//   * tenant → shard routing — a request is hashed by tenant id onto one of
+//     `num_shards` shards. A shard is a thread slice that owns its own
+//     bounded request queue and worker group, so tenants on different shards
+//     never contend on a queue lock, and all of one tenant's traffic lands
+//     where its batches can coalesce;
+//   * per-tenant micro-batches — batches cannot mix tenants (each tenant has
+//     its own model), so shard workers stage arrivals into per-tenant
+//     pending groups and run ONE predict_batch_full per tenant-batch against
+//     that tenant's pinned snapshot. The batch pins the TenantModel: a
+//     registry eviction mid-batch cannot free the model under the kernel;
+//   * tenant-fair admission + drain — with `fair` set, try_submit enforces a
+//     per-tenant in-flight quota (admission control: a Zipf-head tenant that
+//     floods the shard is shed with kShedTenantQuota while the tail is still
+//     admitted) and workers drain pending tenant groups round-robin (one
+//     batch per tenant per turn — service fairness: the head cannot starve
+//     the tail inside the queue either). With `fair` off the server is the
+//     throughput-greedy baseline: no quota, largest-group-first drain
+//     (maximizes batch fill, starves the tail) — the configuration the
+//     multi-tenant bench contrasts against.
+//
+// Model residency (lazy load, single-flight, LRU under a byte budget) is the
+// registry's job; the router only acquires. An artifact that fails to load
+// fails THE REQUESTS that needed it — the returned future carries the
+// loader's exception, per-request, never process-wide.
+//
+// Requests are pre-encoded hypervectors: in a fleet the encoder is
+// tenant-specific state that travels inside the artifact, and per-tenant
+// in-batch encoding is deferred along with per-tenant adaptation
+// (ROADMAP item 3). Shutdown is graceful and total: queues close, workers
+// drain every pending group across all shards, every future is fulfilled,
+// and late submits resolve immediately with kShuttingDown.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/latency.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace smore {
+
+/// Fleet-serving knobs. Scheduler knobs (max_batch / max_delay_us) mean the
+/// same as in ServerConfig; the new surface is the shard layout and the
+/// fairness policy.
+struct MultiTenantConfig {
+  std::size_t num_shards = 1;        ///< independent queue+worker slices
+  std::size_t workers_per_shard = 1; ///< batching workers per shard
+  std::size_t max_batch = 64;        ///< per-tenant micro-batch cap
+  std::uint32_t max_delay_us = 200;  ///< batch-formation wait when idle
+  std::size_t shard_queue_capacity = 1024;  ///< per-shard request bound
+
+  bool fair = true;  ///< per-tenant quota + round-robin drain (see header)
+  /// Max in-flight requests per tenant before try_submit sheds with
+  /// kShedTenantQuota (fair mode only; 0 = unbounded). Blocking submit()
+  /// bypasses the quota — backpressure already slows that producer down.
+  std::size_t tenant_inflight_quota = 256;
+};
+
+/// Per-tenant counters + latency histograms. Slots are created on first
+/// submit and never dropped — stats survive model eviction, so a tenant's
+/// history spans its cold/warm cycles.
+struct TenantServerStats {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_tenant_quota = 0;
+  std::uint64_t load_failures = 0;  ///< requests failed by artifact loads
+  std::uint64_t ood_flagged = 0;
+  std::uint64_t inflight = 0;  ///< gauge at the time of the stats call
+  /// Histogram COPIES (mergeable): queue_wait is submit → batch start,
+  /// service is batch start → fulfillment, latency is the end-to-end sum
+  /// per request. The bench merges tail-tenant cohorts from these.
+  LatencyHistogram queue_wait;
+  LatencyHistogram service;
+  LatencyHistogram latency;
+};
+
+/// Aggregate counters + the registry's residency stats.
+struct MultiTenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  ///< all sheds + late submits
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_tenant_quota = 0;
+  std::uint64_t load_failures = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_rows = 0;
+  std::uint64_t ood_flagged = 0;
+  std::uint64_t tenants_seen = 0;  ///< tenant slots ever created
+  double mean_batch_fill = 0.0;
+  LatencySummary latency;  ///< submit → fulfill, all tenants merged
+  RegistryStats registry;
+};
+
+/// The fleet router. Construction spawns all shard workers; destruction (or
+/// shutdown()) drains and joins them.
+class MultiTenantServer {
+ public:
+  /// `registry` must be non-null (shared: benches/operators keep a handle
+  /// for evict/publish). Throws std::invalid_argument otherwise.
+  explicit MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
+                             MultiTenantConfig config = {});
+  ~MultiTenantServer();
+
+  MultiTenantServer(const MultiTenantServer&) = delete;
+  MultiTenantServer& operator=(const MultiTenantServer&) = delete;
+
+  /// Submit one encoded query for `tenant`; blocks on a full shard queue
+  /// (backpressure). A cold tenant triggers the (single-flight) artifact
+  /// load on THIS call. Load failure returns a future carrying the loader's
+  /// exception; dimension mismatch throws std::invalid_argument; after
+  /// shutdown() the future is already fulfilled with kShuttingDown.
+  std::future<ServeResult> submit(const std::string& tenant,
+                                  std::vector<float> hv);
+
+  /// Non-blocking submit: sheds instead of waiting. std::nullopt on a full
+  /// shard queue (kShedQueueFull), an exhausted tenant quota
+  /// (kShedTenantQuota, fair mode), or after shutdown (kShuttingDown) —
+  /// the reason lands in `*shed_reason` when non-null. A failed artifact
+  /// load still returns a future (carrying the exception): the request was
+  /// admitted, the tenant is broken — those are different signals.
+  std::optional<std::future<ServeResult>> try_submit(
+      const std::string& tenant, std::vector<float> hv,
+      ServeStatus* shed_reason = nullptr);
+
+  [[nodiscard]] const MultiTenantConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ModelRegistry& registry() noexcept { return *registry_; }
+
+  /// Graceful shutdown: close every shard queue, drain every pending tenant
+  /// group, fulfill every future, join all workers. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] MultiTenantStats stats() const;
+  /// Per-tenant stats (histogram copies), sorted by tenant id.
+  [[nodiscard]] std::vector<TenantServerStats> tenant_stats() const;
+
+ private:
+  /// Persistent per-tenant bookkeeping (never evicted; see
+  /// TenantServerStats). Counters are atomics; histograms share one mutex.
+  struct TenantSlot {
+    explicit TenantSlot(std::string name) : tenant(std::move(name)) {}
+    const std::string tenant;
+    std::atomic<std::uint64_t> inflight{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> shed_queue{0};
+    std::atomic<std::uint64_t> shed_quota{0};
+    std::atomic<std::uint64_t> load_failures{0};
+    std::atomic<std::uint64_t> ood{0};
+    std::mutex m;
+    LatencyHistogram queue_wait;  // submit → batch start
+    LatencyHistogram service;     // batch start → fulfill
+    LatencyHistogram latency;     // submit → fulfill
+  };
+
+  struct Request {
+    std::shared_ptr<TenantSlot> slot;
+    std::shared_ptr<TenantModel> model;  // pinned: eviction-safe
+    std::vector<float> hv;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    MpmcQueue<Request> queue;
+  };
+
+  std::shared_ptr<TenantSlot> slot_of(const std::string& tenant);
+  Shard& shard_of(const std::string& tenant);
+  std::optional<std::future<ServeResult>> do_submit(const std::string& tenant,
+                                                    std::vector<float> hv,
+                                                    bool blocking,
+                                                    ServeStatus* shed_reason);
+  void worker_loop(std::size_t shard_index, std::size_t worker_index);
+  /// Run one single-tenant micro-batch end to end.
+  void process_batch(std::vector<Request>& batch, std::size_t worker_index);
+
+  MultiTenantConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  // Tenant slots: sharded string → slot map, insert-only.
+  static constexpr std::size_t kSlotShards = 16;
+  struct SlotShard {
+    std::mutex m;
+    std::unordered_map<std::string, std::shared_ptr<TenantSlot>> map;
+  };
+  std::vector<std::unique_ptr<SlotShard>> slot_shards_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_quota_{0};
+  std::atomic<std::uint64_t> load_failures_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_rows_{0};
+  std::atomic<std::uint64_t> ood_flagged_{0};
+  std::atomic<std::uint64_t> tenants_seen_{0};
+  struct WorkerLatency {
+    std::mutex m;
+    LatencyHistogram histogram;  // submit → fulfill, any tenant
+  };
+  std::vector<std::unique_ptr<WorkerLatency>> worker_latency_;
+
+  std::atomic<bool> shut_down_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace smore

@@ -18,6 +18,16 @@ double seconds_between(std::chrono::steady_clock::time_point a,
 }
 }  // namespace
 
+const char* to_string(ServeStatus status) noexcept {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShedQueueFull: return "shed-queue-full";
+    case ServeStatus::kShedTenantQuota: return "shed-tenant-quota";
+    case ServeStatus::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
 InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
                                  std::shared_ptr<const Encoder> encoder,
                                  ServerConfig config)
@@ -60,17 +70,32 @@ InferenceServer::InferenceServer(const Pipeline& pipeline, ServerConfig config,
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::optional<std::future<ServeResult>> InferenceServer::enqueue(
-    Request req, bool blocking) {
+    Request req, bool blocking, ServeStatus* shed_reason) {
   req.submit_time = std::chrono::steady_clock::now();
   std::future<ServeResult> fut = req.promise.get_future();
-  const bool accepted = !shut_down_.load(std::memory_order_acquire) &&
-                        (blocking ? queue_.push(std::move(req))
-                                  : queue_.try_push(std::move(req)));
+  const bool closed = shut_down_.load(std::memory_order_acquire);
+  // On refusal the queue has already consumed (and destroyed) the moved
+  // request, promise included — the rejection paths below must not touch
+  // `req` or `fut` again.
+  const bool accepted = !closed && (blocking ? queue_.push(std::move(req))
+                                             : queue_.try_push(std::move(req)));
   if (!accepted) {
-    if (blocking) {
-      throw std::runtime_error("InferenceServer::submit after shutdown");
-    }
+    // The queue only refuses a *blocking* push when it was closed — a late
+    // submit. Resolve it on the result plane (a distinct ServeStatus, not a
+    // thrown exception or an indefinite block): producers racing a shutdown
+    // get a deterministic, immediately-ready answer.
+    const ServeStatus reason =
+        (closed || queue_.closed()) ? ServeStatus::kShuttingDown
+                                    : ServeStatus::kShedQueueFull;
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (blocking) {
+      std::promise<ServeResult> late;
+      ServeResult r;
+      r.status = ServeStatus::kShuttingDown;
+      late.set_value(std::move(r));
+      return late.get_future();
+    }
+    if (shed_reason != nullptr) *shed_reason = reason;
     return std::nullopt;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -83,7 +108,7 @@ std::future<ServeResult> InferenceServer::submit(std::vector<float> hv) {
   }
   Request req;
   req.hv = std::move(hv);
-  return *enqueue(std::move(req), /*blocking=*/true);
+  return *enqueue(std::move(req), /*blocking=*/true, nullptr);
 }
 
 std::future<ServeResult> InferenceServer::submit(Window window) {
@@ -93,18 +118,18 @@ std::future<ServeResult> InferenceServer::submit(Window window) {
   }
   Request req;
   req.window = std::move(window);
-  return *enqueue(std::move(req), /*blocking=*/true);
+  return *enqueue(std::move(req), /*blocking=*/true, nullptr);
 }
 
 std::optional<std::future<ServeResult>> InferenceServer::try_submit(
-    std::vector<float> hv) {
+    std::vector<float> hv, ServeStatus* shed_reason) {
   if (hv.size() != dim_) {
     throw std::invalid_argument(
         "InferenceServer::try_submit: dimension mismatch");
   }
   Request req;
   req.hv = std::move(hv);
-  return enqueue(std::move(req), /*blocking=*/false);
+  return enqueue(std::move(req), /*blocking=*/false, shed_reason);
 }
 
 bool InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snap) {

@@ -75,8 +75,26 @@ struct ServerConfig {
   std::uint32_t adapt_poll_ms = 2;   ///< adaptation worker wake cadence
 };
 
-/// Per-request response (the future's value).
+/// Disposition of a submission — the admission-control result plane shared
+/// by the single-tenant server and the multi-tenant router (serve/router.hpp).
+/// Shedding reasons are distinct so clients can react differently: a full
+/// queue calls for backoff, an exhausted tenant quota means THIS tenant is
+/// over its fair share (other tenants would still be admitted), and a
+/// shutting-down server will never accept again.
+enum class ServeStatus {
+  kOk = 0,           ///< served; the result fields are valid
+  kShedQueueFull,    ///< try_submit refused: the shard queue is full
+  kShedTenantQuota,  ///< try_submit refused: per-tenant in-flight quota hit
+  kShuttingDown,     ///< submitted after shutdown() — never enqueued
+};
+
+/// Human-readable ServeStatus name (logs, bench output).
+[[nodiscard]] const char* to_string(ServeStatus status) noexcept;
+
+/// Per-request response (the future's value). The non-status fields are
+/// meaningful only when `status == ServeStatus::kOk`.
 struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
   int label = -1;
   bool is_ood = false;
   double max_similarity = 0.0;     ///< δ_max against the domain descriptors
@@ -127,8 +145,9 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Submit one encoded hypervector; blocks while the queue is full
-  /// (backpressure). Throws std::invalid_argument on dimension mismatch,
-  /// std::runtime_error after shutdown.
+  /// (backpressure). Throws std::invalid_argument on dimension mismatch.
+  /// After shutdown() it never blocks or throws: the returned future is
+  /// already fulfilled with ServeStatus::kShuttingDown.
   std::future<ServeResult> submit(std::vector<float> hv);
 
   /// Submit one raw multi-sensor window, encoded inside the micro-batch via
@@ -137,7 +156,10 @@ class InferenceServer {
 
   /// Non-blocking submit: returns std::nullopt (and counts a rejection)
   /// instead of waiting when the queue is full — the load-shedding policy.
-  std::optional<std::future<ServeResult>> try_submit(std::vector<float> hv);
+  /// When `shed_reason` is non-null it reports why a request was refused
+  /// (kShedQueueFull vs kShuttingDown); untouched on acceptance.
+  std::optional<std::future<ServeResult>> try_submit(
+      std::vector<float> hv, ServeStatus* shed_reason = nullptr);
 
   /// Atomically swap the serving model. The snapshot must match the boot
   /// model's dimension; in-flight batches finish on the generation they
@@ -177,8 +199,10 @@ class InferenceServer {
 
   /// Shared submit bookkeeping: stamp, push (blocking or refusing), count.
   /// nullopt only in non-blocking mode (full/closed queue, counted as a
-  /// rejection); blocking mode throws std::runtime_error after shutdown.
-  std::optional<std::future<ServeResult>> enqueue(Request req, bool blocking);
+  /// rejection, reason in *shed_reason); in blocking mode a post-shutdown
+  /// submit yields a ready future carrying kShuttingDown.
+  std::optional<std::future<ServeResult>> enqueue(Request req, bool blocking,
+                                                  ServeStatus* shed_reason);
   void worker_loop(std::size_t worker_index);
   void adaptation_loop();
   /// Run one micro-batch: encode window-requests, predict, fulfill.

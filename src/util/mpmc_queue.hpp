@@ -116,6 +116,22 @@ class MpmcQueue {
     return taken;
   }
 
+  /// Non-blocking batched pop: takes whatever is immediately available (up
+  /// to `max_batch`), appends to `out`, returns the count — 0 when the queue
+  /// is momentarily empty (closed or not). The multi-tenant shard workers
+  /// use this to top up their per-tenant pending lists between batches
+  /// without ever sleeping while they still have work in hand.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max_batch) {
+    if (max_batch == 0) max_batch = 1;
+    std::size_t taken = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      taken = take(out, max_batch);
+    }
+    if (taken != 0) not_full_.notify_all();
+    return taken;
+  }
+
   /// Close the queue: subsequent pushes fail, pops drain the remainder.
   /// Idempotent.
   void close() {

@@ -344,5 +344,53 @@ TEST_F(PipelineSerializationTest, MissingModelSectionThrows) {
   EXPECT_THROW(Pipeline::load(incomplete), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline::probe — the cheap artifact open (header + section table only).
+
+TEST_F(PipelineSerializationTest, ProbeReportsSectionsAndSizes) {
+  const std::string full = artifact();
+  std::stringstream in(full);
+  const ArtifactInfo info = Pipeline::probe(in);
+  EXPECT_EQ(info.format_version, 1u);
+  ASSERT_EQ(info.sections.size(), 3u);  // encoder, model, packed
+  EXPECT_TRUE(info.has_section(1));
+  EXPECT_TRUE(info.has_section(2));
+  EXPECT_TRUE(info.has_packed());
+  // Declared payloads + header (12 B) + 3 section headers (12 B each) must
+  // tile the artifact exactly.
+  EXPECT_EQ(info.payload_bytes + 12 + 3 * 12, full.size());
+}
+
+TEST_F(PipelineSerializationTest, ProbeUnquantizedArtifactHasNoPacked) {
+  Pipeline plain(pipeline_->encoder_ptr(), windows_.num_classes());
+  plain.fit(windows_);
+  std::stringstream buffer;
+  plain.save(buffer);
+  const ArtifactInfo info = Pipeline::probe(buffer);
+  EXPECT_EQ(info.sections.size(), 2u);
+  EXPECT_FALSE(info.has_packed());
+}
+
+TEST_F(PipelineSerializationTest, ProbeRejectsWhatLoadRejects) {
+  const std::string full = artifact();
+  {
+    std::string garbled = full;
+    garbled[0] = 'X';  // magic
+    std::stringstream in(garbled);
+    EXPECT_THROW(Pipeline::probe(in), std::runtime_error);
+  }
+  {
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(Pipeline::probe(truncated), std::runtime_error);
+  }
+  {
+    std::string garbled = full;
+    const std::uint32_t count = 2;  // understate: trailing packed section
+    std::memcpy(garbled.data() + 8, &count, sizeof(count));
+    std::stringstream in(garbled);
+    EXPECT_THROW(Pipeline::probe(in), std::runtime_error);
+  }
+}
+
 }  // namespace
 }  // namespace smore

@@ -82,6 +82,7 @@ class ServeTest : public ::testing::Test {
     const std::size_t k = ref.num_domains;
     for (std::size_t i = 0; i < n; ++i) {
       const ServeResult r = futures[i].get();
+      EXPECT_EQ(r.status, ServeStatus::kOk) << "row " << i;
       EXPECT_EQ(r.label, ref.labels[i]) << "row " << i;
       EXPECT_EQ(r.is_ood, ref.ood[i] != 0) << "row " << i;
       EXPECT_DOUBLE_EQ(r.max_similarity, ref.max_similarity[i]) << "row " << i;
@@ -265,10 +266,18 @@ TEST_F(ServeTest, ShutdownFulfillsEveryInflightRequest) {
     EXPECT_EQ(r.label, ref.labels[i]);
   }
   EXPECT_EQ(server.stats().completed, queries_.rows());
-  // New submissions are refused after shutdown.
+  // New submissions are refused after shutdown — on the result plane, not
+  // via exceptions or blocking: a late blocking submit resolves immediately
+  // with kShuttingDown, and try_submit reports the same shed reason.
   const auto row = queries_.row(0);
-  EXPECT_THROW(server.submit({row.begin(), row.end()}), std::runtime_error);
-  EXPECT_EQ(server.try_submit({row.begin(), row.end()}), std::nullopt);
+  std::future<ServeResult> late = server.submit({row.begin(), row.end()});
+  EXPECT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get().status, ServeStatus::kShuttingDown);
+  ServeStatus reason = ServeStatus::kOk;
+  EXPECT_EQ(server.try_submit({row.begin(), row.end()}, &reason),
+            std::nullopt);
+  EXPECT_EQ(reason, ServeStatus::kShuttingDown);
 }
 
 TEST_F(ServeTest, SnapshotSwapDuringLoadDropsAndCorruptsNothing) {

@@ -1,0 +1,286 @@
+// MultiTenantServer tests: tenant → model routing correctness, per-tenant
+// failure isolation, fair admission (quota sheds the flooder, not the
+// fleet), graceful cross-shard drain, and eviction safety for in-flight
+// work.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "test_util.hpp"
+
+namespace smore {
+namespace {
+
+constexpr std::size_t kDim = 128;
+
+/// Two tenants with DIFFERENT trained models (same encoder/dim, different
+/// training data) so routing mistakes change answers, plus a "bad" tenant
+/// whose artifact always fails to open.
+class MultiTenantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    windows_a_ = generate_dataset(testing::tiny_spec(3, 3, 2, 24, 30, 0x7e57));
+    windows_b_ = generate_dataset(testing::tiny_spec(3, 3, 2, 24, 30, 0xb0b5));
+    pipeline_a_ = make_pipeline(windows_a_);
+    pipeline_b_ = make_pipeline(windows_b_);
+    artifact_a_ = render(*pipeline_a_);
+    artifact_b_ = render(*pipeline_b_);
+    queries_ = pipeline_a_->encode(windows_a_);
+    ref_a_ = pipeline_a_->predict_batch_full(windows_a_, ServeBackend::kPacked);
+    ref_b_ = pipeline_b_->predict_batch_full(windows_a_, ServeBackend::kPacked);
+  }
+
+  static std::unique_ptr<Pipeline> make_pipeline(const WindowDataset& train) {
+    EncoderConfig ec;
+    ec.dim = kDim;
+    auto p = std::make_unique<Pipeline>(
+        std::make_shared<const MultiSensorEncoder>(ec), train.num_classes());
+    p->fit(train);
+    p->quantize();
+    p->calibrate(train, 0.08);
+    return p;
+  }
+
+  static std::string render(const Pipeline& p) {
+    std::ostringstream buffer(std::ios::binary);
+    p.save(buffer);
+    return buffer.str();
+  }
+
+  /// Tenant "b" gets model B, tenants starting with "bad" fail to open,
+  /// everyone else gets model A.
+  [[nodiscard]] ModelRegistry::ArtifactOpener opener() const {
+    return [this](const std::string& tenant) {
+      if (tenant.rfind("bad", 0) == 0) {
+        throw std::runtime_error("corrupt artifact for tenant " + tenant);
+      }
+      const std::string& bytes = tenant == "b" ? artifact_b_ : artifact_a_;
+      std::istringstream in(bytes, std::ios::binary);
+      return ModelSnapshot::from_artifact(in, /*version=*/1);
+    };
+  }
+
+  [[nodiscard]] std::shared_ptr<ModelRegistry> make_registry(
+      RegistryConfig cfg = {}) const {
+    return std::make_shared<ModelRegistry>(opener(), cfg);
+  }
+
+  [[nodiscard]] std::vector<float> query(std::size_t i) const {
+    const auto row = queries_.row(i);
+    return {row.begin(), row.end()};
+  }
+
+  WindowDataset windows_a_;
+  WindowDataset windows_b_;
+  std::unique_ptr<Pipeline> pipeline_a_;
+  std::unique_ptr<Pipeline> pipeline_b_;
+  std::string artifact_a_;
+  std::string artifact_b_;
+  HvDataset queries_{kDim};
+  SmoreBatchResult ref_a_;
+  SmoreBatchResult ref_b_;
+};
+
+TEST_F(MultiTenantTest, RoutesEachTenantToItsOwnModel) {
+  MultiTenantConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 100;
+  MultiTenantServer server(make_registry(), cfg);
+
+  // The SAME queries go to both tenants, interleaved; each must be answered
+  // by its own tenant's model.
+  const std::size_t n = queries_.size();
+  std::vector<std::future<ServeResult>> fut_a, fut_b;
+  for (std::size_t i = 0; i < n; ++i) {
+    fut_a.push_back(server.submit("a", query(i)));
+    fut_b.push_back(server.submit("b", query(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServeResult ra = fut_a[i].get();
+    EXPECT_EQ(ra.status, ServeStatus::kOk);
+    EXPECT_EQ(ra.label, ref_a_.labels[i]) << "row " << i;
+    EXPECT_EQ(ra.is_ood, ref_a_.ood[i] != 0) << "row " << i;
+    EXPECT_EQ(ra.snapshot_version, 1u);
+    const ServeResult rb = fut_b[i].get();
+    EXPECT_EQ(rb.status, ServeStatus::kOk);
+    EXPECT_EQ(rb.label, ref_b_.labels[i]) << "row " << i;
+  }
+
+  const MultiTenantStats s = server.stats();
+  EXPECT_EQ(s.submitted, 2 * n);
+  EXPECT_EQ(s.completed, 2 * n);
+  EXPECT_EQ(s.tenants_seen, 2u);
+  EXPECT_EQ(s.registry.loads, 2u);  // one artifact load per tenant
+  EXPECT_GE(s.mean_batch_fill, 1.0);
+
+  const auto per_tenant = server.tenant_stats();
+  ASSERT_EQ(per_tenant.size(), 2u);
+  EXPECT_EQ(per_tenant[0].tenant, "a");
+  EXPECT_EQ(per_tenant[0].submitted, n);
+  EXPECT_EQ(per_tenant[0].completed, n);
+  EXPECT_EQ(per_tenant[0].inflight, 0u);
+  EXPECT_GT(per_tenant[0].queue_wait.count(), 0u);
+  EXPECT_GT(per_tenant[0].service.count(), 0u);
+  EXPECT_EQ(per_tenant[1].tenant, "b");
+}
+
+TEST_F(MultiTenantTest, CorruptArtifactFailsPerRequestNotProcessWide) {
+  MultiTenantServer server(make_registry());
+  // Blocking submit: the future carries the loader's exception.
+  std::future<ServeResult> broken = server.submit("bad-deploy", query(0));
+  EXPECT_THROW(broken.get(), std::runtime_error);
+  // try_submit: the request was ADMITTED (not shed) — the tenant is broken,
+  // which is a different signal than an overloaded queue.
+  auto maybe = server.try_submit("bad-deploy", query(0));
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_THROW(maybe->get(), std::runtime_error);
+  // The rest of the fleet is untouched.
+  EXPECT_EQ(server.submit("a", query(0)).get().status, ServeStatus::kOk);
+  const MultiTenantStats s = server.stats();
+  EXPECT_EQ(s.load_failures, 2u);
+  EXPECT_EQ(s.completed, 1u);
+  const auto per_tenant = server.tenant_stats();
+  ASSERT_EQ(per_tenant.size(), 2u);  // "a" and "bad-deploy"
+  EXPECT_EQ(per_tenant[1].tenant, "bad-deploy");
+  EXPECT_EQ(per_tenant[1].load_failures, 2u);
+}
+
+TEST_F(MultiTenantTest, QuotaShedsTheFlooderNotTheFleet) {
+  MultiTenantConfig cfg;
+  cfg.num_shards = 1;
+  cfg.max_batch = 64;
+  cfg.max_delay_us = 100000;  // 100 ms: the first batch waits, requests pile
+  cfg.fair = true;
+  cfg.tenant_inflight_quota = 8;
+  MultiTenantServer server(make_registry(), cfg);
+
+  // Tenant "a" floods far past its quota before any batch can complete:
+  // exactly `quota` requests are admitted, the rest shed with
+  // kShedTenantQuota.
+  std::vector<std::future<ServeResult>> admitted;
+  std::size_t quota_sheds = 0;
+  for (int i = 0; i < 50; ++i) {
+    ServeStatus reason = ServeStatus::kOk;
+    auto fut = server.try_submit("a", query(0), &reason);
+    if (fut.has_value()) {
+      admitted.push_back(std::move(*fut));
+    } else {
+      EXPECT_EQ(reason, ServeStatus::kShedTenantQuota);
+      ++quota_sheds;
+    }
+  }
+  EXPECT_EQ(admitted.size(), cfg.tenant_inflight_quota);
+  EXPECT_EQ(quota_sheds, 50 - cfg.tenant_inflight_quota);
+
+  // Tenant "b" is under ITS OWN quota: still admitted — the flooder's
+  // exhaustion sheds the flooder, not the fleet.
+  auto fut_b = server.try_submit("b", query(0));
+  ASSERT_TRUE(fut_b.has_value());
+  EXPECT_EQ(fut_b->get().status, ServeStatus::kOk);
+
+  for (auto& f : admitted) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  const auto per_tenant = server.tenant_stats();
+  EXPECT_EQ(per_tenant[0].shed_tenant_quota,
+            50 - cfg.tenant_inflight_quota);
+  EXPECT_EQ(per_tenant[1].shed_tenant_quota, 0u);
+}
+
+TEST_F(MultiTenantTest, UnfairModeHasNoQuota) {
+  MultiTenantConfig cfg;
+  cfg.num_shards = 1;
+  cfg.max_batch = 64;
+  cfg.max_delay_us = 100000;
+  cfg.fair = false;  // throughput-greedy baseline
+  cfg.tenant_inflight_quota = 8;  // ignored without fair
+  MultiTenantServer server(make_registry(), cfg);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 50; ++i) {
+    auto fut = server.try_submit("a", query(0));
+    ASSERT_TRUE(fut.has_value()) << "request " << i;
+    futures.push_back(std::move(*fut));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  EXPECT_EQ(server.stats().shed_tenant_quota, 0u);
+}
+
+TEST_F(MultiTenantTest, ShutdownDrainsEveryShardAndResolvesLateSubmits) {
+  MultiTenantConfig cfg;
+  cfg.num_shards = 4;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 2000;  // slow batch formation: work is pending at close
+  MultiTenantServer server(make_registry(), cfg);
+
+  // 12 tenants spread over the 4 shards, several queries each.
+  std::vector<std::future<ServeResult>> futures;
+  std::vector<int> expected;
+  for (int t = 0; t < 12; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    for (std::size_t i = 0; i < 6; ++i) {
+      futures.push_back(server.submit(tenant, query(i)));
+      expected.push_back(ref_a_.labels[i]);
+    }
+  }
+  server.shutdown();  // must drain every shard's pending groups, not drop
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult r = futures[i].get();  // throws if a request was lost
+    EXPECT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.label, expected[i]);
+  }
+  EXPECT_EQ(server.stats().completed, futures.size());
+
+  // Late submits resolve on the result plane — immediately, no blocking.
+  std::future<ServeResult> late = server.submit("a", query(0));
+  EXPECT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get().status, ServeStatus::kShuttingDown);
+  ServeStatus reason = ServeStatus::kOk;
+  EXPECT_EQ(server.try_submit("a", query(0), &reason), std::nullopt);
+  EXPECT_EQ(reason, ServeStatus::kShuttingDown);
+}
+
+TEST_F(MultiTenantTest, EvictionMidFlightKeepsServingPinnedModels) {
+  MultiTenantConfig cfg;
+  cfg.num_shards = 1;
+  cfg.max_batch = 64;
+  cfg.max_delay_us = 50000;  // 50 ms: requests are in flight during evict
+  MultiTenantServer server(make_registry(), cfg);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < 20; ++i) {
+    futures.push_back(server.submit("a", query(i)));
+  }
+  // Evict the tenant while its requests sit in the shard queue. Each
+  // admitted request pinned the TenantModel at submit time, so the batch
+  // serves the evicted generation safely.
+  EXPECT_TRUE(server.registry().evict("a"));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult r = futures[i].get();
+    EXPECT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.label, ref_a_.labels[i]);
+  }
+  // The next submit reloads the artifact (cold again).
+  EXPECT_EQ(server.submit("a", query(0)).get().status, ServeStatus::kOk);
+  EXPECT_EQ(server.stats().registry.loads, 2u);
+}
+
+TEST_F(MultiTenantTest, DimensionMismatchThrowsAtSubmit) {
+  MultiTenantServer server(make_registry());
+  EXPECT_THROW(server.submit("a", std::vector<float>(kDim + 1, 0.0f)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smore
