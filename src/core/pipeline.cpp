@@ -15,9 +15,8 @@ namespace {
 
 constexpr std::uint32_t kPipelineMagic = 0x4c504d53;  // "SMPL"
 constexpr std::uint32_t kPipelineFormatVersion = 1;
-constexpr std::uint32_t kSectionEncoder = 1;
-constexpr std::uint32_t kSectionModel = 2;
-constexpr std::uint32_t kSectionPacked = 3;
+// Section ids (kSectionEncoder/Model/Packed) live in pipeline.hpp: the
+// header's ArtifactInfo::has_packed() reads the same numbering.
 // Artifacts hold a handful of sections; anything larger is a garbled header.
 constexpr std::uint32_t kMaxSections = 64;
 

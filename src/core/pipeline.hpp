@@ -50,6 +50,12 @@
 
 namespace smore {
 
+/// Section ids of the `.smore` artifact (the format note above) — the ONE
+/// numbering shared by save()/load()/probe() and ArtifactInfo::has_packed().
+inline constexpr std::uint32_t kSectionEncoder = 1;
+inline constexpr std::uint32_t kSectionModel = 2;
+inline constexpr std::uint32_t kSectionPacked = 3;
+
 /// One section of a probed `.smore` artifact (id + declared payload bytes).
 struct ArtifactSection {
   std::uint32_t id = 0;
@@ -74,7 +80,9 @@ struct ArtifactInfo {
     return false;
   }
   /// True when the artifact carries a packed (quantized) model section.
-  [[nodiscard]] bool has_packed() const noexcept { return has_section(3); }
+  [[nodiscard]] bool has_packed() const noexcept {
+    return has_section(kSectionPacked);
+  }
 };
 
 /// The end-to-end SMORE pipeline: encoder + model + calibration (+ packed).

@@ -157,6 +157,12 @@ void MultiSensorEncoder::prepare(std::size_t channels) const {
   ensure_basis(channels);
 }
 
+std::size_t MultiSensorEncoder::footprint_bytes() const {
+  const std::scoped_lock lock(basis_mutex_);
+  return memory_.footprint_bytes() +
+         level_bank_.rows() * level_bank_.dim() * sizeof(float);
+}
+
 // Computes the sensor hypervector for one channel into scratch.sensor_acc:
 //   sensor_acc = Σ_t ρ^{n-1}(L_t) * ρ^{n-2}(L_{t+1}) * ... * L_{t+n-1}
 // where L_t interpolates between base_lo and base_hi by the normalized signal

@@ -138,6 +138,10 @@ class MultiSensorEncoder : public Encoder {
     return config_.dim;
   }
 
+  /// Materialized item-memory basis + level bank (see
+  /// Encoder::footprint_bytes; takes the lazy-growth lock).
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
   /// Pre-generate the basis (and, in the default mode, the level bank) for
   /// `channels` sensors — required before encoding from multiple threads
   /// (see the class concurrency note). Const: only warms caches.

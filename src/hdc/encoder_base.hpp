@@ -36,6 +36,14 @@ class Encoder {
   /// Hyperdimensional output size d.
   [[nodiscard]] virtual std::size_t dim() const noexcept = 0;
 
+  /// Resident bytes of the encoder's materialized state — basis vectors,
+  /// level banks, projection matrices. Every basis is a deterministic
+  /// function of (config, seed) built lazily on first use, so a freshly
+  /// loaded encoder reports near zero and grows once it starts encoding:
+  /// callers budgeting memory (serve/registry) get a point-in-time gauge,
+  /// not a worst-case bound. Default: stateless.
+  [[nodiscard]] virtual std::size_t footprint_bytes() const { return 0; }
+
   /// Encode every window of `dataset` into the rows of `out` (see the
   /// contract above). `parallel` gates the thread pool.
   virtual void encode_batch(const WindowDataset& dataset, HvMatrix& out,

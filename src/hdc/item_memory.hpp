@@ -54,6 +54,11 @@ class ItemMemory {
   /// before concurrent read access from multiple threads.
   void prefetch(std::size_t n_sensors);
 
+  /// Bytes of cached basis state (every cached hypervector is dim floats).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return cache_.size() * dim_ * sizeof(float);
+  }
+
  private:
   enum class Kind : std::uint64_t {
     kSignature = 1,

@@ -66,6 +66,13 @@ class ProjectionEncoder : public Encoder {
     return config_.dim;
   }
 
+  /// Materialized projection matrix + bias (see Encoder::footprint_bytes).
+  /// Call from the materializing thread or after the first encode — the
+  /// lazy build is guarded by call_once, not a lock this could take.
+  [[nodiscard]] std::size_t footprint_bytes() const override {
+    return (weights_t_.size() + bias_.size()) * sizeof(float);
+  }
+
   /// Encode one window (flatten -> project -> cos): a batch of one through
   /// the blocked kernel. Throws std::invalid_argument when the window shape
   /// differs from the first one encoded.

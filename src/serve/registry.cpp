@@ -34,11 +34,15 @@ std::size_t snapshot_resident_bytes(const ModelSnapshot& snap) {
   std::size_t bytes = 0;
   if (snap.model != nullptr) bytes += snap.model->footprint_bytes();
   if (snap.packed != nullptr) bytes += snap.packed->footprint_bytes();
-  // The encoder's basis is the remaining large block; encoders that share a
-  // basis across tenants are still charged per tenant — the budget is a
-  // bound, and double-charging shared state only makes it conservative.
+  // Encoder state (item-memory basis, level bank, projection matrix) is
+  // charged at its CURRENT materialized size. A freshly loaded artifact
+  // carries config+seed only, and the multi-tenant data plane submits
+  // pre-encoded hypervectors, so the basis normally never materializes and
+  // near-zero is the true cost. A tenant that encodes raw windows grows its
+  // basis AFTER this charge — that growth is outside the registry budget
+  // (see RegistryConfig::byte_budget), not silently undercounted at load.
   if (snap.encoder != nullptr) {
-    bytes += snap.encoder->dim() * sizeof(float);
+    bytes += snap.encoder->footprint_bytes();
   }
   return bytes;
 }

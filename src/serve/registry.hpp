@@ -44,8 +44,12 @@
 namespace smore {
 
 /// Registry knobs. The byte budget is the whole policy: it bounds the sum of
-/// resident model footprints (encoder + float model + packed model), NOT
-/// process RSS — transient load buffers and per-request state live outside.
+/// resident model footprints (float model + packed model + encoder state as
+/// materialized at load time), NOT process RSS — transient load buffers and
+/// per-request state live outside. Encoder bases are lazily reconstructed
+/// from (config, seed): a tenant that encodes raw windows after loading
+/// grows its basis outside this budget (hv-submitting data planes never do),
+/// so size the budget with headroom when serving raw windows per tenant.
 struct RegistryConfig {
   /// Eviction threshold over resident model footprints. One tenant larger
   /// than the whole budget is still admitted (alone) — see ShardedLruCache.

@@ -144,20 +144,29 @@ std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
   Shard& shard = shard_of(tenant);
   // On refusal the queue has already consumed the moved request (promise
   // included) — do not touch `req` or `fut` past this point on those paths.
-  const bool accepted = blocking ? shard.queue.push(std::move(req))
-                                 : shard.queue.try_push(std::move(req));
+  // The refusal reason is the queue's own atomic decision (QueuePush), not a
+  // second racy closed() read that a concurrent shutdown could flip.
+  bool accepted = false;
+  ServeStatus reason = ServeStatus::kShuttingDown;
+  if (blocking) {
+    // A blocking push only refuses when the queue closed mid-wait.
+    accepted = shard.queue.push(std::move(req));
+  } else {
+    switch (shard.queue.try_push(std::move(req))) {
+      case QueuePush::kAccepted: accepted = true; break;
+      case QueuePush::kFull: reason = ServeStatus::kShedQueueFull; break;
+      case QueuePush::kClosed: reason = ServeStatus::kShuttingDown; break;
+    }
+  }
   if (!accepted) {
     slot->inflight.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (blocking || shard.queue.closed()) {
-      // A blocking push only refuses when the queue closed mid-wait.
-      if (blocking) return ready_status(ServeStatus::kShuttingDown);
-      if (shed_reason != nullptr) *shed_reason = ServeStatus::kShuttingDown;
-      return std::nullopt;
+    if (blocking) return ready_status(ServeStatus::kShuttingDown);
+    if (reason == ServeStatus::kShedQueueFull) {
+      slot->shed_queue.fetch_add(1, std::memory_order_relaxed);
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
     }
-    slot->shed_queue.fetch_add(1, std::memory_order_relaxed);
-    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
-    if (shed_reason != nullptr) *shed_reason = ServeStatus::kShedQueueFull;
+    if (shed_reason != nullptr) *shed_reason = reason;
     return std::nullopt;
   }
   slot->submitted.fetch_add(1, std::memory_order_relaxed);
@@ -264,54 +273,75 @@ void MultiTenantServer::worker_loop(std::size_t shard_index,
 
 void MultiTenantServer::process_batch(std::vector<Request>& batch,
                                       std::size_t worker_index) {
-  const std::size_t n = batch.size();
   TenantSlot& slot = *batch.front().slot;
   // All requests of a batch share one tenant; the snapshot is grabbed once
   // (RCU read) and pins the model generation for the whole batch.
   const auto snap = batch.front().model->snapshot();
   const std::size_t dim = snap->backend->dim();
-  const auto batch_start = std::chrono::steady_clock::now();
 
-  HvMatrix queries(n, dim);
-  for (std::size_t i = 0; i < n; ++i) queries.set_row(i, batch[i].hv);
+  // One tenant's requests can still be pinned to DIFFERENT TenantModel
+  // instances: evict + redeploy with a new dimension while earlier requests
+  // sat queued. Each was validated only against its own pinned model at
+  // submit, so a row may not fit this batch's dim — that is a per-request
+  // error, delivered on its own promise; it must never escape the worker
+  // thread (the process-wide-failure contract this server exists for).
+  std::size_t mismatched = 0;
+  for (const Request& r : batch) mismatched += r.hv.size() != dim ? 1 : 0;
+  if (mismatched != 0) {
+    // Accounting before fulfillment (the invariant of this function): a
+    // submitter whose future resolves must already see its quota released.
+    slot.inflight.fetch_sub(mismatched, std::memory_order_relaxed);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].hv.size() == dim) {
+        if (kept != i) batch[kept] = std::move(batch[i]);
+        ++kept;
+        continue;
+      }
+      batch[i].promise.set_exception(std::make_exception_ptr(
+          std::invalid_argument("MultiTenantServer: request for tenant " +
+                                slot.tenant +
+                                " was pinned to a model generation with a "
+                                "different dimension than its batch")));
+    }
+    batch.resize(kept);
+    if (batch.empty()) return;
+  }
+  const std::size_t n = batch.size();
+  const auto batch_start = std::chrono::steady_clock::now();
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_rows_.fetch_add(n, std::memory_order_relaxed);
 
   SmoreBatchResult result;
   try {
+    // The matrix fill sits inside the try: any residual bad row fails the
+    // BATCH on its requests' promises, never the worker thread.
+    HvMatrix queries(n, dim);
+    for (std::size_t i = 0; i < n; ++i) queries.set_row(i, batch[i].hv);
     result = snap->backend->predict_batch_full(queries.view());
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
-    for (Request& req : batch) req.promise.set_exception(error);
     slot.inflight.fetch_sub(n, std::memory_order_relaxed);
+    for (Request& req : batch) req.promise.set_exception(error);
     return;
   }
 
   const std::size_t k = result.num_domains;
   const auto now = std::chrono::steady_clock::now();
   std::uint64_t flagged = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    ServeResult r;
-    r.status = ServeStatus::kOk;
-    r.label = result.labels[i];
-    r.is_ood = result.ood[i] != 0;
-    r.max_similarity = result.max_similarity[i];
-    r.weights.assign(
-        result.weights.begin() + static_cast<std::ptrdiff_t>(i * k),
-        result.weights.begin() + static_cast<std::ptrdiff_t>((i + 1) * k));
-    r.latency_seconds = seconds_between(batch[i].submit_time, now);
-    r.snapshot_version = snap->version;
-    if (r.is_ood) ++flagged;
-    batch[i].promise.set_value(std::move(r));
-  }
+  for (std::size_t i = 0; i < n; ++i) flagged += result.ood[i] != 0 ? 1 : 0;
+
+  // ALL externally observable accounting lands before any promise is
+  // fulfilled: a submitter that returns from get() and immediately reads
+  // stats()/tenant_stats() must see its own request counted, its quota
+  // reservation released, and its latency recorded.
   completed_.fetch_add(n, std::memory_order_relaxed);
   slot.completed.fetch_add(n, std::memory_order_relaxed);
   if (flagged != 0) {
     ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
     slot.ood.fetch_add(flagged, std::memory_order_relaxed);
   }
-
   {
     // One lock for both per-tenant histograms: queue wait is what fairness
     // changes (time spent behind other tenants), service time is what the
@@ -332,6 +362,20 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
     }
   }
   slot.inflight.fetch_sub(n, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ServeResult r;
+    r.status = ServeStatus::kOk;
+    r.label = result.labels[i];
+    r.is_ood = result.ood[i] != 0;
+    r.max_similarity = result.max_similarity[i];
+    r.weights.assign(
+        result.weights.begin() + static_cast<std::ptrdiff_t>(i * k),
+        result.weights.begin() + static_cast<std::ptrdiff_t>((i + 1) * k));
+    r.latency_seconds = seconds_between(batch[i].submit_time, now);
+    r.snapshot_version = snap->version;
+    batch[i].promise.set_value(std::move(r));
+  }
 }
 
 void MultiTenantServer::shutdown() {

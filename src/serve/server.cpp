@@ -76,17 +76,27 @@ std::optional<std::future<ServeResult>> InferenceServer::enqueue(
   const bool closed = shut_down_.load(std::memory_order_acquire);
   // On refusal the queue has already consumed (and destroyed) the moved
   // request, promise included — the rejection paths below must not touch
-  // `req` or `fut` again.
-  const bool accepted = !closed && (blocking ? queue_.push(std::move(req))
-                                             : queue_.try_push(std::move(req)));
+  // `req` or `fut` again. The refusal reason comes from the queue's own
+  // atomic decision (QueuePush), never from a second racy closed() read.
+  bool accepted = false;
+  ServeStatus reason = ServeStatus::kShuttingDown;
+  if (closed) {
+    // Fast-path refusal before touching the queue.
+  } else if (blocking) {
+    // A blocking push only refuses when the queue closed mid-wait.
+    accepted = queue_.push(std::move(req));
+  } else {
+    switch (queue_.try_push(std::move(req))) {
+      case QueuePush::kAccepted: accepted = true; break;
+      case QueuePush::kFull: reason = ServeStatus::kShedQueueFull; break;
+      case QueuePush::kClosed: reason = ServeStatus::kShuttingDown; break;
+    }
+  }
   if (!accepted) {
-    // The queue only refuses a *blocking* push when it was closed — a late
-    // submit. Resolve it on the result plane (a distinct ServeStatus, not a
-    // thrown exception or an indefinite block): producers racing a shutdown
-    // get a deterministic, immediately-ready answer.
-    const ServeStatus reason =
-        (closed || queue_.closed()) ? ServeStatus::kShuttingDown
-                                    : ServeStatus::kShedQueueFull;
+    // A refused *blocking* push is a late submit racing shutdown. Resolve it
+    // on the result plane (a distinct ServeStatus, not a thrown exception or
+    // an indefinite block): producers racing a shutdown get a deterministic,
+    // immediately-ready answer.
     rejected_.fetch_add(1, std::memory_order_relaxed);
     if (blocking) {
       std::promise<ServeResult> late;
@@ -235,6 +245,23 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
   const std::size_t k = result.num_domains;
   const auto now = std::chrono::steady_clock::now();
   std::uint64_t flagged = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    flagged += result.ood[i] != 0 ? 1 : 0;
+  }
+
+  // Externally observable accounting lands before any promise is fulfilled:
+  // a submitter that returns from get() and immediately reads stats() must
+  // see its own request counted and its latency recorded.
+  completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (flagged != 0) ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
+  {
+    auto& wl = *worker_latency_[worker_index];
+    const std::scoped_lock lock(wl.m);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      wl.histogram.record(seconds_between(batch[i].submit_time, now));
+    }
+  }
+
   std::vector<OodSample> ood_samples;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeResult r;
@@ -246,27 +273,14 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
                          static_cast<std::ptrdiff_t>((i + 1) * k));
     r.latency_seconds = seconds_between(batch[i].submit_time, now);
     r.snapshot_version = snap->version;
-    if (r.is_ood) {
-      ++flagged;
-      if (config_.adaptation) {
-        OodSample sample;
-        const auto row = queries.row(i);
-        sample.hv.assign(row.begin(), row.end());
-        sample.pseudo_label = r.label;
-        ood_samples.push_back(std::move(sample));
-      }
+    if (r.is_ood && config_.adaptation) {
+      OodSample sample;
+      const auto row = queries.row(i);
+      sample.hv.assign(row.begin(), row.end());
+      sample.pseudo_label = r.label;
+      ood_samples.push_back(std::move(sample));
     }
     batch[i].promise.set_value(std::move(r));
-  }
-  completed_.fetch_add(batch.size(), std::memory_order_relaxed);
-  if (flagged != 0) ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
-
-  {
-    auto& wl = *worker_latency_[worker_index];
-    const std::scoped_lock lock(wl.m);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      wl.histogram.record(seconds_between(batch[i].submit_time, now));
-    }
   }
 
   if (!ood_samples.empty()) {

@@ -31,6 +31,13 @@
 
 namespace smore {
 
+/// Outcome of a non-blocking push — the queue's own atomic decision, taken
+/// under its lock. Callers that map a refusal to a shed reason must use this
+/// rather than re-reading closed() afterwards: a close racing in between the
+/// failed push and the re-check would mislabel a capacity refusal as a
+/// shutdown refusal.
+enum class QueuePush { kAccepted, kFull, kClosed };
+
 /// Bounded MPMC ring with blocking push and batched pop. T must be
 /// default-constructible and move-assignable.
 template <typename T>
@@ -71,16 +78,18 @@ class MpmcQueue {
     return true;
   }
 
-  /// Non-blocking push: returns false when full or closed instead of
-  /// waiting (callers implement load-shedding on top of this).
-  bool try_push(T item) {
+  /// Non-blocking push: refuses (kFull / kClosed, item dropped) instead of
+  /// waiting. Callers implement load-shedding on top of this; the returned
+  /// outcome is the authoritative refusal reason.
+  QueuePush try_push(T item) {
     {
       const std::scoped_lock lock(mutex_);
-      if (closed_ || count_ == capacity_) return false;
+      if (closed_) return QueuePush::kClosed;
+      if (count_ == capacity_) return QueuePush::kFull;
       place(std::move(item));
     }
     not_empty_.notify_one();
-    return true;
+    return QueuePush::kAccepted;
   }
 
   /// Batched pop: blocks until at least one item is available (or the queue

@@ -115,12 +115,14 @@ TEST(MpmcQueue, PopBatchReturnsUpToMaxBatchInFifoOrder) {
 
 TEST(MpmcQueue, TryPushRefusesWhenFull) {
   MpmcQueue<int> q(2);
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.try_push(1), QueuePush::kAccepted);
+  EXPECT_EQ(q.try_push(2), QueuePush::kAccepted);
+  // The refusal names its reason — the queue's own atomic decision, which
+  // shed-reason reporting relies on (no racy closed() re-read).
+  EXPECT_EQ(q.try_push(3), QueuePush::kFull);
   std::vector<int> out;
   EXPECT_EQ(q.pop_batch(out, 1, 0us), 1u);
-  EXPECT_TRUE(q.try_push(3));  // capacity freed
+  EXPECT_EQ(q.try_push(3), QueuePush::kAccepted);  // capacity freed
 }
 
 TEST(MpmcQueue, CloseDrainsThenReportsExhaustion) {
@@ -128,7 +130,7 @@ TEST(MpmcQueue, CloseDrainsThenReportsExhaustion) {
   ASSERT_TRUE(q.push(7));
   q.close();
   EXPECT_FALSE(q.push(8));      // refused after close
-  EXPECT_FALSE(q.try_push(9));
+  EXPECT_EQ(q.try_push(9), QueuePush::kClosed);
   std::vector<int> out;
   EXPECT_EQ(q.pop_batch(out, 4, 1000us), 1u);  // drains the remainder
   EXPECT_EQ(out, std::vector<int>{7});

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -280,6 +281,61 @@ TEST_F(MultiTenantTest, DimensionMismatchThrowsAtSubmit) {
   MultiTenantServer server(make_registry());
   EXPECT_THROW(server.submit("a", std::vector<float>(kDim + 1, 0.0f)),
                std::invalid_argument);
+}
+
+TEST_F(MultiTenantTest, RedeployWithNewDimensionFailsPerRequestNotTheWorker) {
+  // A redeploy can change a tenant's dimension: requests admitted before the
+  // evict are pinned to the old model, requests after it to the new one, and
+  // both land in the SAME tenant group of one worker batch. The mismatched
+  // row must fail on its own promise — an escape would std::terminate the
+  // whole fleet server.
+  constexpr std::size_t kSmallDim = kDim / 2;
+  EncoderConfig ec;
+  ec.dim = kSmallDim;
+  Pipeline small(std::make_shared<const MultiSensorEncoder>(ec),
+                 windows_a_.num_classes());
+  small.fit(windows_a_);
+  std::ostringstream buf(std::ios::binary);
+  small.save(buf);
+  const std::string small_artifact = buf.str();
+
+  auto redeployed = std::make_shared<std::atomic<bool>>(false);
+  auto registry = std::make_shared<ModelRegistry>(
+      [this, small_artifact, redeployed](const std::string&) {
+        const std::string& bytes =
+            redeployed->load() ? small_artifact : artifact_a_;
+        std::istringstream in(bytes, std::ios::binary);
+        return ModelSnapshot::from_artifact(in, /*version=*/1);
+      });
+
+  MultiTenantConfig cfg;
+  cfg.num_shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.max_batch = 2;
+  cfg.max_delay_us = 2000000;  // 2 s: the worker holds the batch open until
+                               // the second (mismatched) request joins it
+  MultiTenantServer server(std::move(registry), cfg);
+
+  // Pins the kDim model; sits in the worker's open batch.
+  std::future<ServeResult> old_gen = server.submit("a", query(0));
+  // Redeploy: evict, reload at kSmallDim, submit a request validated against
+  // (and pinned to) the new model. Same tenant → same batch, mixed dims.
+  redeployed->store(true);
+  EXPECT_TRUE(server.registry().evict("a"));
+  std::future<ServeResult> new_gen =
+      server.submit("a", std::vector<float>(kSmallDim, 0.0f));
+
+  EXPECT_EQ(old_gen.get().status, ServeStatus::kOk);  // batch-dim row served
+  EXPECT_THROW(new_gen.get(), std::invalid_argument);  // its own promise only
+  // The worker survived; the tenant keeps serving at its new dimension.
+  EXPECT_EQ(
+      server.submit("a", std::vector<float>(kSmallDim, 0.0f)).get().status,
+      ServeStatus::kOk);
+  // The failed request released its in-flight reservation — accounting is
+  // ordered before promise fulfillment, so this read is race-free.
+  const auto per_tenant = server.tenant_stats();
+  ASSERT_EQ(per_tenant.size(), 1u);
+  EXPECT_EQ(per_tenant[0].inflight, 0u);
 }
 
 }  // namespace
