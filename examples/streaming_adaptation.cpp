@@ -13,7 +13,11 @@
 //     the live model, absorbs them as a new domain (Sec 3.6 "Model Update"),
 //     and publishes a new snapshot — no request is ever blocked by it;
 //   * the OOD rate dropping once the published generation knows the new
-//     domain, without the serving path ever taking a lock.
+//     domain, without the serving path ever taking a lock;
+//   * the domain LIFECYCLE (DESIGN.md §13) keeping the bank bounded as more
+//     strangers appear, and recurring drift — a previously enrolled subject
+//     coming back — being served by its existing domain instead of enrolling
+//     a duplicate.
 //
 //   ./build/example_streaming_adaptation
 
@@ -61,6 +65,12 @@ int main() {
   cfg.adaptation = true;
   cfg.adapt_min_batch = 64;
   cfg.adapt_poll_ms = 1;
+  // Bounded lifecycle (DESIGN.md §13): enrollment may never grow the bank
+  // past the cap, the source domains are eviction-protected, and recurring
+  // drift merges into its old domain instead of enrolling a duplicate.
+  cfg.lifecycle = true;
+  cfg.lifecycle_config.max_domains = pipeline.num_domains() + 2;
+  cfg.lifecycle_config.protected_domains = pipeline.num_domains();
   InferenceServer server(pipeline, cfg);
 
   // Phase 1: stream windows from a known subject (domain 1).
@@ -83,6 +93,7 @@ int main() {
   auto run_phase = [&](const char* label, const WindowDataset& phase,
                        std::size_t first, std::size_t n) {
     const std::size_t end = std::min(first + n, phase.size());
+    if (first >= end) return;
     std::vector<std::future<ServeResult>> futures;
     futures.reserve(end - first);
     for (std::size_t i = first; i < end; ++i) {
@@ -98,10 +109,12 @@ int main() {
       version = std::max(version, r.snapshot_version);
     }
     const auto total = static_cast<double>(end - first);
-    std::printf("%-34s accuracy %5.1f%%  OOD flagged %5.1f%%  (snapshot v%llu)\n",
+    std::printf("%-34s accuracy %5.1f%%  OOD flagged %5.1f%%  "
+                "(snapshot v%llu, bank K=%zu)\n",
                 label, 100.0 * static_cast<double>(correct) / total,
                 100.0 * static_cast<double>(flagged) / total,
-                static_cast<unsigned long long>(version));
+                static_cast<unsigned long long>(version),
+                server.snapshot()->model->num_domains());
   };
 
   const std::size_t probe = 120;
@@ -134,6 +147,37 @@ int main() {
   // stream keeps flowing during the whole swap — zero requests dropped).
   run_phase("outsider after enrollment:", outsider, probe, probe);
 
+  // Phase 4: recurring drift. A SECOND stranger appears (another extreme
+  // personal transform) and is enrolled; then the FIRST outsider returns.
+  // The recurring traffic lands in its previously enrolled domain — served
+  // in-distribution, no duplicate enrollment — so the bank size printed for
+  // the last phase matches the one before the return, and stays under the
+  // lifecycle cap throughout.
+  SyntheticSpec outsider2_spec = spec;
+  outsider2_spec.domain_shift = 6.0;
+  outsider2_spec.seed = spec.seed + 101;
+  const WindowDataset outsider2 =
+      examples::lodo_windows(generate_dataset(outsider2_spec), 4).test;
+  run_phase("a SECOND stranger:", outsider2, 0, probe);
+  const auto recurring_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().adaptation_rounds == mid.adaptation_rounds &&
+         std::chrono::steady_clock::now() < recurring_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::size_t bank_before_return =
+      server.snapshot()->model->num_domains();
+  // Recurring drift re-streams the outsider's windows — the same subject
+  // coming back IS the same data distribution returning.
+  run_phase("first outsider RETURNS:", outsider, 0, probe);
+  const std::size_t bank_after_return =
+      server.snapshot()->model->num_domains();
+  std::printf("\nrecurring drift: bank %zu -> %zu domain(s) across the "
+              "return (%s duplicate enrollment), cap %zu\n",
+              bank_before_return, bank_after_return,
+              bank_after_return == bank_before_return ? "no" : "UNEXPECTED",
+              cfg.lifecycle_config.max_domains);
+
   const ServerStats stats = server.stats();
   std::printf("\nserver: %llu requests in %llu batches (mean fill %.1f), "
               "p50 %.2f ms, p99 %.2f ms, %llu rejected\n",
@@ -142,5 +186,13 @@ int main() {
               stats.mean_batch_fill, 1e3 * stats.latency.p50_seconds,
               1e3 * stats.latency.p99_seconds,
               static_cast<unsigned long long>(stats.rejected));
+  std::printf("lifecycle: %llu round(s), %llu absorbed, %llu merged, "
+              "%llu evicted, %llu dropped (%llu side-buffer overflow)\n",
+              static_cast<unsigned long long>(stats.adaptation_rounds),
+              static_cast<unsigned long long>(stats.adaptation_absorbed),
+              static_cast<unsigned long long>(stats.adaptation_merged),
+              static_cast<unsigned long long>(stats.adaptation_evicted),
+              static_cast<unsigned long long>(stats.adaptation_dropped),
+              static_cast<unsigned long long>(stats.adaptation_overflow));
   return 0;
 }

@@ -7,6 +7,11 @@
 
 namespace smore {
 
+namespace {
+constexpr std::uint32_t kBankMagic = 0x4b4e4244;  // "DBNK"
+constexpr std::uint32_t kBankVersion = 2;  // v2: wide counters + lifecycle meta
+}  // namespace
+
 DomainDescriptorBank::DomainDescriptorBank(const HvDataset& train) {
   if (train.empty()) {
     throw std::invalid_argument("DomainDescriptorBank: empty training set");
@@ -53,85 +58,167 @@ std::vector<double> DomainDescriptorBank::similarities_batch(
   return sims;
 }
 
-void DomainDescriptorBank::absorb(std::span<const float> hv, int domain_id) {
+std::size_t DomainDescriptorBank::locate_or_create(int domain_id,
+                                                   std::size_t dim) {
   const auto it = std::find(ids_.begin(), ids_.end(), domain_id);
-  std::size_t k;
-  if (it == ids_.end()) {
-    // New domain: keep positions sorted by id so construction order does not
-    // matter (bit-for-bit reproducibility).
-    const auto pos = std::upper_bound(ids_.begin(), ids_.end(), domain_id);
-    k = static_cast<std::size_t>(pos - ids_.begin());
-    ids_.insert(pos, domain_id);
-    descriptors_.insert(descriptors_.begin() + static_cast<std::ptrdiff_t>(k),
-                        Hypervector(hv.size()));
-    counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(k), 0);
-  } else {
-    k = static_cast<std::size_t>(it - ids_.begin());
-  }
+  if (it != ids_.end()) return static_cast<std::size_t>(it - ids_.begin());
+  // New domain: keep positions sorted by id so construction order does not
+  // matter (bit-for-bit reproducibility).
+  const auto pos = std::upper_bound(ids_.begin(), ids_.end(), domain_id);
+  const auto k = static_cast<std::size_t>(pos - ids_.begin());
+  const auto off = static_cast<std::ptrdiff_t>(k);
+  ids_.insert(pos, domain_id);
+  descriptors_.insert(descriptors_.begin() + off, Hypervector(dim));
+  accum_.insert(accum_.begin() + off, WideAccumulator(dim));
+  counts_.insert(counts_.begin() + off, 0);
+  DomainMeta meta;
+  meta.enrolled_round = clock_;
+  meta.last_used_round = clock_;
+  meta_.insert(meta_.begin() + off, meta);
+  if (domain_id >= next_id_) next_id_ = domain_id + 1;
+  return k;
+}
+
+void DomainDescriptorBank::absorb(std::span<const float> hv, int domain_id) {
+  const std::size_t k = locate_or_create(domain_id, hv.size());
   Hypervector& u = descriptors_[k];
   if (u.dim() != hv.size()) {
     throw std::invalid_argument("DomainDescriptorBank::absorb: dim mismatch");
   }
-  ops::axpy(1.0f, hv.data(), u.data(), u.dim());
+  accum_[k].axpy(1.0, hv);
+  accum_[k].materialize(u.data());
   ++counts_[k];
   packed_stale_ = true;
 }
 
 void DomainDescriptorBank::absorb_batch(HvView block, int domain_id) {
   if (block.empty()) return;
-  // First row through absorb() (creates/locates the descriptor, keeps the
-  // sorted-id invariant), the rest accumulate straight into it.
-  absorb(block.row(0), domain_id);
-  const auto it = std::find(ids_.begin(), ids_.end(), domain_id);
-  Hypervector& u = descriptors_[static_cast<std::size_t>(it - ids_.begin())];
+  const std::size_t k = locate_or_create(domain_id, block.dim);
+  Hypervector& u = descriptors_[k];
   if (u.dim() != block.dim) {
-    throw std::invalid_argument("DomainDescriptorBank::absorb_batch: dim mismatch");
+    throw std::invalid_argument(
+        "DomainDescriptorBank::absorb_batch: dim mismatch");
   }
-  for (std::size_t i = 1; i < block.rows; ++i) {
-    ops::axpy(1.0f, block.row(i).data(), u.data(), u.dim());
+  // Accumulate every row into the double master, materialize the float
+  // mirror once for the whole block.
+  for (std::size_t i = 0; i < block.rows; ++i) {
+    accum_[k].axpy(1.0, block.row(i));
   }
-  counts_[static_cast<std::size_t>(it - ids_.begin())] += block.rows - 1;
+  accum_[k].materialize(u.data());
+  counts_[k] += block.rows;
   packed_stale_ = true;
 }
 
+void DomainDescriptorBank::remove(std::size_t k) {
+  if (k >= descriptors_.size()) {
+    throw std::out_of_range("DomainDescriptorBank::remove: bad position");
+  }
+  const auto off = static_cast<std::ptrdiff_t>(k);
+  descriptors_.erase(descriptors_.begin() + off);
+  accum_.erase(accum_.begin() + off);
+  ids_.erase(ids_.begin() + off);
+  counts_.erase(counts_.begin() + off);
+  meta_.erase(meta_.begin() + off);
+  packed_stale_ = true;
+}
+
+void DomainDescriptorBank::note_usage(int domain_id, double amount) {
+  const auto it = std::find(ids_.begin(), ids_.end(), domain_id);
+  if (it == ids_.end()) return;  // evicted between scoring and crediting
+  DomainMeta& m = meta_[static_cast<std::size_t>(it - ids_.begin())];
+  m.usage += amount;
+  m.last_used_round = clock_;
+}
+
+void DomainDescriptorBank::note_merge(std::size_t k) {
+  DomainMeta& m = meta_.at(k);
+  ++m.merge_count;
+  m.last_used_round = clock_;
+}
+
+void DomainDescriptorBank::decay_usage(double factor) {
+  for (DomainMeta& m : meta_) m.usage *= factor;
+}
+
 void DomainDescriptorBank::save(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&kBankMagic), sizeof(kBankMagic));
+  out.write(reinterpret_cast<const char*>(&kBankVersion), sizeof(kBankVersion));
   const std::uint64_t k = descriptors_.size();
   const std::uint64_t d = dim();
+  const std::int32_t next_id = next_id_;
   out.write(reinterpret_cast<const char*>(&k), sizeof(k));
   out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(&clock_), sizeof(clock_));
+  out.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
   for (std::size_t i = 0; i < descriptors_.size(); ++i) {
     const std::int32_t id = ids_[i];
     const std::uint64_t count = counts_[i];
+    const DomainMeta& m = meta_[i];
     out.write(reinterpret_cast<const char*>(&id), sizeof(id));
     out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    out.write(reinterpret_cast<const char*>(descriptors_[i].data()),
-              static_cast<std::streamsize>(sizeof(float) * d));
+    out.write(reinterpret_cast<const char*>(&m.enrolled_round),
+              sizeof(m.enrolled_round));
+    out.write(reinterpret_cast<const char*>(&m.last_used_round),
+              sizeof(m.last_used_round));
+    out.write(reinterpret_cast<const char*>(&m.merge_count),
+              sizeof(m.merge_count));
+    out.write(reinterpret_cast<const char*>(&m.usage), sizeof(m.usage));
+    // The double master is the state of record; the float mirror is derived.
+    out.write(reinterpret_cast<const char*>(accum_[i].data()),
+              static_cast<std::streamsize>(sizeof(double) * d));
   }
 }
 
 DomainDescriptorBank DomainDescriptorBank::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != kBankMagic || version != kBankVersion) {
+    throw std::runtime_error(
+        "DomainDescriptorBank::load: bad magic/version");
+  }
   std::uint64_t k = 0;
   std::uint64_t d = 0;
+  std::uint64_t clock = 0;
+  std::int32_t next_id = 0;
   in.read(reinterpret_cast<char*>(&k), sizeof(k));
   in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  in.read(reinterpret_cast<char*>(&clock), sizeof(clock));
+  in.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
   if (!in || (k > 0 && d == 0)) {
     throw std::runtime_error("DomainDescriptorBank::load: corrupt header");
   }
   DomainDescriptorBank bank;
+  bank.clock_ = clock;
+  bank.next_id_ = next_id;
   for (std::uint64_t i = 0; i < k; ++i) {
     std::int32_t id = 0;
     std::uint64_t count = 0;
+    DomainMeta meta;
     in.read(reinterpret_cast<char*>(&id), sizeof(id));
     in.read(reinterpret_cast<char*>(&count), sizeof(count));
-    Hypervector hv(static_cast<std::size_t>(d));
-    in.read(reinterpret_cast<char*>(hv.data()),
-            static_cast<std::streamsize>(sizeof(float) * d));
+    in.read(reinterpret_cast<char*>(&meta.enrolled_round),
+            sizeof(meta.enrolled_round));
+    in.read(reinterpret_cast<char*>(&meta.last_used_round),
+            sizeof(meta.last_used_round));
+    in.read(reinterpret_cast<char*>(&meta.merge_count),
+            sizeof(meta.merge_count));
+    in.read(reinterpret_cast<char*>(&meta.usage), sizeof(meta.usage));
+    WideAccumulator acc(static_cast<std::size_t>(d));
+    in.read(reinterpret_cast<char*>(acc.data()),
+            static_cast<std::streamsize>(sizeof(double) * d));
     if (!in) {
       throw std::runtime_error("DomainDescriptorBank::load: truncated payload");
     }
+    Hypervector hv(static_cast<std::size_t>(d));
+    acc.materialize(hv.data());
     bank.ids_.push_back(id);
     bank.counts_.push_back(static_cast<std::size_t>(count));
+    bank.meta_.push_back(meta);
+    bank.accum_.push_back(std::move(acc));
     bank.descriptors_.push_back(std::move(hv));
+    if (id >= bank.next_id_) bank.next_id_ = id + 1;
   }
   (void)bank.packed();  // warm the batch cache (see the HvDataset ctor)
   return bank;

@@ -1,13 +1,21 @@
 #pragma once
-// Domain descriptors (paper Sec 3.5.1).
+// Domain descriptors (paper Sec 3.5.1) + lifecycle state (DESIGN.md §13).
 //
 // For each source domain k, the descriptor U_k = Σ_i H_i^k bundles every
 // encoded training sample of the domain. By the bundling property (Sec 3.1),
 // U_k stays cosine-similar to the samples that contributed to it and nearly
 // orthogonal to samples that did not — which is exactly what the OOD detector
 // and the test-time ensembling weights need.
+//
+// Under continual adaptation a descriptor is not built once: it is bundled
+// into on every merge, forever. The bank therefore keeps each U_k as a
+// wide-counter accumulator (hdc/wide_counter.hpp) — double-precision master,
+// float mirror for the similarity kernels — so repeated bundling stays exact
+// instead of saturating float accumulation, plus per-domain lifecycle
+// metadata (usage, rounds, merges) that the eviction policy scores.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <vector>
@@ -15,16 +23,28 @@
 #include "hdc/hv_dataset.hpp"
 #include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/wide_counter.hpp"
 
 namespace smore {
 
-/// The bank of K domain descriptors, built once during training.
+/// Per-domain lifecycle bookkeeping (DESIGN.md §13). Rounds are ticks of the
+/// bank's own clock (advance_round()), not wall time, so the state is
+/// deterministic and serializes with the model.
+struct DomainMeta {
+  std::uint64_t enrolled_round = 0;   ///< bank clock when first absorbed
+  std::uint64_t last_used_round = 0;  ///< bank clock at last usage credit
+  std::uint64_t merge_count = 0;      ///< lifecycle merges bundled into U_k
+  double usage = 0.0;                 ///< decayed served-query credit
+};
+
+/// The bank of K domain descriptors, built during training and mutated by
+/// the adaptation lifecycle (absorb/merge/remove).
 ///
 /// Concurrency: const similarity queries are safe from multiple threads on a
 /// bank produced by the HvDataset constructor or load() (the packed batch
-/// cache is warmed there). absorb() is not synchronized against readers;
-/// after streaming updates, make one similarity call before sharing the bank
-/// across threads again.
+/// cache is warmed there). Mutations (absorb/remove/usage updates) are not
+/// synchronized against readers; after streaming updates, make one similarity
+/// call before sharing the bank across threads again.
 class DomainDescriptorBank {
  public:
   DomainDescriptorBank() = default;
@@ -40,7 +60,8 @@ class DomainDescriptorBank {
     return descriptors_.empty() ? 0 : descriptors_.front().dim();
   }
 
-  /// Descriptor U_k by position (not domain id).
+  /// Descriptor U_k by position (not domain id) — the float mirror of the
+  /// wide-counter master, always in sync.
   [[nodiscard]] const Hypervector& descriptor(std::size_t k) const {
     return descriptors_.at(k);
   }
@@ -56,6 +77,19 @@ class DomainDescriptorBank {
   [[nodiscard]] std::size_t sample_count(std::size_t k) const {
     return counts_.at(k);
   }
+
+  /// Lifecycle metadata of descriptor k.
+  [[nodiscard]] const DomainMeta& meta(std::size_t k) const {
+    return meta_.at(k);
+  }
+
+  /// The bank's lifecycle clock (number of advance_round() calls).
+  [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
+
+  /// Smallest id strictly above every id EVER enrolled — monotone across
+  /// evictions, so a fresh pseudo-domain never aliases a dead one's usage
+  /// history.
+  [[nodiscard]] int next_domain_id() const noexcept { return next_id_; }
 
   /// δ(query, U_k) for every k. Thin wrapper over a batch of one.
   [[nodiscard]] std::vector<double> similarities(
@@ -75,8 +109,30 @@ class DomainDescriptorBank {
   /// adaptation batch, the packed cache goes stale once instead of per row).
   void absorb_batch(HvView block, int domain_id);
 
-  /// Binary serialization (descriptor count, ids, sample counts, raw
-  /// vectors). Format is stable within a library version.
+  /// Drop descriptor k (position, not id) — the evict half of the lifecycle.
+  /// Survivors are untouched bit-for-bit; the caller must drop the matching
+  /// class bank itself (SmoreModel::remove_domain does both).
+  /// Throws std::out_of_range on a bad position.
+  void remove(std::size_t k);
+
+  /// Credit served queries to the domain with this id (no-op for unknown
+  /// ids — the domain may have been evicted since the batch was scored).
+  /// Also stamps last_used_round with the current clock.
+  void note_usage(int domain_id, double amount);
+
+  /// Record a lifecycle merge into descriptor k (position).
+  void note_merge(std::size_t k);
+
+  /// Multiply every usage score by `factor` (exponential forgetting — recent
+  /// traffic outweighs history when the eviction policy ranks domains).
+  void decay_usage(double factor);
+
+  /// Tick the lifecycle clock (once per adaptation round).
+  void advance_round() noexcept { ++clock_; }
+
+  /// Binary serialization: versioned record with ids, sample counts,
+  /// lifecycle metadata and the DOUBLE wide-counter masters (the float
+  /// mirrors are derived state). Format is stable within a library version.
   void save(std::ostream& out) const;
   static DomainDescriptorBank load(std::istream& in);
 
@@ -89,10 +145,17 @@ class DomainDescriptorBank {
   /// Packed [K × dim] descriptor block plus squared norms for the batch
   /// kernel; rebuilt lazily after absorb().
   const HvMatrix& packed() const;
+  /// Position of `domain_id`, inserting an empty descriptor (sorted by id)
+  /// when new.
+  std::size_t locate_or_create(int domain_id, std::size_t dim);
 
-  std::vector<Hypervector> descriptors_;
+  std::vector<Hypervector> descriptors_;  // float mirrors (query plane)
+  std::vector<WideAccumulator> accum_;    // double masters (update plane)
   std::vector<int> ids_;
   std::vector<std::size_t> counts_;
+  std::vector<DomainMeta> meta_;
+  std::uint64_t clock_ = 0;
+  int next_id_ = 0;
   mutable HvMatrix packed_;
   mutable std::vector<double> packed_norms_sq_;
   mutable bool packed_stale_ = true;

@@ -85,6 +85,22 @@ void SmoreModel::absorb_labeled(std::span<const float> hv, int label,
   evaluator_stale_ = true;
 }
 
+void SmoreModel::remove_domain(std::size_t k) {
+  if (!trained()) {
+    throw std::logic_error("SmoreModel::remove_domain before fit");
+  }
+  if (k >= models_.size()) {
+    throw std::out_of_range("SmoreModel::remove_domain: bad position");
+  }
+  if (models_.size() == 1) {
+    throw std::logic_error(
+        "SmoreModel::remove_domain: cannot evict the last domain");
+  }
+  models_.erase(models_.begin() + static_cast<std::ptrdiff_t>(k));
+  descriptors_.remove(k);
+  evaluator_stale_ = true;
+}
+
 std::vector<double> SmoreModel::weights_for(std::span<const float> /*hv*/,
                                             const OodVerdict& verdict,
                                             std::span<const double> sims) const {
@@ -245,7 +261,7 @@ double SmoreModel::calibrate_delta_star(const HvDataset& in_distribution,
 
 namespace {
 constexpr std::uint32_t kSmoreMagic = 0x534d4f52;  // "SMOR"
-constexpr std::uint32_t kSmoreVersion = 1;
+constexpr std::uint32_t kSmoreVersion = 2;  // v2: wide-counter bank payload
 }  // namespace
 
 void SmoreModel::save(std::ostream& out) const {

@@ -127,6 +127,19 @@ class SmoreModel {
     return descriptors_;
   }
 
+  /// Mutable bank access for the lifecycle layer (usage credit, decay,
+  /// round clock). Structural changes (absorb/remove) must go through
+  /// absorb_labeled/remove_domain so the per-domain models stay aligned.
+  [[nodiscard]] DomainDescriptorBank& descriptors() noexcept {
+    return descriptors_;
+  }
+
+  /// Evict domain at position k (ascending-id order): drops the descriptor
+  /// AND its class bank together, so positions stay aligned. Survivors are
+  /// untouched bit-for-bit. Throws std::logic_error when untrained or when
+  /// this would evict the last domain, std::out_of_range on a bad position.
+  void remove_domain(std::size_t k);
+
   /// Adjust δ* after training (Fig. 5 sweeps this without refitting).
   void set_delta_star(double delta_star);
 

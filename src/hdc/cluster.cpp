@@ -1,0 +1,150 @@
+#include "hdc/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/ops.hpp"
+
+namespace smore {
+
+namespace {
+
+/// Row-major [rows × k] cosine similarities of every row to every centroid.
+std::vector<double> sims_to_centroids(HvView rows, const HvMatrix& centroids) {
+  std::vector<double> sims(rows.rows * centroids.rows());
+  ops::similarity_matrix(rows.data, rows.rows, centroids.data(),
+                         centroids.rows(), centroids.dim(), sims.data());
+  return sims;
+}
+
+/// Mean of each cluster's members (double accumulation, so member order
+/// cannot perturb the centroid). Empty clusters keep their previous centroid.
+void recompute_centroids(HvView rows,
+                         const std::vector<std::uint32_t>& assignment,
+                         std::size_t k, HvMatrix& centroids,
+                         std::vector<std::size_t>& sizes) {
+  const std::size_t d = rows.dim;
+  std::vector<double> acc(k * d, 0.0);
+  sizes.assign(k, 0);
+  for (std::size_t i = 0; i < rows.rows; ++i) {
+    const std::uint32_t c = assignment[i];
+    double* dst = acc.data() + static_cast<std::size_t>(c) * d;
+    const float* src = rows.row(i).data();
+    for (std::size_t j = 0; j < d; ++j) dst[j] += src[j];
+    ++sizes[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (sizes[c] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(sizes[c]);
+    const double* src = acc.data() + c * d;
+    float* dst = centroids.row(c).data();
+    for (std::size_t j = 0; j < d; ++j) {
+      dst[j] = static_cast<float>(src[j] * inv);
+    }
+  }
+}
+
+}  // namespace
+
+Clustering cluster_rows(HvView rows, const ClusterConfig& config) {
+  Clustering out;
+  if (rows.rows == 0) return out;
+  if (rows.dim == 0) {
+    throw std::invalid_argument("cluster_rows: zero-dimensional rows");
+  }
+  const std::size_t k_max =
+      std::min(std::max<std::size_t>(1, config.max_clusters), rows.rows);
+
+  // Farthest-first seeding: start from row 0, then repeatedly promote the
+  // row least covered by the current seeds — but only while that row is
+  // genuinely far (cosine < split_threshold), so k adapts to the round.
+  std::vector<std::size_t> seeds{0};
+  std::vector<double> coverage(rows.rows,
+                               -2.0);  // max cosine to any seed so far
+  while (seeds.size() < k_max) {
+    const auto last = rows.row(seeds.back());
+    std::vector<double> sims(rows.rows);
+    ops::similarity_matrix(rows.data, rows.rows, last.data(), 1, rows.dim,
+                           sims.data());
+    std::size_t farthest = 0;
+    double farthest_cov = 2.0;
+    for (std::size_t i = 0; i < rows.rows; ++i) {
+      if (sims[i] > coverage[i]) coverage[i] = sims[i];
+      if (coverage[i] < farthest_cov) {
+        farthest_cov = coverage[i];
+        farthest = i;
+      }
+    }
+    if (farthest_cov >= config.split_threshold) break;  // round is covered
+    seeds.push_back(farthest);
+  }
+
+  std::size_t k = seeds.size();
+  HvMatrix centroids(k, rows.dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    centroids.set_row(c, rows.row(seeds[c]));
+  }
+
+  // Lloyd refinement on cosine similarity.
+  std::vector<std::uint32_t> assignment(rows.rows, 0);
+  std::vector<std::size_t> sizes(k, 0);
+  const int iters = std::max(1, config.iterations);
+  for (int it = 0; it < iters; ++it) {
+    const std::vector<double> sims = sims_to_centroids(rows, centroids);
+    for (std::size_t i = 0; i < rows.rows; ++i) {
+      const double* row = sims.data() + i * k;
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < k; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      assignment[i] = static_cast<std::uint32_t>(best);
+    }
+    recompute_centroids(rows, assignment, k, centroids, sizes);
+  }
+
+  // Fold undersized clusters into their nearest survivor: a handful of
+  // stragglers does not deserve its own pseudo-domain (and would immediately
+  // become eviction fodder). Smallest cluster first, one at a time, so two
+  // small clusters can still merge into each other's survivor.
+  for (;;) {
+    if (k <= 1) break;
+    std::size_t victim = k;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] >= config.min_cluster_size) continue;
+      if (victim == k || sizes[c] < sizes[victim]) victim = c;
+    }
+    if (victim == k) break;  // every cluster is big enough
+    const std::vector<double> sims = sims_to_centroids(rows, centroids);
+    for (std::size_t i = 0; i < rows.rows; ++i) {
+      if (assignment[i] != victim) continue;
+      const double* row = sims.data() + i * k;
+      std::size_t best = k;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c == victim) continue;
+        if (best == k || row[c] > row[best]) best = c;
+      }
+      assignment[i] = static_cast<std::uint32_t>(best);
+    }
+    // Compact: drop the victim's centroid slot, shift assignments down.
+    HvMatrix compact(k - 1, rows.dim);
+    for (std::size_t c = 0, w = 0; c < k; ++c) {
+      if (c == victim) continue;
+      compact.set_row(w++, centroids.row(c));
+    }
+    centroids = std::move(compact);
+    for (auto& a : assignment) {
+      if (a > victim) --a;
+    }
+    --k;
+    recompute_centroids(rows, assignment, k, centroids, sizes);
+  }
+
+  out.k = k;
+  out.assignment = std::move(assignment);
+  out.centroids = std::move(centroids);
+  out.sizes = std::move(sizes);
+  return out;
+}
+
+}  // namespace smore

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic online clustering of an adaptation round (DESIGN.md §13).
+//
+// The OOD side buffer of a streaming server is rarely ONE coherent
+// distribution: a round can hold windows from several drifting subjects at
+// once (abrupt + gradual drift overlapping). Enrolling the whole buffer as a
+// single pseudo-domain smears unrelated distributions into one descriptor,
+// which poisons both the OOD detector (δ to the blob is low for everything)
+// and the ensemble weights. This module splits a round into k coherent
+// pseudo-domains first.
+//
+// The algorithm is spherical k-means with farthest-first seeding, chosen for
+// determinism rather than novelty: no RNG, no data-order sensitivity beyond
+// the buffer order itself, so an adaptation round is exactly reproducible
+// from its inputs (the same property every other layer of this codebase
+// maintains). k is ADAPTIVE: seeds are added only while some row is farther
+// than `split_threshold` from every existing seed, so a genuinely coherent
+// round costs one cluster and no configuration tuning.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hv_matrix.hpp"
+
+namespace smore {
+
+/// Clustering knobs (defaults sized for adaptation rounds of 64-1024 rows).
+struct ClusterConfig {
+  std::size_t max_clusters = 4;     ///< hard cap on k per round
+  std::size_t min_cluster_size = 8; ///< smaller clusters fold into neighbors
+  int iterations = 3;               ///< Lloyd refinement passes
+  /// Stop seeding once every row has cosine ≥ this to some seed: the round
+  /// is considered covered. Lower = fewer, coarser clusters.
+  double split_threshold = 0.90;
+};
+
+/// A partition of the input rows into k coherent groups.
+struct Clustering {
+  std::size_t k = 0;                      ///< clusters found (≤ max_clusters)
+  std::vector<std::uint32_t> assignment;  ///< row → cluster index, size = rows
+  HvMatrix centroids;                     ///< [k × dim] member means
+  std::vector<std::size_t> sizes;         ///< members per cluster
+};
+
+/// Partition `rows` into at most `config.max_clusters` coherent groups.
+/// Deterministic: same rows (in the same order) → same clustering, on any
+/// machine (the cosine kernels are bit-identical across ISA variants).
+/// Returns an empty Clustering for zero rows.
+[[nodiscard]] Clustering cluster_rows(HvView rows, const ClusterConfig& config);
+
+}  // namespace smore

@@ -17,6 +17,7 @@ OnlineHDClassifier::OnlineHDClassifier(int num_classes, std::size_t dim)
     throw std::invalid_argument("OnlineHDClassifier: dim must be > 0");
   }
   classes_.assign(static_cast<std::size_t>(num_classes), Hypervector(dim));
+  accum_.assign(static_cast<std::size_t>(num_classes), WideAccumulator(dim));
   norms_.assign(static_cast<std::size_t>(num_classes), 0.0);
 }
 
@@ -53,10 +54,10 @@ void OnlineHDClassifier::bootstrap(std::span<const float> hv, int label) {
   }
   const double hv_norm = ops::nrm2(hv.data(), dim_);
   const double delta = cosine_to_class(hv, hv_norm, label);
+  // The weight is float-rounded (as the float-only path used it), then the
+  // update lands on the double master and re-materializes the float mirror.
   const float w = static_cast<float>(1.0 - delta);
-  ops::axpy(w, hv.data(), classes_[static_cast<std::size_t>(label)].data(),
-            dim_);
-  refresh_norm(label);
+  update_class(label, static_cast<double>(w), hv);
 }
 
 bool OnlineHDClassifier::refine(std::span<const float> hv, int label,
@@ -78,14 +79,18 @@ bool OnlineHDClassifier::refine(std::span<const float> hv, int label,
 
   const double delta_true = cosine_to_class(hv, hv_norm, label);
   const float w_true = learning_rate * static_cast<float>(1.0 - delta_true);
-  ops::axpy(w_true, hv.data(), classes_[static_cast<std::size_t>(label)].data(),
-            dim_);
+  update_class(label, static_cast<double>(w_true), hv);
   const float w_pred = learning_rate * static_cast<float>(1.0 - best_sim);
-  ops::axpy(-w_pred, hv.data(), classes_[static_cast<std::size_t>(best)].data(),
-            dim_);
-  refresh_norm(label);
-  refresh_norm(best);
+  update_class(best, -static_cast<double>(w_pred), hv);
   return false;
+}
+
+void OnlineHDClassifier::update_class(int c, double weight,
+                                      std::span<const float> hv) {
+  WideAccumulator& acc = accum_[static_cast<std::size_t>(c)];
+  acc.axpy(weight, hv);
+  acc.materialize(classes_[static_cast<std::size_t>(c)].data());
+  refresh_norm(c);
 }
 
 std::vector<double> OnlineHDClassifier::fit(const HvDataset& train,
@@ -201,6 +206,9 @@ void OnlineHDClassifier::set_class_vector(int c, Hypervector hv) {
     throw std::invalid_argument("set_class_vector: dimension mismatch");
   }
   classes_.at(static_cast<std::size_t>(c)) = std::move(hv);
+  // The float value IS the new state: reset the wide counter to it exactly.
+  accum_.at(static_cast<std::size_t>(c))
+      .assign_from(classes_[static_cast<std::size_t>(c)].span());
   refresh_norm(c);
 }
 

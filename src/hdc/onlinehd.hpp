@@ -26,6 +26,7 @@
 #include "hdc/hv_dataset.hpp"
 #include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/wide_counter.hpp"
 
 namespace smore {
 
@@ -40,6 +41,12 @@ struct OnlineHDConfig {
 /// Multi-class HDC classifier: one class hypervector per class, cosine
 /// similarity argmax prediction. Class-vector norms are cached and kept
 /// in sync by every update, so predictions cost one dot product per class.
+///
+/// Class banks accumulate in double wide counters (hdc/wide_counter.hpp)
+/// mirrored to float for the similarity kernels: a model that lives through
+/// unbounded continual bootstrap/refine updates keeps learning instead of
+/// saturating float accumulation. Update decisions (δ, argmax) read the
+/// float mirror, so quantization and serving behavior are unchanged.
 ///
 /// Concurrency: const prediction methods are safe to call from multiple
 /// threads on a model produced by fit() or load() (the packed batch cache is
@@ -109,12 +116,16 @@ class OnlineHDClassifier {
   [[nodiscard]] double cosine_to_class(std::span<const float> hv, double hv_norm,
                                        int c) const;
   void refresh_norm(int c);
+  /// C_c += weight · hv on the double master, then re-materialize the float
+  /// mirror and its cached norm (the one write path of bootstrap/refine).
+  void update_class(int c, double weight, std::span<const float> hv);
   /// Packed [num_classes × dim] class-vector block plus squared norms for the
   /// batch kernels; rebuilt lazily after any class-vector update.
   const HvMatrix& packed() const;
 
   std::size_t dim_;
-  std::vector<Hypervector> classes_;
+  std::vector<Hypervector> classes_;     // float mirrors (query plane)
+  std::vector<WideAccumulator> accum_;   // double masters (update plane)
   std::vector<double> norms_;  // cached ‖C_c‖, kept in sync with classes_
   // Batch-path caches: contiguous class matrix and squared norms, invalidated
   // by every update and repacked on the next batch call.

@@ -1,0 +1,81 @@
+#pragma once
+// WideAccumulator: double-precision bundle accumulator with a float view.
+//
+// Bundling is the one HDC operation that RUNS FOREVER in a deployed system:
+// every adaptation round keeps axpy-ing samples into the same descriptor and
+// class-bank vectors. In float, that accumulation saturates — once a
+// component exceeds 2^24, adding a small sample contribution rounds to
+// nothing, so a long-lived domain silently stops learning and two merge
+// orders produce different banks. The classic fix is a wide counter per
+// dimension: accumulate in a wider type, expose a narrow mirror to the
+// similarity kernels.
+//
+// Doubles are exactly that wide counter here. Encoder outputs are
+// integer-valued floats (sums of ±1 n-gram components), and update weights
+// are float-rounded before use, so every contribution is a double-exact
+// product; double addition of integer-valued terms is exact (and
+// order-independent) until 2^53 — about 10^9 bundles of typical magnitude
+// past the point float drifts. The owner keeps a float mirror for the
+// ops:: kernels (materialize()), so the read path is unchanged: wide
+// counters cost memory (8 bytes/dim) and update bandwidth, never query time.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smore {
+
+/// One wide-counter vector: the double-precision master of a float bundle.
+class WideAccumulator {
+ public:
+  WideAccumulator() = default;
+  explicit WideAccumulator(std::size_t dim) : acc_(dim, 0.0) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return acc_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return acc_.empty(); }
+
+  /// Raw counters (serialization and tests).
+  [[nodiscard]] const double* data() const noexcept { return acc_.data(); }
+  [[nodiscard]] double* data() noexcept { return acc_.data(); }
+
+  /// acc += alpha · x. The master update of bootstrap/refine/absorb; alpha
+  /// is the exact double value of the caller's float weight.
+  void axpy(double alpha, std::span<const float> x) noexcept {
+    double* a = acc_.data();
+    const float* v = x.data();
+    const std::size_t d = acc_.size();
+    for (std::size_t i = 0; i < d; ++i) {
+      a[i] += alpha * static_cast<double>(v[i]);
+    }
+  }
+
+  /// acc += other (descriptor merge: bundling two domains is counter-wise
+  /// addition, exact for integer-valued contents).
+  void add(const WideAccumulator& other) noexcept {
+    double* a = acc_.data();
+    const double* b = other.acc_.data();
+    const std::size_t d = acc_.size();
+    for (std::size_t i = 0; i < d; ++i) a[i] += b[i];
+  }
+
+  /// Overwrite the master from a float vector (exact widening) — the
+  /// load/set_class_vector path where the float value IS the state.
+  void assign_from(std::span<const float> x) {
+    acc_.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc_[i] = static_cast<double>(x[i]);
+    }
+  }
+
+  /// Write the float mirror the similarity kernels consume.
+  void materialize(float* out) const noexcept {
+    const double* a = acc_.data();
+    const std::size_t d = acc_.size();
+    for (std::size_t i = 0; i < d; ++i) out[i] = static_cast<float>(a[i]);
+  }
+
+ private:
+  std::vector<double> acc_;
+};
+
+}  // namespace smore

@@ -65,6 +65,12 @@ MultiTenantServer::MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
       workers_.emplace_back([this, s, index] { worker_loop(s, index); });
     }
   }
+  if (config_.adaptation) {
+    config_.adapt_min_batch = std::max<std::size_t>(1, config_.adapt_min_batch);
+    config_.adapt_buffer_capacity =
+        std::max(config_.adapt_min_batch, config_.adapt_buffer_capacity);
+    adaptation_thread_ = std::thread([this] { adaptation_loop(); });
+  }
 }
 
 MultiTenantServer::~MultiTenantServer() { shutdown(); }
@@ -332,6 +338,48 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
   std::uint64_t flagged = 0;
   for (std::size_t i = 0; i < n; ++i) flagged += result.ood[i] != 0 ? 1 : 0;
 
+  if (config_.adaptation && k > 0) {
+    // Feed this tenant's lifecycle: OOD rows into its bounded side buffer
+    // (the encoded hv is moved — the kernel consumed it above), and one unit
+    // of usage credit to each request's best-matching domain so decay/evict
+    // rank domains by what this tenant's traffic actually exercises.
+    std::vector<double> pos_usage(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* w = result.weights.data() + i * k;
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < k; ++p) {
+        if (w[p] > w[best]) best = p;
+      }
+      pos_usage[best] += 1.0;
+    }
+    const std::vector<int>& ids = snap->model->descriptors().domain_ids();
+    std::size_t overflow = 0;
+    bool ready = false;
+    {
+      const std::scoped_lock lock(slot.adapt_m);
+      for (std::size_t p = 0; p < k && p < ids.size(); ++p) {
+        if (pos_usage[p] != 0.0) slot.usage[ids[p]] += pos_usage[p];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.ood[i] == 0) continue;
+        if (slot.ood_buffer.size() >= config_.adapt_buffer_capacity) {
+          ++overflow;
+          continue;
+        }
+        slot.ood_buffer.push_back(
+            OodSample{std::move(batch[i].hv), result.labels[i]});
+      }
+      ready = slot.ood_buffer.size() >= config_.adapt_min_batch;
+    }
+    if (overflow != 0) {
+      slot.adapt_overflow.fetch_add(overflow, std::memory_order_relaxed);
+      slot.adapt_dropped.fetch_add(overflow, std::memory_order_relaxed);
+      adaptation_overflow_.fetch_add(overflow, std::memory_order_relaxed);
+      adaptation_dropped_.fetch_add(overflow, std::memory_order_relaxed);
+    }
+    if (ready) adapt_cv_.notify_one();
+  }
+
   // ALL externally observable accounting lands before any promise is
   // fulfilled: a submitter that returns from get() and immediately reads
   // stats()/tenant_stats() must see its own request counted, its quota
@@ -378,11 +426,132 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
   }
 }
 
+std::vector<std::shared_ptr<MultiTenantServer::TenantSlot>>
+MultiTenantServer::all_slots() const {
+  std::vector<std::shared_ptr<TenantSlot>> slots;
+  for (const auto& shard : slot_shards_) {
+    const std::scoped_lock lock(shard->m);
+    for (const auto& [tenant, slot] : shard->map) slots.push_back(slot);
+  }
+  return slots;
+}
+
+void MultiTenantServer::adaptation_loop() {
+  const std::chrono::milliseconds poll(
+      std::max<std::uint32_t>(1, config_.adapt_poll_ms));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(adapt_wake_m_);
+      adapt_cv_.wait_for(lock, poll, [this] { return adapt_stopping_; });
+      if (adapt_stopping_) break;
+    }
+    // Sweep every tenant with a ready round. One worker for the fleet: a
+    // round is a clone + a few kernel calls over at most
+    // adapt_buffer_capacity rows, and serialization across tenants keeps
+    // adaptation from ever competing with serving for more than one core.
+    for (const auto& slot : all_slots()) {
+      std::vector<OodSample> round;
+      std::vector<std::pair<int, double>> usage;
+      {
+        const std::scoped_lock lock(slot->adapt_m);
+        if (slot->ood_buffer.size() < config_.adapt_min_batch) continue;
+        round.swap(slot->ood_buffer);
+        usage.assign(slot->usage.begin(), slot->usage.end());
+        slot->usage.clear();
+      }
+      run_tenant_round(*slot, std::move(round), usage);
+    }
+  }
+  // Shutdown drain: buffered windows that never made a round are shed, not
+  // silently forgotten — same honesty contract as the request counters.
+  for (const auto& slot : all_slots()) {
+    std::size_t remaining = 0;
+    {
+      const std::scoped_lock lock(slot->adapt_m);
+      remaining = slot->ood_buffer.size();
+      slot->ood_buffer.clear();
+      slot->usage.clear();
+    }
+    if (remaining != 0) {
+      slot->adapt_dropped.fetch_add(remaining, std::memory_order_relaxed);
+      adaptation_dropped_.fetch_add(remaining, std::memory_order_relaxed);
+    }
+  }
+}
+
+void MultiTenantServer::run_tenant_round(
+    TenantSlot& slot, std::vector<OodSample> round,
+    std::span<const std::pair<int, double>> usage) {
+  const std::shared_ptr<TenantModel> tm = registry_->resident(slot.tenant);
+  if (tm == nullptr) {
+    // Cold tenant: adaptation never pays an artifact reload for a tenant
+    // whose traffic no longer keeps it resident. The round is shed.
+    slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
+    adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+    return;
+  }
+  const auto snap = tm->snapshot();
+  // Rows collected against an older evict+redeploy generation may not fit
+  // the current dimension; they are shed per-row, same as mismatched
+  // requests in process_batch — never an exception out of this thread.
+  const std::size_t dim = snap->backend->dim();
+  std::size_t kept = 0;
+  for (auto& s : round) {
+    if (s.hv.size() == dim) {
+      if (kept != static_cast<std::size_t>(&s - round.data())) {
+        round[kept] = std::move(s);
+      }
+      ++kept;
+    }
+  }
+  const std::size_t mismatched = round.size() - kept;
+  round.resize(kept);
+  if (mismatched != 0) {
+    slot.adapt_dropped.fetch_add(mismatched, std::memory_order_relaxed);
+    adaptation_dropped_.fetch_add(mismatched, std::memory_order_relaxed);
+  }
+  if (round.empty()) return;
+  try {
+    const AdaptationOutcome out = run_lifecycle_round(
+        *snap, round, usage, config_.lifecycle_config, snap->version + 1);
+    if (out.next != nullptr && tm->publish(out.next)) {
+      slot.adapt_rounds.fetch_add(1, std::memory_order_relaxed);
+      slot.adapt_absorbed.fetch_add(out.lifecycle.absorbed,
+                                    std::memory_order_relaxed);
+      slot.adapt_merged.fetch_add(out.lifecycle.merged,
+                                  std::memory_order_relaxed);
+      slot.adapt_evicted.fetch_add(out.lifecycle.evicted,
+                                   std::memory_order_relaxed);
+      adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
+      adaptation_absorbed_.fetch_add(out.lifecycle.absorbed,
+                                     std::memory_order_relaxed);
+    } else {
+      // Lost the publish race (or the tenant republished concurrently):
+      // stale-publisher-loses, the round is shed.
+      slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
+      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+    }
+  } catch (...) {
+    // A lifecycle failure is this tenant's loss, never the fleet worker's:
+    // the thread survives, the round is counted shed.
+    slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
+    adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+  }
+}
+
 void MultiTenantServer::shutdown() {
   std::call_once(shutdown_once_, [this] {
     shut_down_.store(true, std::memory_order_release);
     for (auto& shard : shards_) shard->queue.close();
     for (auto& w : workers_) w.join();
+    if (adaptation_thread_.joinable()) {
+      {
+        const std::scoped_lock lock(adapt_wake_m_);
+        adapt_stopping_ = true;
+      }
+      adapt_cv_.notify_all();
+      adaptation_thread_.join();
+    }
   });
 }
 
@@ -398,6 +567,10 @@ MultiTenantStats MultiTenantServer::stats() const {
   s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
   s.ood_flagged = ood_flagged_.load(std::memory_order_relaxed);
   s.tenants_seen = tenants_seen_.load(std::memory_order_relaxed);
+  s.adaptation_rounds = adaptation_rounds_.load(std::memory_order_relaxed);
+  s.adaptation_absorbed = adaptation_absorbed_.load(std::memory_order_relaxed);
+  s.adaptation_dropped = adaptation_dropped_.load(std::memory_order_relaxed);
+  s.adaptation_overflow = adaptation_overflow_.load(std::memory_order_relaxed);
   s.mean_batch_fill =
       s.batches != 0
           ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)
@@ -426,6 +599,16 @@ std::vector<TenantServerStats> MultiTenantServer::tenant_stats() const {
       t.load_failures = slot->load_failures.load(std::memory_order_relaxed);
       t.ood_flagged = slot->ood.load(std::memory_order_relaxed);
       t.inflight = slot->inflight.load(std::memory_order_relaxed);
+      t.adaptation_rounds = slot->adapt_rounds.load(std::memory_order_relaxed);
+      t.adaptation_absorbed =
+          slot->adapt_absorbed.load(std::memory_order_relaxed);
+      t.adaptation_dropped =
+          slot->adapt_dropped.load(std::memory_order_relaxed);
+      t.adaptation_overflow =
+          slot->adapt_overflow.load(std::memory_order_relaxed);
+      t.adaptation_merged = slot->adapt_merged.load(std::memory_order_relaxed);
+      t.adaptation_evicted =
+          slot->adapt_evicted.load(std::memory_order_relaxed);
       {
         const std::scoped_lock slot_lock(slot->m);
         t.queue_wait = slot->queue_wait;

@@ -33,24 +33,33 @@
 //
 // Requests are pre-encoded hypervectors: in a fleet the encoder is
 // tenant-specific state that travels inside the artifact, and per-tenant
-// in-batch encoding is deferred along with per-tenant adaptation
-// (ROADMAP item 3). Shutdown is graceful and total: queues close, workers
+// in-batch encoding stays deferred. Per-tenant adaptation (ROADMAP item 3)
+// is served here: turn on MultiTenantConfig::adaptation and each tenant's
+// OOD traffic drives its own bounded domain lifecycle (DESIGN.md §13) —
+// flat per-tenant memory no matter how long its drift history runs.
+// Shutdown is graceful and total: queues close, workers
 // drain every pending group across all shards, every future is fulfilled,
 // and late submits resolve immediately with kShuttingDown.
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/domain_lifecycle.hpp"
+#include "serve/adaptation.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "util/latency.hpp"
@@ -73,6 +82,20 @@ struct MultiTenantConfig {
   /// kShedTenantQuota (fair mode only; 0 = unbounded). Blocking submit()
   /// bypasses the quota — backpressure already slows that producer down.
   std::size_t tenant_inflight_quota = 256;
+
+  /// Per-tenant online adaptation (ROADMAP item 3): shard
+  /// workers feed each tenant's OOD traffic into that tenant's own bounded
+  /// side buffer, and ONE shared adaptation worker sweeps ready tenants,
+  /// runs a bounded lifecycle round (DESIGN.md §13) on the tenant's clone,
+  /// and republishes that tenant's generation. Always lifecycle-bounded:
+  /// a fleet tenant's model size is a function of lifecycle_config, never
+  /// of its traffic history. Cold (evicted) tenants are never reloaded just
+  /// to adapt them — their buffered rounds are shed and counted.
+  bool adaptation = false;
+  std::size_t adapt_min_batch = 64;         ///< OOD windows per tenant round
+  std::size_t adapt_buffer_capacity = 512;  ///< per-tenant side-buffer bound
+  std::uint32_t adapt_poll_ms = 2;          ///< adaptation sweep cadence
+  LifecycleConfig lifecycle_config;         ///< bounded lifecycle knobs
 };
 
 /// Per-tenant counters + latency histograms. Slots are created on first
@@ -87,6 +110,12 @@ struct TenantServerStats {
   std::uint64_t load_failures = 0;  ///< requests failed by artifact loads
   std::uint64_t ood_flagged = 0;
   std::uint64_t inflight = 0;  ///< gauge at the time of the stats call
+  std::uint64_t adaptation_rounds = 0;   ///< generations this tenant published
+  std::uint64_t adaptation_absorbed = 0; ///< OOD windows absorbed
+  std::uint64_t adaptation_dropped = 0;  ///< OOD windows shed (all causes)
+  std::uint64_t adaptation_overflow = 0; ///< …of which: side-buffer overflow
+  std::uint64_t adaptation_merged = 0;   ///< lifecycle: clusters merged
+  std::uint64_t adaptation_evicted = 0;  ///< lifecycle: domains evicted
   /// Histogram COPIES (mergeable): queue_wait is submit → batch start,
   /// service is batch start → fulfillment, latency is the end-to-end sum
   /// per request. The bench merges tail-tenant cohorts from these.
@@ -107,6 +136,10 @@ struct MultiTenantStats {
   std::uint64_t batched_rows = 0;
   std::uint64_t ood_flagged = 0;
   std::uint64_t tenants_seen = 0;  ///< tenant slots ever created
+  std::uint64_t adaptation_rounds = 0;   ///< tenant generations published
+  std::uint64_t adaptation_absorbed = 0;
+  std::uint64_t adaptation_dropped = 0;
+  std::uint64_t adaptation_overflow = 0;
   double mean_batch_fill = 0.0;
   LatencySummary latency;  ///< submit → fulfill, all tenants merged
   RegistryStats registry;
@@ -170,10 +203,22 @@ class MultiTenantServer {
     std::atomic<std::uint64_t> shed_quota{0};
     std::atomic<std::uint64_t> load_failures{0};
     std::atomic<std::uint64_t> ood{0};
+    std::atomic<std::uint64_t> adapt_rounds{0};
+    std::atomic<std::uint64_t> adapt_absorbed{0};
+    std::atomic<std::uint64_t> adapt_dropped{0};
+    std::atomic<std::uint64_t> adapt_overflow{0};
+    std::atomic<std::uint64_t> adapt_merged{0};
+    std::atomic<std::uint64_t> adapt_evicted{0};
     std::mutex m;
     LatencyHistogram queue_wait;  // submit → batch start
     LatencyHistogram service;     // batch start → fulfill
     LatencyHistogram latency;     // submit → fulfill
+    // This tenant's OOD side buffer + per-domain usage credit since its last
+    // adaptation round (adaptation mode only; bounded by
+    // adapt_buffer_capacity, overflow is counted and shed).
+    std::mutex adapt_m;
+    std::vector<OodSample> ood_buffer;
+    std::map<int, double> usage;
   };
 
   struct Request {
@@ -198,11 +243,22 @@ class MultiTenantServer {
   void worker_loop(std::size_t shard_index, std::size_t worker_index);
   /// Run one single-tenant micro-batch end to end.
   void process_batch(std::vector<Request>& batch, std::size_t worker_index);
+  /// The shared per-tenant adaptation sweep (one thread for the fleet).
+  void adaptation_loop();
+  /// One tenant's lifecycle round: clone → adapt → republish its generation.
+  void run_tenant_round(TenantSlot& slot, std::vector<OodSample> round,
+                        std::span<const std::pair<int, double>> usage);
+  /// Every live slot (snapshot of the insert-only maps).
+  [[nodiscard]] std::vector<std::shared_ptr<TenantSlot>> all_slots() const;
 
   MultiTenantConfig config_;
   std::shared_ptr<ModelRegistry> registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
+  std::thread adaptation_thread_;
+  std::mutex adapt_wake_m_;
+  std::condition_variable adapt_cv_;
+  bool adapt_stopping_ = false;  // guarded by adapt_wake_m_
 
   // Tenant slots: sharded string → slot map, insert-only.
   static constexpr std::size_t kSlotShards = 16;
@@ -222,6 +278,10 @@ class MultiTenantServer {
   std::atomic<std::uint64_t> batched_rows_{0};
   std::atomic<std::uint64_t> ood_flagged_{0};
   std::atomic<std::uint64_t> tenants_seen_{0};
+  std::atomic<std::uint64_t> adaptation_rounds_{0};
+  std::atomic<std::uint64_t> adaptation_absorbed_{0};
+  std::atomic<std::uint64_t> adaptation_dropped_{0};
+  std::atomic<std::uint64_t> adaptation_overflow_{0};
   struct WorkerLatency {
     std::mutex m;
     LatencyHistogram histogram;  // submit → fulfill, any tenant

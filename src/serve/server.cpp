@@ -262,6 +262,26 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
     }
   }
 
+  // Usage credit for the eviction policy: each served query credits the
+  // domain its ensemble weight peaked at. Accumulated batch-locally, flushed
+  // once under the usage lock; drained by the next lifecycle round.
+  if (config_.adaptation && config_.lifecycle && k > 0) {
+    std::vector<double> pos_usage(k, 0.0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double* wrow = result.weights.data() + i * k;
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < k; ++c) {
+        if (wrow[c] > wrow[best]) best = c;
+      }
+      pos_usage[best] += 1.0;
+    }
+    const auto& ids = snap->model->descriptors().domain_ids();
+    const std::scoped_lock lock(usage_mutex_);
+    for (std::size_t p = 0; p < k && p < ids.size(); ++p) {
+      if (pos_usage[p] != 0.0) usage_acc_[ids[p]] += pos_usage[p];
+    }
+  }
+
   std::vector<OodSample> ood_samples;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeResult r;
@@ -299,6 +319,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
     }
     if (dropped != 0) {
       adaptation_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+      adaptation_overflow_.fetch_add(dropped, std::memory_order_relaxed);
     }
     if (ready) ood_cv_.notify_one();
   }
@@ -326,6 +347,36 @@ void InferenceServer::adaptation_loop() {
     }
 
     const auto snap = registry_.current();
+
+    if (config_.lifecycle) {
+      // Bounded lifecycle round (DESIGN.md §13): cluster → merge/enroll →
+      // decay → evict on a clone, publish the result. The cap is enforced by
+      // eviction, so rounds are never shed for model size.
+      std::vector<std::pair<int, double>> usage;
+      {
+        const std::scoped_lock lock(usage_mutex_);
+        usage.assign(usage_acc_.begin(), usage_acc_.end());
+        usage_acc_.clear();
+      }
+      const AdaptationOutcome out = run_lifecycle_round(
+          *snap, round, usage, config_.lifecycle_config, snap->version + 1);
+      if (out.next != nullptr && publish(out.next)) {
+        adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
+        adaptation_absorbed_.fetch_add(out.lifecycle.absorbed,
+                                       std::memory_order_relaxed);
+        adaptation_merged_.fetch_add(out.lifecycle.merged,
+                                     std::memory_order_relaxed);
+        adaptation_evicted_.fetch_add(out.lifecycle.evicted,
+                                      std::memory_order_relaxed);
+      } else {
+        // Lost the publish CAS to a newer operator generation: shed the
+        // round rather than clobbering it (stale publisher loses).
+        adaptation_dropped_.fetch_add(round.size(),
+                                      std::memory_order_relaxed);
+      }
+      continue;
+    }
+
     if (snap->model->num_domains() >= config_.adapt_max_domains) {
       // Enrollment cap reached: keep serving, shed the round (the policy is
       // bounded model growth; operators raise adapt_max_domains or push a
@@ -390,7 +441,12 @@ ServerStats InferenceServer::stats() const {
   s.adaptation_absorbed =
       adaptation_absorbed_.load(std::memory_order_relaxed);
   s.adaptation_dropped = adaptation_dropped_.load(std::memory_order_relaxed);
+  s.adaptation_overflow =
+      adaptation_overflow_.load(std::memory_order_relaxed);
+  s.adaptation_merged = adaptation_merged_.load(std::memory_order_relaxed);
+  s.adaptation_evicted = adaptation_evicted_.load(std::memory_order_relaxed);
   s.snapshot_version = registry_.version();
+  s.live_domains = registry_.current()->model->num_domains();
   s.mean_batch_fill =
       s.batches != 0
           ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)

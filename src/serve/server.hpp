@@ -44,10 +44,14 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
+#include "core/domain_lifecycle.hpp"
 #include "core/inference_backend.hpp"
 #include "core/smore.hpp"
 #include "data/timeseries.hpp"
 #include "hdc/encoder_base.hpp"
+#include "serve/adaptation.hpp"
 #include "serve/snapshot.hpp"
 #include "util/latency.hpp"
 #include "util/mpmc_queue.hpp"
@@ -73,6 +77,15 @@ struct ServerConfig {
   std::size_t adapt_buffer_capacity = 1024;  ///< OOD side-buffer bound
   std::size_t adapt_max_domains = 16;  ///< stop enrolling beyond this K
   std::uint32_t adapt_poll_ms = 2;   ///< adaptation worker wake cadence
+
+  /// Bounded domain lifecycle (DESIGN.md §13). Off: every adaptation round
+  /// enrolls ONE new domain and rounds past adapt_max_domains are shed (the
+  /// pre-lifecycle policy, kept for operators that consolidate manually).
+  /// On: rounds are clustered, merged into similar existing domains, and the
+  /// bank is evicted down to lifecycle_config.max_domains — adapt_max_domains
+  /// is ignored, adaptation never stops, and K stays O(1) forever.
+  bool lifecycle = false;
+  LifecycleConfig lifecycle_config;  ///< knobs when `lifecycle` is on
 };
 
 /// Disposition of a submission — the admission-control result plane shared
@@ -113,8 +126,12 @@ struct ServerStats {
   std::uint64_t ood_flagged = 0;    ///< responses with is_ood
   std::uint64_t adaptation_rounds = 0;   ///< snapshots published by adaptation
   std::uint64_t adaptation_absorbed = 0; ///< OOD windows enrolled
-  std::uint64_t adaptation_dropped = 0;  ///< OOD windows shed (buffer/cap)
+  std::uint64_t adaptation_dropped = 0;  ///< OOD windows shed (all causes)
+  std::uint64_t adaptation_overflow = 0; ///< …of which: side-buffer overflow
+  std::uint64_t adaptation_merged = 0;   ///< lifecycle: clusters merged
+  std::uint64_t adaptation_evicted = 0;  ///< lifecycle: domains evicted
   std::uint64_t snapshot_version = 0;    ///< live generation id
+  std::size_t live_domains = 0;          ///< K of the live snapshot
   double mean_batch_fill = 0.0;     ///< batched_rows / batches
   LatencySummary latency;           ///< submit→fulfill percentiles
 };
@@ -190,12 +207,8 @@ class InferenceServer {
     std::chrono::steady_clock::time_point submit_time;
   };
 
-  /// One OOD window queued for enrollment (hypervector + the pseudo-label
-  /// the serving pass predicted for it).
-  struct OodSample {
-    std::vector<float> hv;
-    int pseudo_label = -1;
-  };
+  // OodSample (the side-buffer element) lives in serve/adaptation.hpp,
+  // shared with the multi-tenant router's per-tenant adaptation.
 
   /// Shared submit bookkeeping: stamp, push (blocking or refusing), count.
   /// nullopt only in non-blocking mode (full/closed queue, counted as a
@@ -224,6 +237,11 @@ class InferenceServer {
   bool stopping_ = false;  // guarded by ood_mutex_ (adaptation wake flag)
   std::condition_variable ood_cv_;
 
+  // Served-query credit per domain id since the last lifecycle round (the
+  // eviction policy's usage signal). Only written when lifecycle is on.
+  std::mutex usage_mutex_;
+  std::map<int, double> usage_acc_;
+
   // Stats. Counters are atomics; per-worker histograms are merged on read.
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -234,6 +252,9 @@ class InferenceServer {
   std::atomic<std::uint64_t> adaptation_rounds_{0};
   std::atomic<std::uint64_t> adaptation_absorbed_{0};
   std::atomic<std::uint64_t> adaptation_dropped_{0};
+  std::atomic<std::uint64_t> adaptation_overflow_{0};
+  std::atomic<std::uint64_t> adaptation_merged_{0};
+  std::atomic<std::uint64_t> adaptation_evicted_{0};
   struct WorkerLatency {
     std::mutex m;
     LatencyHistogram histogram;

@@ -82,6 +82,17 @@ class LatencyHistogram {
 
   void reset() noexcept { *this = LatencyHistogram(); }
 
+  /// Close the current observation window: return everything recorded so far
+  /// and start an empty one. Long-run benches compare early-window vs
+  /// late-window percentiles with this — a lifetime aggregate cannot show
+  /// tail drift because early observations dilute it. The returned histogram
+  /// is independent state; merge() successive snapshots to rebuild totals.
+  [[nodiscard]] LatencyHistogram snapshot_and_reset() noexcept {
+    LatencyHistogram out = *this;
+    reset();
+    return out;
+  }
+
   /// Bucket index of a latency (exposed for tests).
   [[nodiscard]] static std::size_t bucket_of(double seconds) noexcept {
     const double us = seconds * 1e6;
