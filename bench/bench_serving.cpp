@@ -42,6 +42,8 @@
 #include "core/smore.hpp"
 #include "eval/timer.hpp"
 #include "hdc/hv_matrix.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "util/cli.hpp"
@@ -95,12 +97,14 @@ RunResult run_config(const char* label, std::size_t max_batch,
                      std::uint32_t max_delay_us, std::size_t workers,
                      const std::shared_ptr<const ModelSnapshot>& snap,
                      const HvMatrix& queries, std::size_t total,
-                     std::size_t producers, std::size_t window) {
+                     std::size_t producers, std::size_t window,
+                     const std::shared_ptr<obs::Telemetry>& hub = nullptr) {
   ServerConfig cfg;
   cfg.max_batch = max_batch;
   cfg.max_delay_us = max_delay_us;
   cfg.num_workers = workers;
   cfg.queue_capacity = std::max<std::size_t>(1024, producers * window * 2);
+  cfg.telemetry = hub;  // shared across configs when --metrics-json is on
   InferenceServer server(snap, nullptr, cfg);
 
   WallTimer timer;
@@ -162,6 +166,9 @@ int main(int argc, char** argv) {
       .flag_int("window", 64, "in-flight requests per producer")
       .flag_int("workers", 1, "batching worker threads")
       .flag_string("out", "BENCH_serving.json", "JSON output path")
+      .flag_bool("metrics-json", false,
+                 "embed the telemetry metrics snapshot (cumulative over all "
+                 "configs) in the output JSON")
       .flag_int("seed", 42, "data seed");
   bench::add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
@@ -179,6 +186,11 @@ int main(int argc, char** argv) {
     window = 16;
   }
   const std::string out_path = cli.get_string("out");
+  // One hub shared across every configuration: the embedded snapshot shows
+  // cumulative fleet counters, the slow-span tail, and events for the whole
+  // sweep (the per-config numbers stay in "configs").
+  const std::shared_ptr<obs::Telemetry> hub =
+      cli.get_bool("metrics-json") ? obs::Telemetry::make() : nullptr;
 
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
   const HvDataset train = make_train(classes, domains, 20, dim, rng);
@@ -229,21 +241,21 @@ int main(int argc, char** argv) {
   // next (window=1), and the server coalesces nothing.
   results.push_back(run_config("float submit loop (batch=1)", 1, 0, workers,
                                float_snap, queries, total, producers,
-                               /*window=*/1));
+                               /*window=*/1, hub));
   results.push_back(run_config("float batch=1 pipelined", 1, 0, workers,
-                               float_snap, queries, total, producers, window));
+                               float_snap, queries, total, producers, window, hub));
   results.push_back(run_config("float batch=8 delay=100", 8, 100, workers,
-                               float_snap, queries, total, producers, window));
+                               float_snap, queries, total, producers, window, hub));
   results.push_back(run_config("float batch=32 delay=200", 32, 200, workers,
-                               float_snap, queries, total, producers, window));
+                               float_snap, queries, total, producers, window, hub));
   results.push_back(run_config("float batch=64 delay=200", 64, 200, workers,
-                               float_snap, queries, total, producers, window));
+                               float_snap, queries, total, producers, window, hub));
   results.push_back(run_config("float batch=128 delay=500", 128, 500, workers,
-                               float_snap, queries, total, producers, window));
+                               float_snap, queries, total, producers, window, hub));
   results.push_back(run_config("packed batch=1 (baseline)", 1, 0, workers,
-                               packed_snap, queries, total, producers, window));
+                               packed_snap, queries, total, producers, window, hub));
   results.push_back(run_config("packed batch=64 delay=200", 64, 200, workers,
-                               packed_snap, queries, total, producers, window));
+                               packed_snap, queries, total, producers, window, hub));
 
   // Acceptance figure: best float micro-batch vs the float submit loop.
   double best_float_qps = 0.0;
@@ -297,7 +309,13 @@ int main(int argc, char** argv) {
                  1e3 * r.latency.max_seconds,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (hub != nullptr) {
+    // The snapshot is already JSON: splice it in as a raw value.
+    std::fprintf(f, "  ],\n  \"telemetry\": %s\n}\n",
+                 obs::snapshot_json(*hub).dump(2).c_str());
+  } else {
+    std::fprintf(f, "  ]\n}\n");
+  }
   std::fclose(f);
   std::printf("(json: %s)\n", out_path.c_str());
   return 0;

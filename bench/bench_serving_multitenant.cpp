@@ -47,6 +47,8 @@
 #include "eval/timer.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/hv_matrix.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
 #include "util/cli.hpp"
@@ -243,6 +245,9 @@ int main(int argc, char** argv) {
       .flag_int("quota", 64, "per-tenant in-flight quota (fair phase)")
       .flag_int("churn-queries", 6000, "requests in the eviction-churn phase")
       .flag_string("out", "BENCH_serving_multitenant.json", "JSON output path")
+      .flag_bool("metrics-json", false,
+                 "embed the telemetry metrics snapshot (cumulative over all "
+                 "phases) in the output JSON")
       .flag_int("seed", 42, "data seed");
   bench::add_smoke_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
@@ -275,6 +280,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("delay-us"));
   base_cfg.shard_queue_capacity =
       std::max<std::size_t>(1024, producers * window * 2);
+  // One hub shared across every phase: the embedded snapshot shows
+  // cumulative fleet counters, per-tenant series, the slow-span tail, and
+  // shed/evict events for the whole sweep.
+  const std::shared_ptr<obs::Telemetry> hub =
+      cli.get_bool("metrics-json") ? obs::Telemetry::make() : nullptr;
+  base_cfg.telemetry = hub;
 
   // ---- one trained artifact, shared by every tenant (tenant identity is a
   // routing/residency concern; weights don't change the scheduling cost)
@@ -429,10 +440,15 @@ int main(int argc, char** argv) {
   std::uint64_t churn_loads, churn_evictions;
   double churn_qps;
   bool churn_bounded;
+  // Outlives the phase: ~ModelRegistry unregisters its callback metrics, so
+  // the registry must still be alive when the shared hub is exported below.
+  std::shared_ptr<ModelRegistry> churn_registry;
   {
     RegistryConfig rc;
     rc.byte_budget = per_model_bytes * std::max<std::size_t>(1, tenants_n / 4);
-    auto registry = std::make_shared<ModelRegistry>(opener, rc);
+    rc.telemetry = hub;  // churn loads/evictions land in the shared snapshot
+    auto registry = churn_registry =
+        std::make_shared<ModelRegistry>(opener, rc);
     MultiTenantServer server(std::move(registry), base_cfg);
     WallTimer t;
     std::vector<std::thread> threads;
@@ -528,8 +544,7 @@ int main(int argc, char** argv) {
       "\"queries_per_second\": %.1f},\n"
       "  \"acceptance\": {\"throughput_ratio_vs_single_tenant\": %.3f, "
       "\"throughput_ratio_min\": 0.8, \"tail_head_p99_ratio_fair\": %.3f, "
-      "\"tail_head_p99_ratio_max\": 3.0, \"churn_resident_bounded\": %s}\n"
-      "}\n",
+      "\"tail_head_p99_ratio_max\": 3.0, \"churn_resident_bounded\": %s}",
       tenants_n, total, dim, classes, domains, producers, window,
       base_cfg.num_shards, base_cfg.workers_per_shard, base_cfg.max_batch,
       quota, std::thread::hardware_concurrency(), artifact.size(),
@@ -549,6 +564,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(churn_evictions), churn_qps,
       throughput_ratio, fair.tail_head_ratio,
       churn_bounded ? "true" : "false");
+  if (hub != nullptr) {
+    // The snapshot is already JSON: splice it in as a raw value.
+    std::fprintf(f, ",\n  \"telemetry\": %s",
+                 obs::snapshot_json(*hub).dump(2).c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("(json: %s)\n", out_path.c_str());
   return 0;

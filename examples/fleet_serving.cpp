@@ -28,6 +28,8 @@
 
 #include "common.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
 #include "util/cli.hpp"
@@ -39,12 +41,16 @@ int main(int argc, char** argv) {
   CliParser cli("SMORE fleet serving: model registry (lazy load, LRU "
                 "budget) + tenant-fair multi-tenant router.");
   cli.flag_string("dir", "/tmp/smore_fleet", "artifact directory")
+      .flag_string("metrics-out", "",
+                   "write the telemetry JSON snapshot here at exit (render "
+                   "with tool_fleet_top --file=<path> --once)")
       .flag_int("dim", 1024, "hyperdimension")
       .flag_int("seed", 7, "base seed");
   if (!cli.parse(argc, argv)) return 1;
   const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string dir = cli.get_string("dir");
+  const std::string metrics_out = cli.get_string("metrics-out");
 
   // 1. Three tenants, three genuinely different models (different cohort
   // data AND different encoder seeds), one artifact each.
@@ -77,12 +83,17 @@ int main(int argc, char** argv) {
     std::ifstream in(dir + "/" + tenants[0] + ".smore", std::ios::binary);
     per_model = snapshot_resident_bytes(*ModelSnapshot::from_artifact(in, 1));
   }
+  // One telemetry hub shared by registry AND router: loads, evictions,
+  // per-tenant latency, and shed events all land in one exportable snapshot.
+  const auto hub = obs::Telemetry::make();
   RegistryConfig rc;
   rc.byte_budget = 2 * per_model + per_model / 2;
+  rc.telemetry = hub;
   auto registry = std::make_shared<ModelRegistry>(
       ModelRegistry::directory_source(dir), rc);
   MultiTenantConfig mc;
   mc.tenant_inflight_quota = 8;
+  mc.telemetry = hub;
   MultiTenantServer server(registry, mc);
   std::printf("[boot]     budget %.0f KiB (~2 of %zu models, %.0f KiB "
               "each): residency is a cache, not a boot step\n",
@@ -162,6 +173,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.shed_tenant_quota),
                 1e3 * t.latency.quantile(0.95));
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_file_atomic(metrics_out, obs::snapshot_json_text(*hub))) {
+      std::printf("[metrics]  snapshot → %s  (render: ./build/tool_fleet_top "
+                  "--file=%s --once)\n",
+                  metrics_out.c_str(), metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }

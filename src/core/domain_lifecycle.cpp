@@ -60,8 +60,10 @@ LifecycleRoundStats DomainLifecycle::run_round(
     for (std::size_t c = 0; c < clusters.k; ++c) {
       if (is_merge[c]) {
         ++stats.merged;
+        stats.merged_ids.push_back(target_ids[c]);
       } else {
         ++stats.enrolled_new;
+        stats.enrolled_ids.push_back(target_ids[c]);
       }
     }
     // Absorb: labeled update into the domain model + descriptor bundle.

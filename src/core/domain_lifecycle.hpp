@@ -64,13 +64,17 @@ struct LifecycleConfig {
   ClusterConfig cluster;
 };
 
-/// What one lifecycle round did (serving stats and bench output).
+/// What one lifecycle round did (serving stats, bench output, and the
+/// telemetry event log — each id below becomes one lifecycle event when the
+/// round's generation is published).
 struct LifecycleRoundStats {
   std::size_t clusters = 0;      ///< coherent groups found in the round
   std::size_t enrolled_new = 0;  ///< clusters enrolled as new domains
   std::size_t merged = 0;        ///< clusters bundled into existing domains
   std::size_t evicted = 0;       ///< domains dropped by the cap
   std::size_t absorbed = 0;      ///< samples absorbed (all of them)
+  std::vector<int> merged_ids;   ///< target domain id per merged cluster
+  std::vector<int> enrolled_ids; ///< fresh domain id per enrolled cluster
   std::vector<int> evicted_ids;  ///< ids of the dropped domains
 };
 

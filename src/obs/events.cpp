@@ -1,0 +1,58 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+
+namespace smore::obs {
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kSnapshotPublish: return "snapshot-publish";
+    case EventType::kShed: return "shed";
+    case EventType::kRegistryLoad: return "registry-load";
+    case EventType::kRegistryLoadFailure: return "registry-load-failure";
+    case EventType::kRegistryEvict: return "registry-evict";
+    case EventType::kLifecycleEnroll: return "lifecycle-enroll";
+    case EventType::kLifecycleMerge: return "lifecycle-merge";
+    case EventType::kLifecycleEvict: return "lifecycle-evict";
+    case EventType::kAdaptationShed: return "adaptation-shed";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : ring_(capacity), start_(std::chrono::steady_clock::now()) {}
+
+namespace {
+
+void copy_field(char* dst, std::size_t cap, std::string_view src) noexcept {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void EventLog::emit(EventType type, std::string_view scope,
+                    std::string_view reason, std::int64_t value) noexcept {
+  Event e;
+  e.id = ids_.fetch_add(1, std::memory_order_relaxed);
+  e.t_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  e.type = type;
+  e.value = value;
+  copy_field(e.scope, sizeof(e.scope), scope);
+  copy_field(e.reason, sizeof(e.reason), reason);
+  ring_.record(e);
+}
+
+std::vector<Event> EventLog::recent(std::size_t n) const {
+  std::vector<Event> out = ring_.snapshot();
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+  if (out.size() > n) out.erase(out.begin(), out.end() - n);
+  return out;
+}
+
+}  // namespace smore::obs

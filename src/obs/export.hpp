@@ -1,0 +1,48 @@
+#pragma once
+// Exporters: Prometheus text exposition and JSON snapshot (DESIGN.md §14).
+//
+// Both read the same pull-time views — MetricsRegistry::snapshot(), the
+// tracer's slowest-N report, the event log's recent window — so every
+// surface (fleet_top, BENCH_*.json embeds, a scraped file) shows identical
+// numbers. There is no HTTP server in this process; the transport is a file
+// written atomically (tmp + rename) that fleet_top tails and any scraper's
+// textfile collector can pick up.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace smore::obs {
+
+/// Prometheus metric-name sanitation: [a-zA-Z_:][a-zA-Z0-9_:]*, every other
+/// byte becomes '_' (leading digit gets a '_' prefix).
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Full text exposition: # HELP/# TYPE per family, histogram series as
+/// cumulative `_bucket{le=...}` (non-empty boundaries + "+Inf"), `_sum`,
+/// `_count`.
+[[nodiscard]] std::string to_prometheus(const Telemetry& telemetry);
+
+/// One JSON document: {"metrics": [...], "slowest_requests": [...],
+/// "events": [...]} — the fleet_top wire format.
+[[nodiscard]] JsonValue snapshot_json(const Telemetry& telemetry,
+                                      std::size_t slowest_n = 16,
+                                      std::size_t events_n = 64);
+
+/// snapshot_json() pretty-printed.
+[[nodiscard]] std::string snapshot_json_text(const Telemetry& telemetry,
+                                             std::size_t slowest_n = 16,
+                                             std::size_t events_n = 64);
+
+/// Write `content` to `path` via same-directory tmp file + rename, so a
+/// concurrent reader sees either the old or the new document, never a torn
+/// one. Returns false on any I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace smore::obs

@@ -1,0 +1,388 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smore::obs {
+
+namespace {
+const JsonValue kNull{};
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const noexcept {
+  if (type_ != Type::kArray || i >= items_.size()) return kNull;
+  return items_[i];
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const noexcept {
+  if (type_ == Type::kObject) {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return v;
+    }
+  }
+  return kNull;
+}
+
+bool JsonValue::has(std::string_view key) const noexcept {
+  return type_ == Type::kObject && &at(key) != &kNull;
+}
+
+std::string JsonValue::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool is_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+void format_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; clamp to null
+    out += "null";
+    return;
+  }
+  // Integers (the common case: counters, ns timings) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void dump_rec(const JsonValue& v, std::string& out, int indent, int depth) {
+  const auto pad = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: format_number(out, v.as_double()); break;
+    case JsonValue::Type::kString:
+      out += '"';
+      out += JsonValue::escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        dump_rec(item, out, indent, depth + 1);
+      }
+      if (!first) pad(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        out += '"';
+        out += JsonValue::escape(key);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        dump_rec(member, out, indent, depth + 1);
+      }
+      if (!first) pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    std::optional<JsonValue> v = value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v && error) *error = error_ + " at offset " + std::to_string(pos_);
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_.empty()) error_ = what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    if (depth_ > 128) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (literal("null")) return JsonValue{};
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == 't') {
+      if (literal("true")) return JsonValue{true};
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == 'f') {
+      if (literal("false")) return JsonValue{false};
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == '"') return string_value();
+    if (c == '[') return array_value();
+    if (c == '{') return object_value();
+    if (c == '-' || (c >= '0' && c <= '9')) return number_value();
+    fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number_value() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+      fail("bad number");
+      return std::nullopt;
+    }
+    while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        fail("bad number");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        fail("bad number");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue{std::strtod(token.c_str(), nullptr)};
+  }
+
+  std::optional<std::string> string_body() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for anything this process emits; they decode as two 3-byte
+          // sequences, which round-trips).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape"); return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::optional<std::string> s = string_body();
+    if (!s) return std::nullopt;
+    return JsonValue{std::move(*s)};
+  }
+
+  std::optional<JsonValue> array_value() {
+    ++pos_;  // '['
+    ++depth_;
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      std::optional<JsonValue> item = value();
+      if (!item) return std::nullopt;
+      out.push_back(std::move(*item));
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return out;
+      }
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object_value() {
+    ++pos_;  // '{'
+    ++depth_;
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = string_body();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> member = value();
+      if (!member) return std::nullopt;
+      out.set(std::move(*key), std::move(*member));
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return out;
+      }
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_rec(*this, out, indent, 0);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text,
+                                          std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace smore::obs

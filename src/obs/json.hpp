@@ -1,0 +1,119 @@
+#pragma once
+// Minimal JSON DOM: build, dump, parse (DESIGN.md §14).
+//
+// The exporters need to EMIT well-formed JSON and fleet_top needs to READ
+// it back, with zero external dependencies. This is a small strict subset
+// implementation: UTF-8 passthrough strings with standard escapes, doubles
+// for all numbers (counters stay exact below 2^53 — far beyond any counter
+// this process can reach), objects preserving insertion order. Building the
+// snapshot through the DOM instead of string concatenation makes
+// malformed-output bugs unrepresentable, and gives the "JSON snapshot
+// round-trips through a parse check" test real teeth.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smore::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), num_(n) {}       // NOLINT
+  JsonValue(std::int64_t n)                                    // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(std::uint64_t n)                                   // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(int n) : type_(Type::kNumber), num_(n) {}          // NOLINT
+  JsonValue(std::string s)                                     // NOLINT
+      : type_(Type::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_double() const noexcept { return num_; }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return type_ == Type::kArray    ? items_.size()
+           : type_ == Type::kObject ? members_.size()
+                                    : 0;
+  }
+
+  /// Array element (empty static null when out of range / wrong type).
+  [[nodiscard]] const JsonValue& at(std::size_t i) const noexcept;
+  /// Object member (empty static null when absent / wrong type).
+  [[nodiscard]] const JsonValue& at(std::string_view key) const noexcept;
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const noexcept {
+    return members_;
+  }
+
+  void push_back(JsonValue v) {
+    type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+  void set(std::string key, JsonValue v) {
+    type_ = Type::kObject;
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Serialize. indent=0 → compact one-line; >0 → pretty-printed.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete document; nullopt (+error message) on any
+  /// syntax violation or trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  /// JSON string escaping for `s` (without surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace smore::obs

@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace smore::obs {
+
+Histogram::Histogram(std::size_t stripes)
+    : stripes_(stripes > 0 ? stripes : 1) {}
+
+Histogram::Stripe& Histogram::stripe_of_thread() noexcept {
+  if (stripes_.size() == 1) return stripes_[0];
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % stripes_.size()];
+}
+
+void Histogram::record(double seconds) noexcept {
+  Stripe& s = stripe_of_thread();
+  s.counts[LatencyHistogram::bucket_of(seconds)].fetch_add(
+      1, std::memory_order_relaxed);
+  const double clamped = seconds > 0.0 ? seconds : 0.0;
+  double sum = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(sum, sum + clamped,
+                                      std::memory_order_relaxed)) {
+  }
+  // First record of a stripe seeds min/max; later records CAS toward the
+  // extremes. has_records is released last so a reader that sees it set also
+  // sees a seeded min/max (acquire pairs in snapshot()).
+  if (s.has_records.load(std::memory_order_relaxed) == 0) {
+    s.min.store(seconds, std::memory_order_relaxed);
+    s.max.store(seconds, std::memory_order_relaxed);
+    s.has_records.store(1, std::memory_order_release);
+  } else {
+    double mn = s.min.load(std::memory_order_relaxed);
+    while (seconds < mn && !s.min.compare_exchange_weak(
+                               mn, seconds, std::memory_order_relaxed)) {
+    }
+    double mx = s.max.load(std::memory_order_relaxed);
+    while (seconds > mx && !s.max.compare_exchange_weak(
+                               mx, seconds, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+LatencyHistogram Histogram::snapshot() const {
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool any = false;
+  for (const Stripe& s : stripes_) {
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    sum += s.sum.load(std::memory_order_relaxed);
+    if (s.has_records.load(std::memory_order_acquire) != 0) {
+      const double mn = s.min.load(std::memory_order_relaxed);
+      const double mx = s.max.load(std::memory_order_relaxed);
+      if (!any || mn < min) min = mn;
+      if (!any || mx > max) max = mx;
+      any = true;
+    }
+  }
+  return LatencyHistogram::from_parts(counts, sum, min, max);
+}
+
+const char* to_string(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+obs::Labels sorted(obs::Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+[[noreturn]] void type_clash(const std::string& name, MetricType want,
+                             MetricType have) {
+  throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                              "' already registered as " +
+                              std::string(to_string(have)) + ", requested " +
+                              to_string(want));
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(m_);
+  Entry& e = entries_[{name, sorted(std::move(labels))}];
+  if (e.counter) return e.counter.get();
+  if (e.gauge || e.hist || e.callback) {
+    type_clash(name, MetricType::kCounter, e.type);
+  }
+  e.type = MetricType::kCounter;
+  e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(m_);
+  Entry& e = entries_[{name, sorted(std::move(labels))}];
+  if (e.gauge) return e.gauge.get();
+  if (e.counter || e.hist || e.callback) {
+    type_clash(name, MetricType::kGauge, e.type);
+  }
+  e.type = MetricType::kGauge;
+  e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      std::size_t stripes) {
+  std::lock_guard<std::mutex> lock(m_);
+  Entry& e = entries_[{name, sorted(std::move(labels))}];
+  if (e.hist) return e.hist.get();
+  if (e.counter || e.gauge || e.callback) {
+    type_clash(name, MetricType::kHistogram, e.type);
+  }
+  e.type = MetricType::kHistogram;
+  e.hist = std::make_unique<Histogram>(stripes);
+  return e.hist.get();
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name, Labels labels,
+                                     std::function<double()> fn,
+                                     MetricType type) {
+  std::lock_guard<std::mutex> lock(m_);
+  Entry& e = entries_[{name, sorted(std::move(labels))}];
+  if (e.counter || e.gauge || e.hist) {
+    type_clash(name, type, e.type);
+  }
+  e.type = type == MetricType::kHistogram ? MetricType::kGauge : type;
+  e.callback = std::move(fn);
+}
+
+void MetricsRegistry::remove(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(m_);
+  entries_.erase({name, sorted(std::move(labels))});
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.type = e.type;
+    if (e.counter) {
+      s.value = static_cast<double>(e.counter->value());
+    } else if (e.gauge) {
+      s.value = e.gauge->value();
+    } else if (e.callback) {
+      s.value = e.callback();
+    } else if (e.hist) {
+      s.hist = e.hist->snapshot();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already (name, labels)-sorted
+}
+
+}  // namespace smore::obs

@@ -1,0 +1,10 @@
+#include "obs/telemetry.hpp"
+
+namespace smore::obs {
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config),
+      tracer_(config.trace),
+      events_(config.event_capacity) {}
+
+}  // namespace smore::obs

@@ -1,0 +1,48 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace smore::obs {
+
+Tracer::Tracer(TracerConfig config)
+    : config_(config),
+      sampled_(config.ring_capacity),
+      slow_(config.slow_ring_capacity) {}
+
+void Tracer::record(TraceSpan span) noexcept {
+  const std::uint64_t seq = observed_.fetch_add(1, std::memory_order_relaxed);
+  span.id = seq;
+  const double total_seconds = static_cast<double>(span.total_ns) * 1e-9;
+  span.slow = total_seconds >= config_.slow_threshold_seconds ? 1 : 0;
+  span.sampled =
+      config_.sample_every > 0 && seq % config_.sample_every == 0 ? 1 : 0;
+  if (span.slow) {
+    // Slow spans go to the protected ring regardless of sampling, so fast
+    // traffic wrapping the sampled ring never erases the tail.
+    if (!slow_.record(span)) dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else if (span.sampled) {
+    if (!sampled_.record(span)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<TraceSpan> Tracer::recent() const {
+  std::vector<TraceSpan> out = sampled_.snapshot();
+  const std::vector<TraceSpan> slow = slow_.snapshot();
+  out.insert(out.end(), slow.begin(), slow.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::slowest(std::size_t n) const {
+  std::vector<TraceSpan> out = recent();
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    return a.total_ns != b.total_ns ? a.total_ns > b.total_ns : a.id < b.id;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace smore::obs

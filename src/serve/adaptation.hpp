@@ -10,11 +10,16 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/domain_lifecycle.hpp"
 #include "serve/snapshot.hpp"
+
+namespace smore::obs {
+class Telemetry;
+}  // namespace smore::obs
 
 namespace smore {
 
@@ -43,5 +48,13 @@ struct AdaptationOutcome {
     const ModelSnapshot& parent, std::span<const OodSample> round,
     std::span<const std::pair<int, double>> usage,
     const LifecycleConfig& config, std::uint64_t next_version);
+
+/// Emit one lifecycle event per merge / enroll / evict decision of a
+/// PUBLISHED round (DESIGN.md §14) — call this only after the publish CAS
+/// succeeded, so the event log never claims changes that a lost race threw
+/// away (a shed round emits kAdaptationShed at its own decision site
+/// instead). `scope` is the tenant (fleet plane) or the plane name.
+void emit_lifecycle_events(obs::Telemetry& telemetry, std::string_view scope,
+                           const LifecycleRoundStats& stats);
 
 }  // namespace smore

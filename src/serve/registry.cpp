@@ -47,14 +47,69 @@ std::size_t snapshot_resident_bytes(const ModelSnapshot& snap) {
   return bytes;
 }
 
+namespace {
+
+/// Callback-metric names registered per registry (removed in the dtor so a
+/// hub that outlives the registry never calls into a dead object).
+const char* const kCallbackCounters[] = {
+    "smore_registry_hits_total",          "smore_registry_misses_total",
+    "smore_registry_loads_total",         "smore_registry_load_failures_total",
+    "smore_registry_evictions_total",
+    "smore_registry_single_flight_waits_total"};
+const char* const kCallbackGauges[] = {
+    "smore_registry_resident_tenants", "smore_registry_resident_bytes",
+    "smore_registry_peak_resident_bytes", "smore_registry_byte_budget_bytes"};
+
+}  // namespace
+
 ModelRegistry::ModelRegistry(ArtifactOpener opener, RegistryConfig config)
     : config_(config),
       opener_(std::move(opener)),
+      tel_(config.telemetry != nullptr ? config.telemetry
+                                       : obs::Telemetry::make()),
       cache_({/*shards=*/config.cache_shards,
-              /*byte_budget=*/config.byte_budget}) {
+              /*byte_budget=*/config.byte_budget,
+              /*on_evict=*/
+              [this](const std::string& key, std::size_t bytes) {
+                tel_->emit(obs::EventType::kRegistryEvict, key, "byte-budget",
+                           static_cast<std::int64_t>(bytes));
+              }}) {
   if (!opener_) {
     throw std::invalid_argument("ModelRegistry: empty ArtifactOpener");
   }
+  // Residency metrics are pull-time callbacks over the cache's own counters:
+  // no double accounting, and the exporter always shows what stats() shows.
+  obs::MetricsRegistry& m = tel_->metrics();
+  const auto counter = [&](const char* name, auto field) {
+    m.gauge_callback(
+        name, {},
+        [this, field] { return static_cast<double>(cache_.stats().*field); },
+        obs::MetricType::kCounter);
+  };
+  counter(kCallbackCounters[0], &ShardedLruStats::hits);
+  counter(kCallbackCounters[1], &ShardedLruStats::misses);
+  counter(kCallbackCounters[2], &ShardedLruStats::loads);
+  counter(kCallbackCounters[3], &ShardedLruStats::load_failures);
+  counter(kCallbackCounters[4], &ShardedLruStats::evictions);
+  counter(kCallbackCounters[5], &ShardedLruStats::single_flight_waits);
+  m.gauge_callback(kCallbackGauges[0], {}, [this] {
+    return static_cast<double>(cache_.size());
+  });
+  m.gauge_callback(kCallbackGauges[1], {}, [this] {
+    return static_cast<double>(cache_.resident_bytes());
+  });
+  m.gauge_callback(kCallbackGauges[2], {}, [this] {
+    return static_cast<double>(cache_.stats().peak_resident_bytes);
+  });
+  m.gauge_callback(kCallbackGauges[3], {}, [budget = config_.byte_budget] {
+    return static_cast<double>(budget);
+  });
+}
+
+ModelRegistry::~ModelRegistry() {
+  obs::MetricsRegistry& m = tel_->metrics();
+  for (const char* name : kCallbackCounters) m.remove(name, {});
+  for (const char* name : kCallbackGauges) m.remove(name, {});
 }
 
 ModelRegistry::ArtifactOpener ModelRegistry::directory_source(
@@ -77,9 +132,22 @@ ModelRegistry::ArtifactOpener ModelRegistry::directory_source(
 
 std::shared_ptr<TenantModel> ModelRegistry::acquire(const std::string& tenant) {
   return cache_.get_or_load(tenant, [this](const std::string& key) {
-    std::shared_ptr<const ModelSnapshot> boot = opener_(key);
-    auto model = std::make_shared<TenantModel>(key, boot);
-    return std::make_pair(std::move(model), snapshot_resident_bytes(*boot));
+    // One event per load outcome, emitted at the flight that did the work —
+    // joiners observe the result through the future, not the event log.
+    try {
+      std::shared_ptr<const ModelSnapshot> boot = opener_(key);
+      auto model = std::make_shared<TenantModel>(key, boot);
+      const std::size_t bytes = snapshot_resident_bytes(*boot);
+      tel_->emit(obs::EventType::kRegistryLoad, key, "artifact-load",
+                 static_cast<std::int64_t>(bytes));
+      return std::make_pair(std::move(model), bytes);
+    } catch (const std::exception& e) {
+      tel_->emit(obs::EventType::kRegistryLoadFailure, key, e.what());
+      throw;
+    } catch (...) {
+      tel_->emit(obs::EventType::kRegistryLoadFailure, key, "unknown error");
+      throw;
+    }
   });
 }
 
@@ -92,11 +160,21 @@ bool ModelRegistry::publish(const std::string& tenant,
                             std::shared_ptr<const ModelSnapshot> snap) {
   std::shared_ptr<TenantModel> model = cache_.peek(tenant);
   if (model == nullptr) return false;
-  return model->publish(std::move(snap));
+  const std::uint64_t version = snap != nullptr ? snap->version : 0;
+  const bool published = model->publish(std::move(snap));
+  if (published) {
+    tel_->emit(obs::EventType::kSnapshotPublish, tenant, "operator",
+               static_cast<std::int64_t>(version));
+  }
+  return published;
 }
 
 bool ModelRegistry::evict(const std::string& tenant) {
-  return cache_.erase(tenant);
+  const bool dropped = cache_.erase(tenant);
+  if (dropped) {
+    tel_->emit(obs::EventType::kRegistryEvict, tenant, "operator");
+  }
+  return dropped;
 }
 
 RegistryStats ModelRegistry::stats() const {

@@ -38,6 +38,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "serve/snapshot.hpp"
 #include "util/sharded_lru.hpp"
 
@@ -55,6 +56,11 @@ struct RegistryConfig {
   /// than the whole budget is still admitted (alone) — see ShardedLruCache.
   std::size_t byte_budget = std::numeric_limits<std::size_t>::max();
   std::size_t cache_shards = 8;  ///< lock shards of the residency cache
+  /// Telemetry hub (DESIGN.md §14): residency metrics register here and
+  /// load / evict / publish occurrences emit events. Pass the SAME hub as
+  /// MultiTenantConfig::telemetry for one unified export surface; null means
+  /// a private hub. One registry per hub (metrics are keyed by name only).
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// Registry counters/gauges (the fleet-operations dashboard payload).
@@ -112,6 +118,8 @@ class ModelRegistry {
 
   /// Throws std::invalid_argument when `opener` is empty.
   explicit ModelRegistry(ArtifactOpener opener, RegistryConfig config = {});
+  /// Unregisters this registry's callback metrics from the hub.
+  ~ModelRegistry();
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
@@ -146,9 +154,17 @@ class ModelRegistry {
   }
   [[nodiscard]] RegistryStats stats() const;
 
+  /// The hub this registry reports into (never null — private when the
+  /// config left it unset).
+  [[nodiscard]] const std::shared_ptr<obs::Telemetry>& telemetry()
+      const noexcept {
+    return tel_;
+  }
+
  private:
   RegistryConfig config_;
   ArtifactOpener opener_;
+  std::shared_ptr<obs::Telemetry> tel_;
   ShardedLruCache<TenantModel> cache_;
 };
 

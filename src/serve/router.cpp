@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "hdc/hv_matrix.hpp"
+#include "obs/export.hpp"
 
 namespace smore {
 
@@ -54,10 +55,9 @@ MultiTenantServer::MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
   for (auto& s : slot_shards_) s = std::make_unique<SlotShard>();
 
   const std::size_t total = config_.num_shards * config_.workers_per_shard;
-  worker_latency_.reserve(total);
-  for (std::size_t w = 0; w < total; ++w) {
-    worker_latency_.push_back(std::make_unique<WorkerLatency>());
-  }
+  tel_ = std::make_unique<ServeTelemetry>(config_.telemetry, "fleet", total);
+  tenants_seen_ = tel_->hub().metrics().counter("smore_tenants_seen_total",
+                                                {{"plane", "fleet"}});
   workers_.reserve(total);
   for (std::size_t s = 0; s < config_.num_shards; ++s) {
     for (std::size_t w = 0; w < config_.workers_per_shard; ++w) {
@@ -71,6 +71,11 @@ MultiTenantServer::MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
         std::max(config_.adapt_min_batch, config_.adapt_buffer_capacity);
     adaptation_thread_ = std::thread([this] { adaptation_loop(); });
   }
+  if (!config_.export_path.empty()) {
+    config_.export_interval_ms =
+        std::max<std::uint32_t>(1, config_.export_interval_ms);
+    export_thread_ = std::thread([this] { export_loop(); });
+  }
 }
 
 MultiTenantServer::~MultiTenantServer() { shutdown(); }
@@ -82,9 +87,11 @@ std::shared_ptr<MultiTenantServer::TenantSlot> MultiTenantServer::slot_of(
   const std::scoped_lock lock(shard.m);
   auto it = shard.map.find(tenant);
   if (it != shard.map.end()) return it->second;
-  auto slot = std::make_shared<TenantSlot>(tenant);
+  // The {tenant=...} metric bundle is created here, once per slot — the hot
+  // path only ever touches the cached raw handles.
+  auto slot = std::make_shared<TenantSlot>(tenant, tel_->tenant(tenant));
   shard.map.emplace(tenant, slot);
-  tenants_seen_.fetch_add(1, std::memory_order_relaxed);
+  tenants_seen_->add(1);
   return slot;
 }
 
@@ -100,7 +107,7 @@ std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
     ServeStatus* shed_reason) {
   std::shared_ptr<TenantSlot> slot = slot_of(tenant);
   if (shut_down_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tel_->record_shed(ServeStatus::kShuttingDown, tenant, &slot->tel);
     if (blocking) return ready_status(ServeStatus::kShuttingDown);
     if (shed_reason != nullptr) *shed_reason = ServeStatus::kShuttingDown;
     return std::nullopt;
@@ -116,9 +123,7 @@ std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
   if (!blocking && config_.fair && config_.tenant_inflight_quota != 0 &&
       inflight >= config_.tenant_inflight_quota) {
     slot->inflight.fetch_sub(1, std::memory_order_relaxed);
-    slot->shed_quota.fetch_add(1, std::memory_order_relaxed);
-    shed_quota_.fetch_add(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tel_->record_shed(ServeStatus::kShedTenantQuota, tenant, &slot->tel);
     if (shed_reason != nullptr) *shed_reason = ServeStatus::kShedTenantQuota;
     return std::nullopt;
   }
@@ -131,8 +136,9 @@ std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
     model = registry_->acquire(tenant);
   } catch (...) {
     slot->inflight.fetch_sub(1, std::memory_order_relaxed);
-    slot->load_failures.fetch_add(1, std::memory_order_relaxed);
-    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    // Counters only: the registry emitted the load-failure event (it made
+    // the call, it knows the cause).
+    tel_->record_load_failure(&slot->tel);
     return ready_error(std::current_exception());
   }
   if (hv.size() != model->dim()) {
@@ -166,17 +172,14 @@ std::optional<std::future<ServeResult>> MultiTenantServer::do_submit(
   }
   if (!accepted) {
     slot->inflight.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tel_->record_shed(blocking ? ServeStatus::kShuttingDown : reason, tenant,
+                      &slot->tel);
     if (blocking) return ready_status(ServeStatus::kShuttingDown);
-    if (reason == ServeStatus::kShedQueueFull) {
-      slot->shed_queue.fetch_add(1, std::memory_order_relaxed);
-      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
-    }
     if (shed_reason != nullptr) *shed_reason = reason;
     return std::nullopt;
   }
-  slot->submitted.fetch_add(1, std::memory_order_relaxed);
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  slot->tel.submitted->add(1);
+  tel_->submitted->add(1);
   return fut;
 }
 
@@ -297,6 +300,8 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
     // Accounting before fulfillment (the invariant of this function): a
     // submitter whose future resolves must already see its quota released.
     slot.inflight.fetch_sub(mismatched, std::memory_order_relaxed);
+    tel_->hub().emit(obs::EventType::kShed, slot.tenant, "dim-mismatch",
+                     static_cast<std::int64_t>(mismatched));
     std::size_t kept = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].hv.size() == dim) {
@@ -316,9 +321,6 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
   const std::size_t n = batch.size();
   const auto batch_start = std::chrono::steady_clock::now();
 
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_rows_.fetch_add(n, std::memory_order_relaxed);
-
   SmoreBatchResult result;
   try {
     // The matrix fill sits inside the try: any residual bad row fails the
@@ -334,9 +336,7 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
   }
 
   const std::size_t k = result.num_domains;
-  const auto now = std::chrono::steady_clock::now();
-  std::uint64_t flagged = 0;
-  for (std::size_t i = 0; i < n; ++i) flagged += result.ood[i] != 0 ? 1 : 0;
+  const auto predict_done = std::chrono::steady_clock::now();
 
   if (config_.adaptation && k > 0) {
     // Feed this tenant's lifecycle: OOD rows into its bounded side buffer
@@ -372,43 +372,32 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
       ready = slot.ood_buffer.size() >= config_.adapt_min_batch;
     }
     if (overflow != 0) {
-      slot.adapt_overflow.fetch_add(overflow, std::memory_order_relaxed);
-      slot.adapt_dropped.fetch_add(overflow, std::memory_order_relaxed);
-      adaptation_overflow_.fetch_add(overflow, std::memory_order_relaxed);
-      adaptation_dropped_.fetch_add(overflow, std::memory_order_relaxed);
+      slot.tel.adapt_overflow->add(overflow);
+      slot.tel.adapt_dropped->add(overflow);
+      tel_->adapt_overflow->add(overflow);
+      tel_->adapt_dropped->add(overflow);
+      tel_->hub().emit(obs::EventType::kAdaptationShed, slot.tenant,
+                       "buffer-overflow",
+                       static_cast<std::int64_t>(overflow));
     }
     if (ready) adapt_cv_.notify_one();
   }
+  const auto now = std::chrono::steady_clock::now();
 
   // ALL externally observable accounting lands before any promise is
   // fulfilled: a submitter that returns from get() and immediately reads
   // stats()/tenant_stats() must see its own request counted, its quota
-  // reservation released, and its latency recorded.
-  completed_.fetch_add(n, std::memory_order_relaxed);
-  slot.completed.fetch_add(n, std::memory_order_relaxed);
-  if (flagged != 0) {
-    ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
-    slot.ood.fetch_add(flagged, std::memory_order_relaxed);
-  }
-  {
-    // One lock for both per-tenant histograms: queue wait is what fairness
-    // changes (time spent behind other tenants), service time is what the
-    // kernel costs — the bench reads them separately.
-    const std::scoped_lock lock(slot.m);
-    for (std::size_t i = 0; i < n; ++i) {
-      slot.queue_wait.record(
-          seconds_between(batch[i].submit_time, batch_start));
-      slot.service.record(seconds_between(batch_start, now));
-      slot.latency.record(seconds_between(batch[i].submit_time, now));
-    }
-  }
-  {
-    auto& wl = *worker_latency_[worker_index];
-    const std::scoped_lock lock(wl.m);
-    for (std::size_t i = 0; i < n; ++i) {
-      wl.histogram.record(seconds_between(batch[i].submit_time, now));
-    }
-  }
+  // reservation released, and its latency recorded. record_batch is the ONE
+  // shared implementation of that invariant (counters, per-tenant
+  // histograms, trace spans) for both serving planes.
+  std::vector<std::chrono::steady_clock::time_point> submit_times;
+  submit_times.reserve(n);
+  for (const Request& req : batch) submit_times.push_back(req.submit_time);
+  tel_->record_batch(
+      {batch_start, /*encode_done=*/batch_start, predict_done, now},
+      submit_times, result.ood, result.labels, snap->version,
+      static_cast<std::uint32_t>(worker_index / config_.workers_per_shard),
+      slot.tenant, &slot.tel);
   slot.inflight.fetch_sub(n, std::memory_order_relaxed);
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -473,10 +462,29 @@ void MultiTenantServer::adaptation_loop() {
       slot->usage.clear();
     }
     if (remaining != 0) {
-      slot->adapt_dropped.fetch_add(remaining, std::memory_order_relaxed);
-      adaptation_dropped_.fetch_add(remaining, std::memory_order_relaxed);
+      slot->tel.adapt_dropped->add(remaining);
+      tel_->adapt_dropped->add(remaining);
+      tel_->hub().emit(obs::EventType::kAdaptationShed, slot->tenant,
+                       "shutdown", static_cast<std::int64_t>(remaining));
     }
   }
+}
+
+void MultiTenantServer::export_loop() {
+  const std::chrono::milliseconds interval(config_.export_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(export_m_);
+      export_cv_.wait_for(lock, interval, [this] { return export_stopping_; });
+      if (export_stopping_) return;  // shutdown writes the final snapshot
+    }
+    write_telemetry(config_.export_path);
+  }
+}
+
+bool MultiTenantServer::write_telemetry(const std::string& path) const {
+  return obs::write_file_atomic(path,
+                                obs::snapshot_json_text(*tel_->hub_ptr()));
 }
 
 void MultiTenantServer::run_tenant_round(
@@ -486,8 +494,10 @@ void MultiTenantServer::run_tenant_round(
   if (tm == nullptr) {
     // Cold tenant: adaptation never pays an artifact reload for a tenant
     // whose traffic no longer keeps it resident. The round is shed.
-    slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
-    adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+    slot.tel.adapt_dropped->add(round.size());
+    tel_->adapt_dropped->add(round.size());
+    tel_->hub().emit(obs::EventType::kAdaptationShed, slot.tenant,
+                     "cold-tenant", static_cast<std::int64_t>(round.size()));
     return;
   }
   const auto snap = tm->snapshot();
@@ -507,35 +517,47 @@ void MultiTenantServer::run_tenant_round(
   const std::size_t mismatched = round.size() - kept;
   round.resize(kept);
   if (mismatched != 0) {
-    slot.adapt_dropped.fetch_add(mismatched, std::memory_order_relaxed);
-    adaptation_dropped_.fetch_add(mismatched, std::memory_order_relaxed);
+    slot.tel.adapt_dropped->add(mismatched);
+    tel_->adapt_dropped->add(mismatched);
+    tel_->hub().emit(obs::EventType::kAdaptationShed, slot.tenant,
+                     "dim-mismatch", static_cast<std::int64_t>(mismatched));
   }
   if (round.empty()) return;
   try {
     const AdaptationOutcome out = run_lifecycle_round(
         *snap, round, usage, config_.lifecycle_config, snap->version + 1);
+    const std::uint64_t version = out.next != nullptr ? out.next->version : 0;
     if (out.next != nullptr && tm->publish(out.next)) {
-      slot.adapt_rounds.fetch_add(1, std::memory_order_relaxed);
-      slot.adapt_absorbed.fetch_add(out.lifecycle.absorbed,
-                                    std::memory_order_relaxed);
-      slot.adapt_merged.fetch_add(out.lifecycle.merged,
-                                  std::memory_order_relaxed);
-      slot.adapt_evicted.fetch_add(out.lifecycle.evicted,
-                                   std::memory_order_relaxed);
-      adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
-      adaptation_absorbed_.fetch_add(out.lifecycle.absorbed,
-                                     std::memory_order_relaxed);
+      slot.tel.adapt_rounds->add(1);
+      slot.tel.adapt_absorbed->add(out.lifecycle.absorbed);
+      slot.tel.adapt_merged->add(out.lifecycle.merged);
+      slot.tel.adapt_evicted->add(out.lifecycle.evicted);
+      tel_->adapt_rounds->add(1);
+      tel_->adapt_absorbed->add(out.lifecycle.absorbed);
+      tel_->adapt_merged->add(out.lifecycle.merged);
+      tel_->adapt_evicted->add(out.lifecycle.evicted);
+      // Events only for the generation that actually went live: one publish
+      // (this plane published, so this plane reports it) plus one lifecycle
+      // event per merged/enrolled/evicted domain of the round.
+      tel_->hub().emit(obs::EventType::kSnapshotPublish, slot.tenant,
+                       "adaptation", static_cast<std::int64_t>(version));
+      emit_lifecycle_events(tel_->hub(), slot.tenant, out.lifecycle);
     } else {
       // Lost the publish race (or the tenant republished concurrently):
       // stale-publisher-loses, the round is shed.
-      slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
-      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+      slot.tel.adapt_dropped->add(round.size());
+      tel_->adapt_dropped->add(round.size());
+      tel_->hub().emit(obs::EventType::kAdaptationShed, slot.tenant,
+                       "publish-race",
+                       static_cast<std::int64_t>(round.size()));
     }
   } catch (...) {
     // A lifecycle failure is this tenant's loss, never the fleet worker's:
     // the thread survives, the round is counted shed.
-    slot.adapt_dropped.fetch_add(round.size(), std::memory_order_relaxed);
-    adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+    slot.tel.adapt_dropped->add(round.size());
+    tel_->adapt_dropped->add(round.size());
+    tel_->hub().emit(obs::EventType::kAdaptationShed, slot.tenant,
+                     "round-failed", static_cast<std::int64_t>(round.size()));
   }
 }
 
@@ -552,35 +574,46 @@ void MultiTenantServer::shutdown() {
       adapt_cv_.notify_all();
       adaptation_thread_.join();
     }
+    if (export_thread_.joinable()) {
+      {
+        const std::scoped_lock lock(export_m_);
+        export_stopping_ = true;
+      }
+      export_cv_.notify_all();
+      export_thread_.join();
+      // Final snapshot AFTER all workers drained: the exported file's last
+      // generation carries the complete counters.
+      write_telemetry(config_.export_path);
+    }
   });
 }
 
 MultiTenantStats MultiTenantServer::stats() const {
+  // A view over the telemetry registry: every counter is read back from the
+  // same handle the hot path bumps, so stats() and the exporters can never
+  // disagree.
   MultiTenantStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
-  s.shed_tenant_quota = shed_quota_.load(std::memory_order_relaxed);
-  s.load_failures = load_failures_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
-  s.ood_flagged = ood_flagged_.load(std::memory_order_relaxed);
-  s.tenants_seen = tenants_seen_.load(std::memory_order_relaxed);
-  s.adaptation_rounds = adaptation_rounds_.load(std::memory_order_relaxed);
-  s.adaptation_absorbed = adaptation_absorbed_.load(std::memory_order_relaxed);
-  s.adaptation_dropped = adaptation_dropped_.load(std::memory_order_relaxed);
-  s.adaptation_overflow = adaptation_overflow_.load(std::memory_order_relaxed);
+  s.submitted = tel_->submitted->value();
+  s.rejected = tel_->rejected->value();
+  s.shed_queue_full = tel_->shed_queue_full->value();
+  s.shed_tenant_quota = tel_->shed_quota->value();
+  s.load_failures = tel_->load_failures->value();
+  s.completed = tel_->completed->value();
+  s.batches = tel_->batches->value();
+  s.batched_rows = tel_->batched_rows->value();
+  s.ood_flagged = tel_->ood_flagged->value();
+  s.tenants_seen = tenants_seen_->value();
+  s.adaptation_rounds = tel_->adapt_rounds->value();
+  s.adaptation_absorbed = tel_->adapt_absorbed->value();
+  s.adaptation_dropped = tel_->adapt_dropped->value();
+  s.adaptation_overflow = tel_->adapt_overflow->value();
+  s.adaptation_merged = tel_->adapt_merged->value();
+  s.adaptation_evicted = tel_->adapt_evicted->value();
   s.mean_batch_fill =
       s.batches != 0
           ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)
           : 0.0;
-  LatencyHistogram merged;
-  for (const auto& wl : worker_latency_) {
-    const std::scoped_lock lock(wl->m);
-    merged.merge(wl->histogram);
-  }
-  s.latency = LatencySummary::from(merged);
+  s.latency = LatencySummary::from(tel_->latency->snapshot());
   s.registry = registry_->stats();
   return s;
 }
@@ -592,29 +625,22 @@ std::vector<TenantServerStats> MultiTenantServer::tenant_stats() const {
     for (const auto& [tenant, slot] : shard->map) {
       TenantServerStats t;
       t.tenant = tenant;
-      t.submitted = slot->submitted.load(std::memory_order_relaxed);
-      t.completed = slot->completed.load(std::memory_order_relaxed);
-      t.shed_queue_full = slot->shed_queue.load(std::memory_order_relaxed);
-      t.shed_tenant_quota = slot->shed_quota.load(std::memory_order_relaxed);
-      t.load_failures = slot->load_failures.load(std::memory_order_relaxed);
-      t.ood_flagged = slot->ood.load(std::memory_order_relaxed);
+      t.submitted = slot->tel.submitted->value();
+      t.completed = slot->tel.completed->value();
+      t.shed_queue_full = slot->tel.shed_queue->value();
+      t.shed_tenant_quota = slot->tel.shed_quota->value();
+      t.load_failures = slot->tel.load_failures->value();
+      t.ood_flagged = slot->tel.ood->value();
       t.inflight = slot->inflight.load(std::memory_order_relaxed);
-      t.adaptation_rounds = slot->adapt_rounds.load(std::memory_order_relaxed);
-      t.adaptation_absorbed =
-          slot->adapt_absorbed.load(std::memory_order_relaxed);
-      t.adaptation_dropped =
-          slot->adapt_dropped.load(std::memory_order_relaxed);
-      t.adaptation_overflow =
-          slot->adapt_overflow.load(std::memory_order_relaxed);
-      t.adaptation_merged = slot->adapt_merged.load(std::memory_order_relaxed);
-      t.adaptation_evicted =
-          slot->adapt_evicted.load(std::memory_order_relaxed);
-      {
-        const std::scoped_lock slot_lock(slot->m);
-        t.queue_wait = slot->queue_wait;
-        t.service = slot->service;
-        t.latency = slot->latency;
-      }
+      t.adaptation_rounds = slot->tel.adapt_rounds->value();
+      t.adaptation_absorbed = slot->tel.adapt_absorbed->value();
+      t.adaptation_dropped = slot->tel.adapt_dropped->value();
+      t.adaptation_overflow = slot->tel.adapt_overflow->value();
+      t.adaptation_merged = slot->tel.adapt_merged->value();
+      t.adaptation_evicted = slot->tel.adapt_evicted->value();
+      t.queue_wait = slot->tel.queue_wait->snapshot();
+      t.service = slot->tel.service->snapshot();
+      t.latency = slot->tel.latency->snapshot();
       out.push_back(std::move(t));
     }
   }

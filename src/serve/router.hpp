@@ -96,11 +96,26 @@ struct MultiTenantConfig {
   std::size_t adapt_buffer_capacity = 512;  ///< per-tenant side-buffer bound
   std::uint32_t adapt_poll_ms = 2;          ///< adaptation sweep cadence
   LifecycleConfig lifecycle_config;         ///< bounded lifecycle knobs
+
+  /// Telemetry hub (DESIGN.md §14): every fleet counter/histogram lives in
+  /// its MetricsRegistry, requests cut trace spans, and shed / publish /
+  /// lifecycle occurrences emit events. Pass the SAME hub as
+  /// RegistryConfig::telemetry for one unified export surface (fleet_top
+  /// sees residency AND traffic); null means a private hub.
+  std::shared_ptr<obs::Telemetry> telemetry;
+  /// When non-empty, a background thread writes the JSON telemetry snapshot
+  /// (obs::snapshot_json_text) to this path every export_interval_ms,
+  /// atomically (tmp + rename) — the file fleet_top watches. One final
+  /// write happens at shutdown so the last counters are never lost.
+  std::string export_path;
+  std::uint32_t export_interval_ms = 1000;  ///< exporter cadence
 };
 
 /// Per-tenant counters + latency histograms. Slots are created on first
 /// submit and never dropped — stats survive model eviction, so a tenant's
-/// history spans its cold/warm cycles.
+/// history spans its cold/warm cycles. A VIEW over the telemetry registry's
+/// {tenant=...} series; the histograms are empty when the hub's histogram
+/// switch is off.
 struct TenantServerStats {
   std::string tenant;
   std::uint64_t submitted = 0;
@@ -140,6 +155,8 @@ struct MultiTenantStats {
   std::uint64_t adaptation_absorbed = 0;
   std::uint64_t adaptation_dropped = 0;
   std::uint64_t adaptation_overflow = 0;
+  std::uint64_t adaptation_merged = 0;   ///< lifecycle: clusters merged
+  std::uint64_t adaptation_evicted = 0;  ///< lifecycle: domains evicted
   double mean_batch_fill = 0.0;
   LatencySummary latency;  ///< submit → fulfill, all tenants merged
   RegistryStats registry;
@@ -190,29 +207,28 @@ class MultiTenantServer {
   /// Per-tenant stats (histogram copies), sorted by tenant id.
   [[nodiscard]] std::vector<TenantServerStats> tenant_stats() const;
 
+  /// The telemetry hub this fleet reports into (never null — private when
+  /// the config left it unset). Exporters (obs/export.hpp) read it.
+  [[nodiscard]] const std::shared_ptr<obs::Telemetry>& telemetry()
+      const noexcept {
+    return tel_->hub_ptr();
+  }
+
+  /// Write the JSON telemetry snapshot to `path` atomically (tmp + rename).
+  /// What the periodic exporter calls; also useful for one-shot dumps.
+  bool write_telemetry(const std::string& path) const;
+
  private:
   /// Persistent per-tenant bookkeeping (never evicted; see
-  /// TenantServerStats). Counters are atomics; histograms share one mutex.
+  /// TenantServerStats). Counters and histograms live in the telemetry
+  /// registry ({tenant=...} series, handles bundled in `tel`); only the
+  /// in-flight quota gauge and the adaptation side state are slot-local.
   struct TenantSlot {
-    explicit TenantSlot(std::string name) : tenant(std::move(name)) {}
+    TenantSlot(std::string name, TenantTelemetry telemetry)
+        : tenant(std::move(name)), tel(telemetry) {}
     const std::string tenant;
+    const TenantTelemetry tel;  // handles stay valid for the hub's lifetime
     std::atomic<std::uint64_t> inflight{0};
-    std::atomic<std::uint64_t> submitted{0};
-    std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> shed_queue{0};
-    std::atomic<std::uint64_t> shed_quota{0};
-    std::atomic<std::uint64_t> load_failures{0};
-    std::atomic<std::uint64_t> ood{0};
-    std::atomic<std::uint64_t> adapt_rounds{0};
-    std::atomic<std::uint64_t> adapt_absorbed{0};
-    std::atomic<std::uint64_t> adapt_dropped{0};
-    std::atomic<std::uint64_t> adapt_overflow{0};
-    std::atomic<std::uint64_t> adapt_merged{0};
-    std::atomic<std::uint64_t> adapt_evicted{0};
-    std::mutex m;
-    LatencyHistogram queue_wait;  // submit → batch start
-    LatencyHistogram service;     // batch start → fulfill
-    LatencyHistogram latency;     // submit → fulfill
     // This tenant's OOD side buffer + per-domain usage credit since its last
     // adaptation round (adaptation mode only; bounded by
     // adapt_buffer_capacity, overflow is counted and shed).
@@ -245,6 +261,8 @@ class MultiTenantServer {
   void process_batch(std::vector<Request>& batch, std::size_t worker_index);
   /// The shared per-tenant adaptation sweep (one thread for the fleet).
   void adaptation_loop();
+  /// Periodic JSON snapshot writer (spawned when export_path is set).
+  void export_loop();
   /// One tenant's lifecycle round: clone → adapt → republish its generation.
   void run_tenant_round(TenantSlot& slot, std::vector<OodSample> round,
                         std::span<const std::pair<int, double>> usage);
@@ -268,25 +286,16 @@ class MultiTenantServer {
   };
   std::vector<std::unique_ptr<SlotShard>> slot_shards_;
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> shed_queue_full_{0};
-  std::atomic<std::uint64_t> shed_quota_{0};
-  std::atomic<std::uint64_t> load_failures_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batched_rows_{0};
-  std::atomic<std::uint64_t> ood_flagged_{0};
-  std::atomic<std::uint64_t> tenants_seen_{0};
-  std::atomic<std::uint64_t> adaptation_rounds_{0};
-  std::atomic<std::uint64_t> adaptation_absorbed_{0};
-  std::atomic<std::uint64_t> adaptation_dropped_{0};
-  std::atomic<std::uint64_t> adaptation_overflow_{0};
-  struct WorkerLatency {
-    std::mutex m;
-    LatencyHistogram histogram;  // submit → fulfill, any tenant
-  };
-  std::vector<std::unique_ptr<WorkerLatency>> worker_latency_;
+  // Fleet-plane counters/histograms live in the telemetry hub ({plane=fleet}
+  // series); stats() reads the same handles the hot path bumps.
+  std::unique_ptr<ServeTelemetry> tel_;
+  obs::Counter* tenants_seen_ = nullptr;  // slots ever created
+
+  // Periodic exporter (export_path only).
+  std::thread export_thread_;
+  std::mutex export_m_;
+  std::condition_variable export_cv_;
+  bool export_stopping_ = false;  // guarded by export_m_
 
   std::atomic<bool> shut_down_{false};
   std::once_flag shutdown_once_;

@@ -18,16 +18,6 @@ double seconds_between(std::chrono::steady_clock::time_point a,
 }
 }  // namespace
 
-const char* to_string(ServeStatus status) noexcept {
-  switch (status) {
-    case ServeStatus::kOk: return "ok";
-    case ServeStatus::kShedQueueFull: return "shed-queue-full";
-    case ServeStatus::kShedTenantQuota: return "shed-tenant-quota";
-    case ServeStatus::kShuttingDown: return "shutting-down";
-  }
-  return "unknown";
-}
-
 InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
                                  std::shared_ptr<const Encoder> encoder,
                                  ServerConfig config)
@@ -45,14 +35,23 @@ InferenceServer::InferenceServer(std::shared_ptr<const ModelSnapshot> boot,
         "InferenceServer: encoder/model dimension mismatch");
   }
   dim_ = boot->backend->dim();
-  registry_.publish(std::move(boot));
 
   config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
-  worker_latency_.reserve(config_.num_workers);
-  for (std::size_t w = 0; w < config_.num_workers; ++w) {
-    worker_latency_.push_back(std::make_unique<WorkerLatency>());
-  }
+  tel_ = std::make_unique<ServeTelemetry>(config_.telemetry, "server",
+                                          config_.num_workers);
+  version_gauge_ = tel_->hub().metrics().gauge("smore_snapshot_version",
+                                               {{"plane", "server"}});
+  domains_gauge_ = tel_->hub().metrics().gauge("smore_live_domains",
+                                               {{"plane", "server"}});
+  const std::uint64_t boot_version = boot->version;
+  const std::size_t boot_domains = boot->model->num_domains();
+  registry_.publish(std::move(boot));
+  version_gauge_->set(static_cast<double>(boot_version));
+  domains_gauge_->set(static_cast<double>(boot_domains));
+  tel_->hub().emit(obs::EventType::kSnapshotPublish, "server", "boot",
+                   static_cast<std::int64_t>(boot_version));
+
   workers_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -97,7 +96,8 @@ std::optional<std::future<ServeResult>> InferenceServer::enqueue(
     // on the result plane (a distinct ServeStatus, not a thrown exception or
     // an indefinite block): producers racing a shutdown get a deterministic,
     // immediately-ready answer.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tel_->record_shed(blocking ? ServeStatus::kShuttingDown : reason,
+                      "server");
     if (blocking) {
       std::promise<ServeResult> late;
       ServeResult r;
@@ -108,7 +108,7 @@ std::optional<std::future<ServeResult>> InferenceServer::enqueue(
     if (shed_reason != nullptr) *shed_reason = reason;
     return std::nullopt;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  tel_->submitted->add(1);
   return fut;
 }
 
@@ -143,6 +143,11 @@ std::optional<std::future<ServeResult>> InferenceServer::try_submit(
 }
 
 bool InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snap) {
+  return do_publish(std::move(snap), "operator");
+}
+
+bool InferenceServer::do_publish(std::shared_ptr<const ModelSnapshot> snap,
+                                 const char* reason) {
   if (snap == nullptr || snap->model == nullptr || snap->backend == nullptr) {
     throw std::invalid_argument("InferenceServer::publish: null snapshot");
   }
@@ -150,7 +155,16 @@ bool InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snap) {
     throw std::invalid_argument(
         "InferenceServer::publish: dimension mismatch");
   }
-  return registry_.publish(std::move(snap));
+  const std::uint64_t version = snap->version;
+  const std::size_t domains = snap->model->num_domains();
+  if (!registry_.publish(std::move(snap))) return false;
+  // Exactly one publish event per generation that actually went live, at the
+  // layer that decided it (the lost CAS is the caller's shed to report).
+  version_gauge_->set(static_cast<double>(version));
+  domains_gauge_->set(static_cast<double>(domains));
+  tel_->hub().emit(obs::EventType::kSnapshotPublish, "server", reason,
+                   static_cast<std::int64_t>(version));
+  return true;
 }
 
 void InferenceServer::worker_loop(std::size_t worker_index) {
@@ -169,6 +183,7 @@ void InferenceServer::worker_loop(std::size_t worker_index) {
 void InferenceServer::process_batch(std::vector<Request>& batch,
                                     std::size_t worker_index) {
   const std::size_t n = batch.size();
+  const auto batch_start = std::chrono::steady_clock::now();
   const auto snap = registry_.current();
 
   // Assemble the query block: pre-encoded rows are copied, raw windows are
@@ -228,9 +243,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
     batch = std::move(kept);
     queries = std::move(kept_queries);
   }
-
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_rows_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const auto encode_done = std::chrono::steady_clock::now();
 
   SmoreBatchResult result;
   try {
@@ -241,26 +254,23 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
     for (auto& req : batch) req.promise.set_exception(error);
     return;
   }
+  const auto predict_done = std::chrono::steady_clock::now();
 
   const std::size_t k = result.num_domains;
   const auto now = std::chrono::steady_clock::now();
-  std::uint64_t flagged = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    flagged += result.ood[i] != 0 ? 1 : 0;
-  }
 
   // Externally observable accounting lands before any promise is fulfilled:
   // a submitter that returns from get() and immediately reads stats() must
-  // see its own request counted and its latency recorded.
-  completed_.fetch_add(batch.size(), std::memory_order_relaxed);
-  if (flagged != 0) ood_flagged_.fetch_add(flagged, std::memory_order_relaxed);
-  {
-    auto& wl = *worker_latency_[worker_index];
-    const std::scoped_lock lock(wl.m);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      wl.histogram.record(seconds_between(batch[i].submit_time, now));
-    }
-  }
+  // see its own request counted and its latency recorded. The shared
+  // implementation (ServeTelemetry::record_batch) also cuts each request's
+  // trace span from the same four timestamps.
+  std::vector<std::chrono::steady_clock::time_point> submit_times;
+  submit_times.reserve(batch.size());
+  for (const Request& req : batch) submit_times.push_back(req.submit_time);
+  tel_->record_batch({batch_start, encode_done, predict_done, now},
+                     submit_times, result.ood, result.labels, snap->version,
+                     static_cast<std::uint32_t>(worker_index),
+                     /*tenant_name=*/{}, /*tenant=*/nullptr);
 
   // Usage credit for the eviction policy: each served query credits the
   // domain its ensemble weight peaked at. Accumulated batch-locally, flushed
@@ -318,8 +328,10 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
       ready = ood_buffer_.size() >= config_.adapt_min_batch;
     }
     if (dropped != 0) {
-      adaptation_dropped_.fetch_add(dropped, std::memory_order_relaxed);
-      adaptation_overflow_.fetch_add(dropped, std::memory_order_relaxed);
+      tel_->adapt_dropped->add(dropped);
+      tel_->adapt_overflow->add(dropped);
+      tel_->hub().emit(obs::EventType::kAdaptationShed, "server",
+                       "buffer-overflow", static_cast<std::int64_t>(dropped));
     }
     if (ready) ood_cv_.notify_one();
   }
@@ -336,8 +348,12 @@ void InferenceServer::adaptation_loop() {
         return stopping_ || ood_buffer_.size() >= config_.adapt_min_batch;
       });
       if (stopping_) {
-        adaptation_dropped_.fetch_add(ood_buffer_.size(),
-                                      std::memory_order_relaxed);
+        if (!ood_buffer_.empty()) {
+          tel_->adapt_dropped->add(ood_buffer_.size());
+          tel_->hub().emit(obs::EventType::kAdaptationShed, "server",
+                           "shutdown",
+                           static_cast<std::int64_t>(ood_buffer_.size()));
+        }
         ood_buffer_.clear();
         return;
       }
@@ -360,19 +376,21 @@ void InferenceServer::adaptation_loop() {
       }
       const AdaptationOutcome out = run_lifecycle_round(
           *snap, round, usage, config_.lifecycle_config, snap->version + 1);
-      if (out.next != nullptr && publish(out.next)) {
-        adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
-        adaptation_absorbed_.fetch_add(out.lifecycle.absorbed,
-                                       std::memory_order_relaxed);
-        adaptation_merged_.fetch_add(out.lifecycle.merged,
-                                     std::memory_order_relaxed);
-        adaptation_evicted_.fetch_add(out.lifecycle.evicted,
-                                      std::memory_order_relaxed);
+      if (out.next != nullptr && do_publish(out.next, "adaptation")) {
+        tel_->adapt_rounds->add(1);
+        tel_->adapt_absorbed->add(out.lifecycle.absorbed);
+        tel_->adapt_merged->add(out.lifecycle.merged);
+        tel_->adapt_evicted->add(out.lifecycle.evicted);
+        // Lifecycle events only for the generation that actually went live:
+        // a lost CAS means none of the round's merges/evictions exist.
+        emit_lifecycle_events(tel_->hub(), "server", out.lifecycle);
       } else {
         // Lost the publish CAS to a newer operator generation: shed the
         // round rather than clobbering it (stale publisher loses).
-        adaptation_dropped_.fetch_add(round.size(),
-                                      std::memory_order_relaxed);
+        tel_->adapt_dropped->add(round.size());
+        tel_->hub().emit(obs::EventType::kAdaptationShed, "server",
+                         "publish-race",
+                         static_cast<std::int64_t>(round.size()));
       }
       continue;
     }
@@ -381,7 +399,9 @@ void InferenceServer::adaptation_loop() {
       // Enrollment cap reached: keep serving, shed the round (the policy is
       // bounded model growth; operators raise adapt_max_domains or push a
       // consolidated model).
-      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+      tel_->adapt_dropped->add(round.size());
+      tel_->hub().emit(obs::EventType::kAdaptationShed, "server",
+                       "domain-cap", static_cast<std::int64_t>(round.size()));
       continue;
     }
 
@@ -405,12 +425,18 @@ void InferenceServer::adaptation_loop() {
     // operator's model. The new generation keeps the old one's shape:
     // re-quantized iff it was quantized (packed δ* carried over), same
     // shared encoder.
-    if (publish(ModelSnapshot::next_generation(*snap, std::move(next),
-                                               snap->version + 1))) {
-      adaptation_rounds_.fetch_add(1, std::memory_order_relaxed);
-      adaptation_absorbed_.fetch_add(round.size(), std::memory_order_relaxed);
+    if (do_publish(ModelSnapshot::next_generation(*snap, std::move(next),
+                                                  snap->version + 1),
+                   "adaptation")) {
+      tel_->adapt_rounds->add(1);
+      tel_->adapt_absorbed->add(round.size());
+      tel_->hub().emit(obs::EventType::kLifecycleEnroll, "server",
+                       "ood-round", new_domain);
     } else {
-      adaptation_dropped_.fetch_add(round.size(), std::memory_order_relaxed);
+      tel_->adapt_dropped->add(round.size());
+      tel_->hub().emit(obs::EventType::kAdaptationShed, "server",
+                       "publish-race",
+                       static_cast<std::int64_t>(round.size()));
     }
   }
 }
@@ -430,33 +456,32 @@ void InferenceServer::shutdown() {
 }
 
 ServerStats InferenceServer::stats() const {
+  // A view over the telemetry registry: every counter is read back from the
+  // same handle the hot path bumps, so stats() and the exporters can never
+  // disagree.
   ServerStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
-  s.ood_flagged = ood_flagged_.load(std::memory_order_relaxed);
-  s.adaptation_rounds = adaptation_rounds_.load(std::memory_order_relaxed);
-  s.adaptation_absorbed =
-      adaptation_absorbed_.load(std::memory_order_relaxed);
-  s.adaptation_dropped = adaptation_dropped_.load(std::memory_order_relaxed);
-  s.adaptation_overflow =
-      adaptation_overflow_.load(std::memory_order_relaxed);
-  s.adaptation_merged = adaptation_merged_.load(std::memory_order_relaxed);
-  s.adaptation_evicted = adaptation_evicted_.load(std::memory_order_relaxed);
+  s.submitted = tel_->submitted->value();
+  s.rejected = tel_->rejected->value();
+  s.completed = tel_->completed->value();
+  s.batches = tel_->batches->value();
+  s.batched_rows = tel_->batched_rows->value();
+  s.ood_flagged = tel_->ood_flagged->value();
+  s.adaptation_rounds = tel_->adapt_rounds->value();
+  s.adaptation_absorbed = tel_->adapt_absorbed->value();
+  s.adaptation_dropped = tel_->adapt_dropped->value();
+  s.adaptation_overflow = tel_->adapt_overflow->value();
+  s.adaptation_merged = tel_->adapt_merged->value();
+  s.adaptation_evicted = tel_->adapt_evicted->value();
   s.snapshot_version = registry_.version();
   s.live_domains = registry_.current()->model->num_domains();
   s.mean_batch_fill =
       s.batches != 0
           ? static_cast<double>(s.batched_rows) / static_cast<double>(s.batches)
           : 0.0;
-  LatencyHistogram merged;
-  for (const auto& wl : worker_latency_) {
-    const std::scoped_lock lock(wl->m);
-    merged.merge(wl->histogram);
-  }
-  s.latency = LatencySummary::from(merged);
+  s.latency = LatencySummary::from(tel_->latency->snapshot());
+  // Keep the exporter's gauges fresh even when nobody published recently.
+  version_gauge_->set(static_cast<double>(s.snapshot_version));
+  domains_gauge_->set(static_cast<double>(s.live_domains));
   return s;
 }
 

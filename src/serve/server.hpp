@@ -53,6 +53,8 @@
 #include "hdc/encoder_base.hpp"
 #include "serve/adaptation.hpp"
 #include "serve/snapshot.hpp"
+#include "serve/status.hpp"
+#include "serve/telemetry.hpp"
 #include "util/latency.hpp"
 #include "util/mpmc_queue.hpp"
 
@@ -86,23 +88,16 @@ struct ServerConfig {
   /// is ignored, adaptation never stops, and K stays O(1) forever.
   bool lifecycle = false;
   LifecycleConfig lifecycle_config;  ///< knobs when `lifecycle` is on
+
+  /// Telemetry hub (DESIGN.md §14): every counter/histogram below lives in
+  /// its MetricsRegistry, requests cut trace spans, and publish / shed /
+  /// lifecycle occurrences emit events. Null means a private hub — stats()
+  /// always works and unit tests never collide on metric names.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
-/// Disposition of a submission — the admission-control result plane shared
-/// by the single-tenant server and the multi-tenant router (serve/router.hpp).
-/// Shedding reasons are distinct so clients can react differently: a full
-/// queue calls for backoff, an exhausted tenant quota means THIS tenant is
-/// over its fair share (other tenants would still be admitted), and a
-/// shutting-down server will never accept again.
-enum class ServeStatus {
-  kOk = 0,           ///< served; the result fields are valid
-  kShedQueueFull,    ///< try_submit refused: the shard queue is full
-  kShedTenantQuota,  ///< try_submit refused: per-tenant in-flight quota hit
-  kShuttingDown,     ///< submitted after shutdown() — never enqueued
-};
-
-/// Human-readable ServeStatus name (logs, bench output).
-[[nodiscard]] const char* to_string(ServeStatus status) noexcept;
+// ServeStatus and to_string(ServeStatus) live in serve/status.hpp (shared
+// with the router and the telemetry layer).
 
 /// Per-request response (the future's value). The non-status fields are
 /// meaningful only when `status == ServeStatus::kOk`.
@@ -116,7 +111,10 @@ struct ServeResult {
   std::uint64_t snapshot_version = 0;  ///< model generation that answered
 };
 
-/// Counters + latency percentiles (the stats endpoint payload).
+/// Counters + latency percentiles (the stats endpoint payload). A VIEW over
+/// the server's metrics registry: every field is read back from the same
+/// handles the hot path writes, so stats() and the exporters can never
+/// disagree. `latency` is empty when the hub's histogram switch is off.
 struct ServerStats {
   std::uint64_t submitted = 0;      ///< accepted into the queue
   std::uint64_t rejected = 0;       ///< try_submit refusals (queue full)
@@ -199,6 +197,13 @@ class InferenceServer {
   /// Counters and latency percentiles since construction.
   [[nodiscard]] ServerStats stats() const;
 
+  /// The telemetry hub this server reports into (never null — private when
+  /// the config left it unset). Exporters (obs/export.hpp) read it.
+  [[nodiscard]] const std::shared_ptr<obs::Telemetry>& telemetry()
+      const noexcept {
+    return tel_->hub_ptr();
+  }
+
  private:
   struct Request {
     std::vector<float> hv;          // encoded query (empty when window set)
@@ -220,6 +225,9 @@ class InferenceServer {
   void adaptation_loop();
   /// Run one micro-batch: encode window-requests, predict, fulfill.
   void process_batch(std::vector<Request>& batch, std::size_t worker_index);
+  /// publish() with the event reason ("operator" / "adaptation" / "boot").
+  bool do_publish(std::shared_ptr<const ModelSnapshot> snap,
+                  const char* reason);
 
   ServerConfig config_;
   std::size_t dim_ = 0;
@@ -242,24 +250,13 @@ class InferenceServer {
   std::mutex usage_mutex_;
   std::map<int, double> usage_acc_;
 
-  // Stats. Counters are atomics; per-worker histograms are merged on read.
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batched_rows_{0};
-  std::atomic<std::uint64_t> ood_flagged_{0};
-  std::atomic<std::uint64_t> adaptation_rounds_{0};
-  std::atomic<std::uint64_t> adaptation_absorbed_{0};
-  std::atomic<std::uint64_t> adaptation_dropped_{0};
-  std::atomic<std::uint64_t> adaptation_overflow_{0};
-  std::atomic<std::uint64_t> adaptation_merged_{0};
-  std::atomic<std::uint64_t> adaptation_evicted_{0};
-  struct WorkerLatency {
-    std::mutex m;
-    LatencyHistogram histogram;
-  };
-  std::vector<std::unique_ptr<WorkerLatency>> worker_latency_;
+  // Stats live in the telemetry hub: counter/histogram handles are created
+  // once at construction (ServeTelemetry), stats() reads them back. The two
+  // gauges are refreshed at publish and stats time (no callbacks — the hub
+  // may outlive this server).
+  std::unique_ptr<ServeTelemetry> tel_;
+  obs::Gauge* version_gauge_ = nullptr;
+  obs::Gauge* domains_gauge_ = nullptr;
 
   std::atomic<bool> shut_down_{false};
   std::once_flag shutdown_once_;

@@ -1,0 +1,32 @@
+#pragma once
+// ServeStatus: the admission-control result plane shared by the
+// single-tenant server (serve/server.hpp), the multi-tenant router
+// (serve/router.hpp), and the telemetry layer (serve/telemetry.hpp), which
+// keys shed counters and shed events off it. Lives in its own header so
+// telemetry does not have to pull in either server.
+
+namespace smore {
+
+/// Disposition of a submission. Shedding reasons are distinct so clients can
+/// react differently: a full queue calls for backoff, an exhausted tenant
+/// quota means THIS tenant is over its fair share (other tenants would still
+/// be admitted), and a shutting-down server will never accept again.
+enum class ServeStatus {
+  kOk = 0,           ///< served; the result fields are valid
+  kShedQueueFull,    ///< try_submit refused: the shard queue is full
+  kShedTenantQuota,  ///< try_submit refused: per-tenant in-flight quota hit
+  kShuttingDown,     ///< submitted after shutdown() — never enqueued
+};
+
+/// Human-readable ServeStatus name (logs, bench output, shed-event reasons).
+[[nodiscard]] inline const char* to_string(ServeStatus status) noexcept {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShedQueueFull: return "shed-queue-full";
+    case ServeStatus::kShedTenantQuota: return "shed-tenant-quota";
+    case ServeStatus::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+}  // namespace smore

@@ -110,6 +110,33 @@ class LatencyHistogram {
     return std::sqrt(lo * hi) * 1e-6;
   }
 
+  /// Upper edge of bucket `b` in seconds — the Prometheus `le` boundary for
+  /// the cumulative-bucket exposition (obs/export.cpp).
+  [[nodiscard]] static double bucket_upper(std::size_t b) noexcept {
+    return std::exp2(static_cast<double>(b + 1) / kSubBuckets) * 1e-6;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return b < kBuckets ? counts_[b] : 0;
+  }
+  [[nodiscard]] double sum_seconds() const noexcept { return sum_; }
+
+  /// Reassemble a histogram from raw state. The concurrent histogram in
+  /// obs/metrics.hpp accumulates into striped atomic buckets and snapshots
+  /// into this plain type at pull time; everything downstream (quantile,
+  /// merge, LatencySummary) then works unchanged.
+  [[nodiscard]] static LatencyHistogram from_parts(
+      const std::array<std::uint64_t, kBuckets>& counts, double sum,
+      double min, double max) noexcept {
+    LatencyHistogram h;
+    h.counts_ = counts;
+    for (std::size_t b = 0; b < kBuckets; ++b) h.count_ += counts[b];
+    h.sum_ = sum;
+    h.min_ = h.count_ ? min : 0.0;
+    h.max_ = h.count_ ? max : 0.0;
+    return h;
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;

@@ -70,6 +70,11 @@ class ShardedLruCache {
     std::size_t shards = 8;  ///< lock shards (clamped to >= 1)
     /// Eviction threshold over the sum of per-value byte costs.
     std::size_t byte_budget = std::numeric_limits<std::size_t>::max();
+    /// Observer invoked once per budget eviction with (key, freed bytes),
+    /// AFTER the victim left the map. Runs under the budget lock with no
+    /// shard mutex held; it must not call back into this cache. erase() does
+    /// not fire it (an operator drop is not a budget eviction).
+    std::function<void(const std::string&, std::size_t)> on_evict;
   };
 
   /// Loader: key -> (value, byte cost). Run outside all cache locks; may
@@ -284,6 +289,7 @@ class ShardedLruCache {
     resident_bytes_.fetch_sub(freed, std::memory_order_relaxed);
     resident_.fetch_sub(1, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.on_evict) config_.on_evict(victim_key, freed);
     return true;
   }
 
