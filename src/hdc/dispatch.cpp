@@ -14,9 +14,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace smore::kern {
 
@@ -138,7 +139,7 @@ Dispatch resolve() {
 // Resolved dispatches are interned (never freed) so references handed out
 // by dispatch() stay valid across reinitialize_dispatch() and LeakSanitizer
 // sees reachable memory. Bounded by the number of reinitialize calls.
-std::mutex g_mutex;
+Mutex g_mutex;
 std::vector<std::unique_ptr<Dispatch>>& interned() {
   static std::vector<std::unique_ptr<Dispatch>> v;
   return v;
@@ -154,7 +155,7 @@ const Dispatch& dispatch() {
 }
 
 const Dispatch& reinitialize_dispatch() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   interned().push_back(std::make_unique<Dispatch>(resolve()));
   const Dispatch* d = interned().back().get();
   g_active.store(d, std::memory_order_release);

@@ -114,7 +114,7 @@ std::vector<std::size_t> MultiSensorEncoder::resolve_dilations(
 }
 
 void MultiSensorEncoder::ensure_basis(std::size_t channels) const {
-  const std::scoped_lock lock(basis_mutex_);
+  const MutexLock lock(basis_mutex_);
   memory_.prefetch(channels);
   if (!bank_eligible() || bank_channels_ >= channels) return;
 
@@ -158,7 +158,7 @@ void MultiSensorEncoder::prepare(std::size_t channels) const {
 }
 
 std::size_t MultiSensorEncoder::footprint_bytes() const {
-  const std::scoped_lock lock(basis_mutex_);
+  const MutexLock lock(basis_mutex_);
   return memory_.footprint_bytes() +
          level_bank_.rows() * level_bank_.dim() * sizeof(float);
 }

@@ -36,7 +36,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,6 +45,7 @@
 #include "hdc/hv_matrix.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/item_memory.hpp"
+#include "util/mutex.hpp"
 
 namespace smore {
 
@@ -186,11 +186,17 @@ class MultiSensorEncoder : public Encoder {
       std::size_t steps) const;
 
   EncoderConfig config_;
+  // Phase contract, NOT a GUARDED_BY relationship (DESIGN.md §15): the three
+  // cache members below only GROW under basis_mutex_ (ensure_basis), and the
+  // parallel encode region reads them lock-free AFTER a prepare()/up-front
+  // ensure_basis call for its channel count. Annotating them GUARDED_BY would
+  // force the hot encode path to take the lock per window; the contract is
+  // documented here and enforced by the class concurrency note instead.
   mutable ItemMemory memory_;  // lazily populated cache of basis vectors
   // Level bank: row s*Q + q holds level q of sensor s (see the class note).
   mutable HvMatrix level_bank_;
   mutable std::size_t bank_channels_ = 0;
-  mutable std::mutex basis_mutex_;  // guards lazy basis/bank growth
+  mutable Mutex basis_mutex_;  // serializes lazy basis/bank growth
 };
 
 }  // namespace smore

@@ -72,9 +72,11 @@ void ProjectionEncoder::ensure_projection(std::size_t features) const {
     for (auto& b : bias_) {
       b = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
     }
-    features_ = features;  // last: signals fully-built to mismatch checks
+    // Last write: publishes "fully built" to lock-free footprint_bytes
+    // readers (acquire side there) and to the mismatch check below.
+    features_.store(features, std::memory_order_release);
   });
-  if (features != features_) {
+  if (features != features_.load(std::memory_order_acquire)) {
     throw std::invalid_argument(
         "ProjectionEncoder: window shape changed after first encode");
   }

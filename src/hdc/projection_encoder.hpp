@@ -18,10 +18,11 @@
 // with the cos epilogue fused per output block. The scalar encode() is the
 // same kernel on a batch of one, so scalar and batch are bit-identical.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locks go through util/mutex.hpp
 #include <vector>
 
 #include "data/timeseries.hpp"
@@ -67,10 +68,13 @@ class ProjectionEncoder : public Encoder {
   }
 
   /// Materialized projection matrix + bias (see Encoder::footprint_bytes).
-  /// Call from the materializing thread or after the first encode — the
-  /// lazy build is guarded by call_once, not a lock this could take.
+  /// Safe from any thread at any time: 0 until the first encode has fully
+  /// materialized the projection (features_ is the release-published "built"
+  /// flag), (F + 1) · d floats afterwards. Computed from the published size,
+  /// never by touching the vectors a concurrent first encode may be filling.
   [[nodiscard]] std::size_t footprint_bytes() const override {
-    return (weights_t_.size() + bias_.size()) * sizeof(float);
+    const std::size_t f = features_.load(std::memory_order_acquire);
+    return f == 0 ? 0 : (f + 1) * config_.dim * sizeof(float);
   }
 
   /// Encode one window (flatten -> project -> cos): a batch of one through
@@ -86,8 +90,11 @@ class ProjectionEncoder : public Encoder {
   void ensure_projection(std::size_t features) const;
 
   ProjectionEncoderConfig config_;
-  mutable std::once_flag init_once_;          // guards first materialization
-  mutable std::size_t features_ = 0;          // flattened input size F
+  mutable std::once_flag init_once_;  // guards first materialization
+  /// Flattened input size F; 0 until materialized. The release store is the
+  /// LAST write of the call_once lambda, so an acquire load observing F != 0
+  /// proves weights_t_/bias_ are fully built (footprint_bytes relies on it).
+  mutable std::atomic<std::size_t> features_{0};
   mutable std::vector<float> weights_t_;      // F × d row-major (transposed W)
   mutable std::vector<float> bias_;           // d
 };

@@ -93,7 +93,7 @@ obs::Labels sorted(obs::Labels labels) {
 }  // namespace
 
 Counter* MetricsRegistry::counter(const std::string& name, Labels labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   Entry& e = entries_[{name, sorted(std::move(labels))}];
   if (e.counter) return e.counter.get();
   if (e.gauge || e.hist || e.callback) {
@@ -105,7 +105,7 @@ Counter* MetricsRegistry::counter(const std::string& name, Labels labels) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name, Labels labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   Entry& e = entries_[{name, sorted(std::move(labels))}];
   if (e.gauge) return e.gauge.get();
   if (e.counter || e.hist || e.callback) {
@@ -118,7 +118,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name, Labels labels) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels,
                                       std::size_t stripes) {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   Entry& e = entries_[{name, sorted(std::move(labels))}];
   if (e.hist) return e.hist.get();
   if (e.counter || e.gauge || e.callback) {
@@ -132,7 +132,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels,
 void MetricsRegistry::gauge_callback(const std::string& name, Labels labels,
                                      std::function<double()> fn,
                                      MetricType type) {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   Entry& e = entries_[{name, sorted(std::move(labels))}];
   if (e.counter || e.gauge || e.hist) {
     type_clash(name, type, e.type);
@@ -142,12 +142,12 @@ void MetricsRegistry::gauge_callback(const std::string& name, Labels labels,
 }
 
 void MetricsRegistry::remove(const std::string& name, Labels labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   entries_.erase({name, sorted(std::move(labels))});
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [key, e] : entries_) {

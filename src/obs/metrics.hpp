@@ -27,12 +27,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/latency.hpp"
+#include "util/mutex.hpp"
 
 namespace smore::obs {
 
@@ -155,8 +156,8 @@ class MetricsRegistry {
   };
   using Key = std::pair<std::string, Labels>;
 
-  mutable std::mutex m_;
-  std::map<Key, Entry> entries_;
+  mutable Mutex m_;
+  std::map<Key, Entry> entries_ SMORE_GUARDED_BY(m_);
 };
 
 }  // namespace smore::obs

@@ -84,7 +84,7 @@ std::shared_ptr<MultiTenantServer::TenantSlot> MultiTenantServer::slot_of(
     const std::string& tenant) {
   SlotShard& shard =
       *slot_shards_[std::hash<std::string>{}(tenant) % kSlotShards];
-  const std::scoped_lock lock(shard.m);
+  const MutexLock lock(shard.m);
   auto it = shard.map.find(tenant);
   if (it != shard.map.end()) return it->second;
   // The {tenant=...} metric bundle is created here, once per slot — the hot
@@ -356,7 +356,7 @@ void MultiTenantServer::process_batch(std::vector<Request>& batch,
     std::size_t overflow = 0;
     bool ready = false;
     {
-      const std::scoped_lock lock(slot.adapt_m);
+      const MutexLock lock(slot.adapt_m);
       for (std::size_t p = 0; p < k && p < ids.size(); ++p) {
         if (pos_usage[p] != 0.0) slot.usage[ids[p]] += pos_usage[p];
       }
@@ -419,7 +419,7 @@ std::vector<std::shared_ptr<MultiTenantServer::TenantSlot>>
 MultiTenantServer::all_slots() const {
   std::vector<std::shared_ptr<TenantSlot>> slots;
   for (const auto& shard : slot_shards_) {
-    const std::scoped_lock lock(shard->m);
+    const MutexLock lock(shard->m);
     for (const auto& [tenant, slot] : shard->map) slots.push_back(slot);
   }
   return slots;
@@ -430,8 +430,14 @@ void MultiTenantServer::adaptation_loop() {
       std::max<std::uint32_t>(1, config_.adapt_poll_ms));
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(adapt_wake_m_);
-      adapt_cv_.wait_for(lock, poll, [this] { return adapt_stopping_; });
+      const MutexLock lock(adapt_wake_m_);
+      const auto deadline = std::chrono::steady_clock::now() + poll;
+      while (!adapt_stopping_) {
+        if (adapt_cv_.wait_until(adapt_wake_m_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (adapt_stopping_) break;
     }
     // Sweep every tenant with a ready round. One worker for the fleet: a
@@ -442,7 +448,7 @@ void MultiTenantServer::adaptation_loop() {
       std::vector<OodSample> round;
       std::vector<std::pair<int, double>> usage;
       {
-        const std::scoped_lock lock(slot->adapt_m);
+        const MutexLock lock(slot->adapt_m);
         if (slot->ood_buffer.size() < config_.adapt_min_batch) continue;
         round.swap(slot->ood_buffer);
         usage.assign(slot->usage.begin(), slot->usage.end());
@@ -456,7 +462,7 @@ void MultiTenantServer::adaptation_loop() {
   for (const auto& slot : all_slots()) {
     std::size_t remaining = 0;
     {
-      const std::scoped_lock lock(slot->adapt_m);
+      const MutexLock lock(slot->adapt_m);
       remaining = slot->ood_buffer.size();
       slot->ood_buffer.clear();
       slot->usage.clear();
@@ -474,8 +480,14 @@ void MultiTenantServer::export_loop() {
   const std::chrono::milliseconds interval(config_.export_interval_ms);
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(export_m_);
-      export_cv_.wait_for(lock, interval, [this] { return export_stopping_; });
+      const MutexLock lock(export_m_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!export_stopping_) {
+        if (export_cv_.wait_until(export_m_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (export_stopping_) return;  // shutdown writes the final snapshot
     }
     write_telemetry(config_.export_path);
@@ -568,7 +580,7 @@ void MultiTenantServer::shutdown() {
     for (auto& w : workers_) w.join();
     if (adaptation_thread_.joinable()) {
       {
-        const std::scoped_lock lock(adapt_wake_m_);
+        const MutexLock lock(adapt_wake_m_);
         adapt_stopping_ = true;
       }
       adapt_cv_.notify_all();
@@ -576,7 +588,7 @@ void MultiTenantServer::shutdown() {
     }
     if (export_thread_.joinable()) {
       {
-        const std::scoped_lock lock(export_m_);
+        const MutexLock lock(export_m_);
         export_stopping_ = true;
       }
       export_cv_.notify_all();
@@ -621,7 +633,7 @@ MultiTenantStats MultiTenantServer::stats() const {
 std::vector<TenantServerStats> MultiTenantServer::tenant_stats() const {
   std::vector<TenantServerStats> out;
   for (const auto& shard : slot_shards_) {
-    const std::scoped_lock lock(shard->m);
+    const MutexLock lock(shard->m);
     for (const auto& [tenant, slot] : shard->map) {
       TenantServerStats t;
       t.tenant = tenant;

@@ -43,13 +43,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locks go through util/mutex.hpp
 #include <optional>
 #include <span>
 #include <string>
@@ -62,8 +61,10 @@
 #include "serve/adaptation.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "util/annotations.hpp"
 #include "util/latency.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/mutex.hpp"
 
 namespace smore {
 
@@ -232,9 +233,9 @@ class MultiTenantServer {
     // This tenant's OOD side buffer + per-domain usage credit since its last
     // adaptation round (adaptation mode only; bounded by
     // adapt_buffer_capacity, overflow is counted and shed).
-    std::mutex adapt_m;
-    std::vector<OodSample> ood_buffer;
-    std::map<int, double> usage;
+    Mutex adapt_m;
+    std::vector<OodSample> ood_buffer SMORE_GUARDED_BY(adapt_m);
+    std::map<int, double> usage SMORE_GUARDED_BY(adapt_m);
   };
 
   struct Request {
@@ -274,15 +275,16 @@ class MultiTenantServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::thread adaptation_thread_;
-  std::mutex adapt_wake_m_;
-  std::condition_variable adapt_cv_;
-  bool adapt_stopping_ = false;  // guarded by adapt_wake_m_
+  Mutex adapt_wake_m_;
+  CondVar adapt_cv_;
+  bool adapt_stopping_ SMORE_GUARDED_BY(adapt_wake_m_) = false;
 
   // Tenant slots: sharded string → slot map, insert-only.
   static constexpr std::size_t kSlotShards = 16;
   struct SlotShard {
-    std::mutex m;
-    std::unordered_map<std::string, std::shared_ptr<TenantSlot>> map;
+    Mutex m;
+    std::unordered_map<std::string, std::shared_ptr<TenantSlot>> map
+        SMORE_GUARDED_BY(m);
   };
   std::vector<std::unique_ptr<SlotShard>> slot_shards_;
 
@@ -293,9 +295,9 @@ class MultiTenantServer {
 
   // Periodic exporter (export_path only).
   std::thread export_thread_;
-  std::mutex export_m_;
-  std::condition_variable export_cv_;
-  bool export_stopping_ = false;  // guarded by export_m_
+  Mutex export_m_;
+  CondVar export_cv_;
+  bool export_stopping_ SMORE_GUARDED_BY(export_m_) = false;
 
   std::atomic<bool> shut_down_{false};
   std::once_flag shutdown_once_;

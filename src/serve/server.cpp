@@ -286,7 +286,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
       pos_usage[best] += 1.0;
     }
     const auto& ids = snap->model->descriptors().domain_ids();
-    const std::scoped_lock lock(usage_mutex_);
+    const MutexLock lock(usage_mutex_);
     for (std::size_t p = 0; p < k && p < ids.size(); ++p) {
       if (pos_usage[p] != 0.0) usage_acc_[ids[p]] += pos_usage[p];
     }
@@ -317,7 +317,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch,
     std::size_t dropped = 0;
     bool ready = false;
     {
-      const std::scoped_lock lock(ood_mutex_);
+      const MutexLock lock(ood_mutex_);
       for (auto& sample : ood_samples) {
         if (ood_buffer_.size() >= config_.adapt_buffer_capacity) {
           ++dropped;  // best-effort: overload sheds adaptation, not serving
@@ -343,10 +343,17 @@ void InferenceServer::adaptation_loop() {
   for (;;) {
     std::vector<OodSample> round;
     {
-      std::unique_lock lock(ood_mutex_);
-      ood_cv_.wait_for(lock, poll, [this] {
-        return stopping_ || ood_buffer_.size() >= config_.adapt_min_batch;
-      });
+      const MutexLock lock(ood_mutex_);
+      // Timed wait for (stopping_ || buffer ready), written as an explicit
+      // loop so the guarded reads stay under the lock the analysis sees; a
+      // timeout just falls through to the re-check below (the poll cadence).
+      const auto deadline = std::chrono::steady_clock::now() + poll;
+      while (!stopping_ && ood_buffer_.size() < config_.adapt_min_batch) {
+        if (ood_cv_.wait_until(ood_mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stopping_) {
         if (!ood_buffer_.empty()) {
           tel_->adapt_dropped->add(ood_buffer_.size());
@@ -370,7 +377,7 @@ void InferenceServer::adaptation_loop() {
       // eviction, so rounds are never shed for model size.
       std::vector<std::pair<int, double>> usage;
       {
-        const std::scoped_lock lock(usage_mutex_);
+        const MutexLock lock(usage_mutex_);
         usage.assign(usage_acc_.begin(), usage_acc_.end());
         usage_acc_.clear();
       }
@@ -447,7 +454,7 @@ void InferenceServer::shutdown() {
     queue_.close();  // wakes workers; they drain and fulfill everything
     for (auto& w : workers_) w.join();
     {
-      const std::scoped_lock lock(ood_mutex_);
+      const MutexLock lock(ood_mutex_);
       stopping_ = true;
     }
     ood_cv_.notify_all();

@@ -34,12 +34,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locks go through util/mutex.hpp
 #include <optional>
 #include <thread>
 #include <vector>
@@ -55,8 +54,10 @@
 #include "serve/snapshot.hpp"
 #include "serve/status.hpp"
 #include "serve/telemetry.hpp"
+#include "util/annotations.hpp"
 #include "util/latency.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/mutex.hpp"
 
 namespace smore {
 
@@ -240,15 +241,15 @@ class InferenceServer {
 
   // OOD side buffer (adaptation worker input). Bounded: overflow sheds the
   // newest sample and counts it — adaptation is best-effort by design.
-  std::mutex ood_mutex_;
-  std::vector<OodSample> ood_buffer_;
-  bool stopping_ = false;  // guarded by ood_mutex_ (adaptation wake flag)
-  std::condition_variable ood_cv_;
+  Mutex ood_mutex_;
+  std::vector<OodSample> ood_buffer_ SMORE_GUARDED_BY(ood_mutex_);
+  bool stopping_ SMORE_GUARDED_BY(ood_mutex_) = false;  // adaptation wake flag
+  CondVar ood_cv_;
 
   // Served-query credit per domain id since the last lifecycle round (the
   // eviction policy's usage signal). Only written when lifecycle is on.
-  std::mutex usage_mutex_;
-  std::map<int, double> usage_acc_;
+  Mutex usage_mutex_;
+  std::map<int, double> usage_acc_ SMORE_GUARDED_BY(usage_mutex_);
 
   // Stats live in the telemetry hub: counter/histogram handles are created
   // once at construction (ServeTelemetry), stats() reads them back. The two

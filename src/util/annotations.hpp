@@ -1,0 +1,62 @@
+#pragma once
+// Clang Thread Safety Analysis macros (DESIGN.md §15).
+//
+// The serving stack's correctness rests on lock/ordering contracts that used
+// to live only in comments ("guarded by ood_mutex_", "requires budget_m_
+// held"). These macros turn those comments into attributes that
+// `clang++ -Wthread-safety -Werror=thread-safety` checks on every build of
+// the static-analysis CI job: a field read without its lock, a helper called
+// without its required mutex, or a lock released twice is a compile error,
+// not a 1-in-10⁶ TSan flake.
+//
+// Under any compiler without the capability attributes (gcc builds the tier-1
+// matrix) every macro expands to nothing, so annotations cost zero and gate
+// nothing locally. Annotate with the SMORE_* names only — bare
+// __attribute__((guarded_by(...))) would silently break the gcc build.
+//
+// Vocabulary (mirrors the LLVM Thread Safety Analysis docs):
+//   SMORE_CAPABILITY("mutex")      class is a lockable capability
+//   SMORE_SCOPED_CAPABILITY        RAII class that acquires in its ctor
+//   SMORE_GUARDED_BY(mu)           field requires mu held to touch
+//   SMORE_PT_GUARDED_BY(mu)        pointee requires mu held to touch
+//   SMORE_REQUIRES(mu)             function must be called with mu held
+//   SMORE_ACQUIRE(mu) / SMORE_RELEASE(mu)   function locks / unlocks mu
+//   SMORE_TRY_ACQUIRE(ok, mu)      function locks mu iff it returns `ok`
+//   SMORE_EXCLUDES(mu)             function must NOT be called with mu held
+//   SMORE_ASSERT_CAPABILITY(mu)    runtime assertion that mu is held
+//   SMORE_RETURN_CAPABILITY(mu)    function returns a reference to mu
+//   SMORE_NO_THREAD_SAFETY_ANALYSIS  opt-out (wrapper internals ONLY —
+//                                    DESIGN.md §15 forbids it elsewhere, and
+//                                    tools/check_invariants.py enforces that)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SMORE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SMORE_THREAD_ANNOTATION
+#define SMORE_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define SMORE_CAPABILITY(x) SMORE_THREAD_ANNOTATION(capability(x))
+#define SMORE_SCOPED_CAPABILITY SMORE_THREAD_ANNOTATION(scoped_lockable)
+#define SMORE_GUARDED_BY(x) SMORE_THREAD_ANNOTATION(guarded_by(x))
+#define SMORE_PT_GUARDED_BY(x) SMORE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SMORE_ACQUIRED_BEFORE(...) \
+  SMORE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SMORE_ACQUIRED_AFTER(...) \
+  SMORE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SMORE_REQUIRES(...) \
+  SMORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SMORE_ACQUIRE(...) \
+  SMORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SMORE_RELEASE(...) \
+  SMORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SMORE_TRY_ACQUIRE(...) \
+  SMORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SMORE_EXCLUDES(...) SMORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SMORE_ASSERT_CAPABILITY(x) \
+  SMORE_THREAD_ANNOTATION(assert_capability(x))
+#define SMORE_RETURN_CAPABILITY(x) SMORE_THREAD_ANNOTATION(lock_returned(x))
+#define SMORE_NO_THREAD_SAFETY_ANALYSIS \
+  SMORE_THREAD_ANNOTATION(no_thread_safety_analysis)

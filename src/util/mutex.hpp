@@ -1,0 +1,132 @@
+#pragma once
+// Annotated mutex/condvar wrappers: the lock vocabulary every subsystem in
+// src/ uses (DESIGN.md §15).
+//
+// Clang's Thread Safety Analysis cannot see through std::mutex /
+// std::scoped_lock / std::condition_variable — they carry no capability
+// attributes, so code built on them is invisible to the analysis. These thin
+// wrappers add the attributes and nothing else: Mutex IS a std::mutex,
+// MutexLock IS a scoped lock (with early unlock/relock for the
+// unlock-before-notify and wait-loop idioms), CondVar IS a
+// std::condition_variable that waits on a Mutex it can prove is held.
+//
+// Contract (enforced by tools/check_invariants.py): src/ code outside this
+// file does not name std::mutex / std::condition_variable / std::scoped_lock
+// / std::unique_lock directly — every new lock goes through these wrappers so
+// the analysis sees it. std::atomic, std::call_once, and std::promise are
+// not locks and stay as they are.
+//
+// Zero-cost claim: off clang the annotations expand to nothing and every
+// method is a one-line inline forward; the generated code is the std::mutex
+// code. On clang the attributes are compile-time only.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace smore {
+
+class CondVar;
+
+/// std::mutex with capability annotations. Non-recursive, non-movable.
+class SMORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SMORE_ACQUIRE() { m_.lock(); }
+  void unlock() SMORE_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() SMORE_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // waits on the wrapped mutex via adopt/release
+  std::mutex m_;
+};
+
+/// RAII scoped lock over Mutex. Relockable: unlock() releases early (the
+/// unlock-before-notify idiom), lock() re-acquires; the destructor releases
+/// only when held. The analysis tracks the held/released state across all
+/// three, so touching a guarded field in the unlocked window is a compile
+/// error on clang.
+class SMORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SMORE_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() SMORE_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release (before a notify, or around a blocking call).
+  void unlock() SMORE_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Re-acquire after an early unlock().
+  void lock() SMORE_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// std::condition_variable bound to Mutex. All waits REQUIRE the mutex held
+/// (callers hold it via MutexLock); predicates are written as explicit while
+/// loops at the call site so guarded reads stay inside the function the
+/// analysis already knows holds the lock — no annotated-lambda contortions.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) SMORE_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock so ownership stays with the caller's MutexLock. The
+    // capability state never changes across this call — exactly what the
+    // REQUIRES annotation tells the analysis.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      SMORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, dur);
+    native.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SMORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace smore

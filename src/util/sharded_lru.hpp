@@ -39,12 +39,14 @@
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace smore {
 
@@ -100,7 +102,7 @@ class ShardedLruCache {
     std::shared_ptr<Slot> slot;
     std::shared_future<std::shared_ptr<Value>> flight;
     {
-      const std::scoped_lock lock(shard.m);
+      const MutexLock lock(shard.m);
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         slot = it->second;
@@ -129,7 +131,7 @@ class ShardedLruCache {
   /// peek because they are about to use the value.
   [[nodiscard]] std::shared_ptr<Value> peek(const std::string& key) {
     Shard& shard = shard_of(key);
-    const std::scoped_lock lock(shard.m);
+    const MutexLock lock(shard.m);
     auto it = shard.map.find(key);
     if (it == shard.map.end() || it->second->loading) return nullptr;
     it->second->stamp = next_stamp();
@@ -143,7 +145,7 @@ class ShardedLruCache {
     Shard& shard = shard_of(key);
     std::size_t freed = 0;
     {
-      const std::scoped_lock lock(shard.m);
+      const MutexLock lock(shard.m);
       auto it = shard.map.find(key);
       if (it == shard.map.end() || it->second->loading) return false;
       freed = it->second->bytes;
@@ -179,6 +181,13 @@ class ShardedLruCache {
   }
 
  private:
+  // Slot state is guarded by the OWNING shard's mutex — an external guard a
+  // GUARDED_BY attribute cannot name (slots do not point back at their
+  // shard), so the contract is enforced by construction instead: every
+  // slot access in this class sits inside a MutexLock(shard.m) block, and
+  // DESIGN.md §15 records the exception. `promise`/`flight` are touched
+  // lock-free only by the one flight owner (run_load) and by waiters through
+  // the shared_future's own synchronization.
   struct Slot {
     std::shared_ptr<Value> value;  // set when loading flips to false
     std::size_t bytes = 0;
@@ -188,8 +197,9 @@ class ShardedLruCache {
     std::shared_future<std::shared_ptr<Value>> flight;
   };
   struct Shard {
-    std::mutex m;
-    std::unordered_map<std::string, std::shared_ptr<Slot>> map;
+    Mutex m;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> map
+        SMORE_GUARDED_BY(m);
   };
 
   Shard& shard_of(const std::string& key) {
@@ -218,7 +228,7 @@ class ShardedLruCache {
       // Failure is delivered to every waiter but never cached: drop the
       // slot so the next request retries the load.
       {
-        const std::scoped_lock lock(shard.m);
+        const MutexLock lock(shard.m);
         auto it = shard.map.find(key);
         if (it != shard.map.end() && it->second == slot) shard.map.erase(it);
       }
@@ -231,7 +241,7 @@ class ShardedLruCache {
       // Budget admission is serialized: evict-until-fit plus the byte
       // account must be one step, or two concurrent loads could both pass
       // the check and overshoot the budget together.
-      const std::scoped_lock budget_lock(budget_m_);
+      const MutexLock budget_lock(budget_m_);
       while (resident_bytes_.load(std::memory_order_relaxed) + bytes >
                  config_.byte_budget &&
              evict_lru_victim()) {
@@ -245,7 +255,7 @@ class ShardedLruCache {
       }
     }
     {
-      const std::scoped_lock lock(shard.m);
+      const MutexLock lock(shard.m);
       slot->value = value;
       slot->bytes = bytes;
       slot->stamp = next_stamp();
@@ -257,14 +267,14 @@ class ShardedLruCache {
   }
 
   /// Drop the ready value with the globally smallest recency stamp.
-  /// Requires budget_m_ held. Returns false when nothing is evictable
-  /// (only loading slots, or empty) — the caller then admits over budget.
-  bool evict_lru_victim() {
+  /// Returns false when nothing is evictable (only loading slots, or
+  /// empty) — the caller then admits over budget.
+  bool evict_lru_victim() SMORE_REQUIRES(budget_m_) {
     Shard* victim_shard = nullptr;
     std::string victim_key;
     std::uint64_t victim_stamp = std::numeric_limits<std::uint64_t>::max();
     for (auto& shard : shards_) {
-      const std::scoped_lock lock(shard->m);
+      const MutexLock lock(shard->m);
       for (const auto& [key, slot] : shard->map) {
         if (slot->loading) continue;
         if (slot->stamp < victim_stamp) {
@@ -277,7 +287,7 @@ class ShardedLruCache {
     if (victim_shard == nullptr) return false;
     std::size_t freed = 0;
     {
-      const std::scoped_lock lock(victim_shard->m);
+      const MutexLock lock(victim_shard->m);
       auto it = victim_shard->map.find(victim_key);
       // The victim may have been re-stamped or erased since the scan; that
       // only makes this eviction conservative (evict it anyway — it was the
@@ -295,7 +305,9 @@ class ShardedLruCache {
 
   Config config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex budget_m_;  // serializes eviction + byte accounting
+  // Serializes eviction + byte accounting. Lock order everywhere: budget_m_
+  // before shard mutexes, never the reverse (see run_load).
+  Mutex budget_m_;
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

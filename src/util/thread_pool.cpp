@@ -17,9 +17,9 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};     // next unclaimed block index
   std::atomic<std::size_t> pending{0};  // blocks not yet completed
   std::atomic<std::size_t> refs{0};     // queue entries not yet consumed
-  std::mutex m;
-  std::condition_variable done;
-  std::exception_ptr error;  // first body exception, guarded by m
+  Mutex m;
+  CondVar done;
+  std::exception_ptr error SMORE_GUARDED_BY(m);  // first body exception
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -44,8 +44,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && jobs_.empty()) cv_.wait(mutex_);
       if (jobs_.empty()) {
         if (stopping_) return;
         continue;
@@ -67,14 +67,14 @@ void ThreadPool::run_blocks(Job& job) {
     try {
       (*job.body)(b, lo, hi);
     } catch (...) {
-      const std::scoped_lock lock(job.m);
+      const MutexLock lock(job.m);
       if (!job.error) job.error = std::current_exception();
     }
     // Completed blocks are counted even after a failure: every block still
     // runs (they are independent), and the caller rethrows the first error
     // only once nothing references its frame anymore.
     if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::scoped_lock lock(job.m);
+      const MutexLock lock(job.m);
       job.done.notify_all();
     }
   }
@@ -87,7 +87,7 @@ void ThreadPool::finish_ref(Job& job) {
   // notification), observe both counters at zero, and destroy the mutex
   // this thread is about to lock. Inside the lock, the owner cannot
   // re-check the predicate until this thread has released job.m.
-  const std::scoped_lock lock(job.m);
+  const MutexLock lock(job.m);
   if (job.refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     job.done.notify_all();
   }
@@ -130,7 +130,7 @@ void ThreadPool::parallel_for_blocks(
   const std::size_t helpers = std::min(threads, blocks);
   job.refs.store(helpers, std::memory_order_relaxed);
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) jobs_.push_back(&job);
   }
   // helpers >= 2 on this path (threads >= 2 and n >= 2 imply blocks >= 2),
@@ -142,14 +142,18 @@ void ThreadPool::parallel_for_blocks(
   // context switches per parallel region.
   run_blocks(job);
 
+  std::exception_ptr error;
   {
-    std::unique_lock lock(job.m);
-    job.done.wait(lock, [&job] {
-      return job.pending.load(std::memory_order_acquire) == 0 &&
-             job.refs.load(std::memory_order_acquire) == 0;
-    });
+    const MutexLock lock(job.m);
+    while (job.pending.load(std::memory_order_acquire) != 0 ||
+           job.refs.load(std::memory_order_acquire) != 0) {
+      job.done.wait(job.m);
+    }
+    // Read under job.m: the last writer stored it under the same lock, and
+    // after this point the job's frame is exclusively the caller's again.
+    error = job.error;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

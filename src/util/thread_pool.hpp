@@ -19,13 +19,14 @@
 // now holds raw job pointers whose lifetime is the caller's frame, guarded
 // by a reference count the caller waits on.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace smore {
 
@@ -76,13 +77,13 @@ class ThreadPool {
   static void finish_ref(Job& job);
 
   std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar cv_;
   // Pending job references: up to min(workers, blocks) entries per job, all
   // pointing at the caller-owned descriptor. Pointers, not closures — a pop
   // is O(1) with no allocation or type erasure.
-  std::deque<Job*> jobs_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<Job*> jobs_ SMORE_GUARDED_BY(mutex_);
+  bool stopping_ SMORE_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience wrapper over ThreadPool::global().parallel_for. Falls back to a

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "data/synthetic.hpp"
 #include "hdc/hypervector.hpp"
@@ -142,6 +146,39 @@ TEST(HvDatasetCentering, MeanAndSubtract) {
   EXPECT_FLOAT_EQ(d.row(1)[1], -2.0f);
   const std::vector<float> bad(3, 0.0f);
   EXPECT_THROW(d.subtract(bad), std::invalid_argument);
+}
+
+TEST(ProjectionEncoder, FootprintSafeDuringConcurrentFirstEncode) {
+  // Regression: footprint_bytes() used to read weights_t_/bias_ while a
+  // concurrent first encode was still materializing them inside call_once.
+  // It now keys off the release-published feature count: 0 before the
+  // projection is fully built, the exact (F + 1) · d footprint afterwards —
+  // never a torn intermediate, from any thread, at any time.
+  const ProjectionEncoderConfig cfg = small_config();
+  const std::size_t features = 2 * 32;
+  const std::size_t full = (features + 1) * cfg.dim * sizeof(float);
+  for (int round = 0; round < 8; ++round) {
+    const ProjectionEncoder enc(cfg);
+    EXPECT_EQ(enc.footprint_bytes(), 0u);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> bad{false};
+    std::thread probe([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t fp = enc.footprint_bytes();
+        if (fp != 0 && fp != full) bad.store(true, std::memory_order_relaxed);
+      }
+    });
+    std::vector<std::thread> encoders;
+    for (int t = 0; t < 4; ++t) {
+      encoders.emplace_back(
+          [&] { (void)enc.encode(make_window(2, 32, 0.0f)); });
+    }
+    for (auto& t : encoders) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    probe.join();
+    EXPECT_FALSE(bad.load());
+    EXPECT_EQ(enc.footprint_bytes(), full);
+  }
 }
 
 TEST(ProjectionEncoder, DeterministicReconstructionFromSerializedConfig) {

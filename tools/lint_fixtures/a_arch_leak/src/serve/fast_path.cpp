@@ -1,0 +1,16 @@
+// Fixture: INV-A must fire — SIMD intrinsics outside src/hdc/kernels/.
+#include <immintrin.h>
+
+namespace smore {
+
+float bad_sum8(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+#if defined(__AVX512F__)
+  (void)v;
+#endif
+  float out[8];
+  _mm256_storeu_ps(out, v);
+  return out[0];
+}
+
+}  // namespace smore

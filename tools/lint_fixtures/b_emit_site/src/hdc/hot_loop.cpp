@@ -1,0 +1,10 @@
+// Fixture: INV-B must fire — EventLog emission from a non-decision layer.
+#include "obs/telemetry.hpp"
+
+namespace smore {
+
+void leak_event(obs::TelemetryHub& hub) {
+  hub.emit(obs::EventType::kShed, "kernel", "per-row-event", 1);
+}
+
+}  // namespace smore

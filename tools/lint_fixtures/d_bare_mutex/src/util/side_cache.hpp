@@ -1,0 +1,22 @@
+#pragma once
+// Fixture: INV-D must fire — a bare std::mutex outside util/mutex.hpp, so
+// clang's thread-safety analysis could never see this lock.
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace smore {
+
+class SideCache {
+ public:
+  void put(const std::string& k, int v) {
+    const std::scoped_lock lock(m_);
+    map_[k] = v;
+  }
+
+ private:
+  std::mutex m_;
+  std::map<std::string, int> map_;
+};
+
+}  // namespace smore

@@ -1,0 +1,8 @@
+// Fixture: INV-E must fire — header without #pragma once, with a
+// parent-relative include and a libstdc++ internal include.
+#include "../hdc/ops.hpp"
+#include <bits/stdc++.h>
+
+namespace smore {
+inline int answer() { return 42; }
+}  // namespace smore
